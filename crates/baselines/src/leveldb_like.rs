@@ -1,0 +1,124 @@
+//! LevelDB's concurrency model: coarse-grained synchronization.
+//!
+//! "The original LevelDB acquires a global exclusive lock to protect
+//! critical sections at the beginning and the end of each read and
+//! write. The bulk of the code is guarded by a mechanism that allows a
+//! single writer thread and multiple reader threads" (§4). We model
+//! that faithfully:
+//!
+//! - every **write** holds one global mutex end-to-end (single writer);
+//! - every **read** takes the same mutex briefly to capture the
+//!   sequence number and component references, then reads without it.
+
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use clsm::Options;
+use clsm_util::error::Result;
+
+use crate::common::KvStore;
+use crate::core::BaselineCore;
+
+/// A LevelDB-style store: globally locked writes, briefly locked reads.
+pub struct LevelDbLike {
+    core: Arc<BaselineCore>,
+    /// The global mutex of LevelDB's `DBImpl::mutex_`.
+    global: Mutex<()>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl LevelDbLike {
+    /// Opens (or creates) a store at `path`.
+    pub fn open(path: &Path, opts: Options) -> Result<LevelDbLike> {
+        let (core, workers) = BaselineCore::open(path, &opts)?;
+        Ok(LevelDbLike {
+            core,
+            global: Mutex::new(()),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    fn write(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+        self.core.stall_if_needed();
+        {
+            // Single writer: the entire write path is serialized.
+            let _g = self.global.lock();
+            let seq = self.core.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
+            self.core.apply_write(key, value, seq)?;
+            self.core.publish(seq);
+        }
+        self.core.maybe_sync()?;
+        self.core.maybe_schedule_flush();
+        Ok(())
+    }
+
+    /// Captures a consistent read point the way LevelDB does: under the
+    /// global mutex.
+    fn read_point(&self) -> u64 {
+        let _g = self.global.lock();
+        self.core.visible()
+    }
+}
+
+impl KvStore for LevelDbLike {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.write(key, Some(value))
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let seq = self.read_point();
+        self.core.get_at(key, seq)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        self.write(key, None)
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let seq = self.read_point();
+        self.core.scan_at(start, limit, seq)
+    }
+
+    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
+        // Without lock striping (see `StripedRmw`), LevelDB-style
+        // conditional puts ride the single-writer mutex.
+        self.core.stall_if_needed();
+        let stored = {
+            let _g = self.global.lock();
+            let seq = self.core.visible();
+            if self.core.get_at(key, seq)?.is_some() {
+                false
+            } else {
+                let seq = self.core.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                self.core.apply_write(key, Some(value), seq)?;
+                self.core.publish(seq);
+                true
+            }
+        };
+        self.core.maybe_sync()?;
+        self.core.maybe_schedule_flush();
+        Ok(stored)
+    }
+
+    fn quiesce(&self) -> Result<()> {
+        self.core.quiesce()
+    }
+
+    fn name(&self) -> &'static str {
+        "LevelDB"
+    }
+
+    fn write_amp(&self) -> Option<lsm_storage::store::WriteAmp> {
+        Some(self.core.write_amp())
+    }
+}
+
+impl Drop for LevelDbLike {
+    fn drop(&mut self) {
+        self.core.shutdown_and_join(&mut self.workers.lock());
+    }
+}

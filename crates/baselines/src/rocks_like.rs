@@ -1,0 +1,113 @@
+//! RocksDB's (2014-era) concurrency model: single writer queue,
+//! lock-free reads, multi-threaded compaction.
+//!
+//! "Much effort is done in order to reduce critical sections in the
+//! memory component … readers avoid locks by caching metadata in their
+//! thread local storage" (§6), while writes still funnel through a
+//! single-writer queue with group commit. Configure
+//! `Options::compaction_threads > 1` to reproduce the §5.3 setup where
+//! "the merge process of disk components is executed by multiple
+//! threads concurrently".
+
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use clsm::Options;
+use clsm_util::error::Result;
+
+use crate::common::KvStore;
+use crate::core::BaselineCore;
+
+/// A RocksDB-style store: serialized writes, lock-free reads.
+pub struct RocksLike {
+    core: Arc<BaselineCore>,
+    /// The writers queue (we model the leader/follower group-commit
+    /// protocol as one mutex: same serialization, simpler mechanics).
+    writer_queue: Mutex<()>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RocksLike {
+    /// Opens (or creates) a store at `path`.
+    pub fn open(path: &Path, opts: Options) -> Result<RocksLike> {
+        let (core, workers) = BaselineCore::open(path, &opts)?;
+        Ok(RocksLike {
+            core,
+            writer_queue: Mutex::new(()),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    fn write(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+        self.core.stall_if_needed();
+        {
+            let _g = self.writer_queue.lock();
+            let seq = self.core.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
+            self.core.apply_write(key, value, seq)?;
+            self.core.publish(seq);
+        }
+        self.core.maybe_sync()?;
+        self.core.maybe_schedule_flush();
+        Ok(())
+    }
+}
+
+impl KvStore for RocksLike {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.write(key, Some(value))
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        // Lock-free read: the visible sequence and the super-version
+        // (our RCU component pointers) are read without any mutex.
+        self.core.get_at(key, self.core.visible())
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        self.write(key, None)
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.core.scan_at(start, limit, self.core.visible())
+    }
+
+    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
+        self.core.stall_if_needed();
+        let stored = {
+            let _g = self.writer_queue.lock();
+            if self.core.get_at(key, self.core.visible())?.is_some() {
+                false
+            } else {
+                let seq = self.core.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                self.core.apply_write(key, Some(value), seq)?;
+                self.core.publish(seq);
+                true
+            }
+        };
+        self.core.maybe_sync()?;
+        self.core.maybe_schedule_flush();
+        Ok(stored)
+    }
+
+    fn quiesce(&self) -> Result<()> {
+        self.core.quiesce()
+    }
+
+    fn name(&self) -> &'static str {
+        "RocksDB"
+    }
+
+    fn write_amp(&self) -> Option<lsm_storage::store::WriteAmp> {
+        Some(self.core.write_amp())
+    }
+}
+
+impl Drop for RocksLike {
+    fn drop(&mut self) {
+        self.core.shutdown_and_join(&mut self.workers.lock());
+    }
+}

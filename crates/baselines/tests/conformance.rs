@@ -1,0 +1,266 @@
+//! Conformance tests: every baseline must implement the same observable
+//! KV semantics as cLSM, since the benchmarks attribute differences
+//! purely to concurrency control.
+
+use std::sync::Arc;
+
+use clsm::Options;
+use clsm_baselines::{
+    BlsmLike, HyperLike, KvStore, LevelDbLike, Partitioned, RocksLike, StripedRmw,
+};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "baseline-{}-{}-{}",
+            std::process::id(),
+            name,
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The shared semantic checklist.
+fn exercise(store: &dyn KvStore) {
+    // CRUD.
+    assert_eq!(store.get(b"k").unwrap(), None);
+    store.put(b"k", b"v1").unwrap();
+    assert_eq!(store.get(b"k").unwrap(), Some(b"v1".to_vec()));
+    store.put(b"k", b"v2").unwrap();
+    assert_eq!(store.get(b"k").unwrap(), Some(b"v2".to_vec()));
+    store.delete(b"k").unwrap();
+    assert_eq!(store.get(b"k").unwrap(), None);
+
+    // put_if_absent.
+    assert!(store.put_if_absent(b"pia", b"one").unwrap());
+    assert!(!store.put_if_absent(b"pia", b"two").unwrap());
+    assert_eq!(store.get(b"pia").unwrap(), Some(b"one".to_vec()));
+
+    // Bulk data through flushes.
+    for i in 0..1500u32 {
+        store
+            .put(
+                format!("bulk{i:06}").as_bytes(),
+                format!("val{i}").as_bytes(),
+            )
+            .unwrap();
+    }
+    store.quiesce().unwrap();
+    for i in (0..1500u32).step_by(137) {
+        assert_eq!(
+            store.get(format!("bulk{i:06}").as_bytes()).unwrap(),
+            Some(format!("val{i}").into_bytes()),
+            "{} bulk{i}",
+            store.name()
+        );
+    }
+
+    // Scans: ordered, bounded, and live-only.
+    store.delete(b"bulk000100").unwrap();
+    let got = store.scan(b"bulk000098", 5).unwrap();
+    let keys: Vec<&[u8]> = got.iter().map(|(k, _)| k.as_slice()).collect();
+    assert_eq!(
+        keys,
+        vec![
+            &b"bulk000098"[..],
+            b"bulk000099",
+            b"bulk000101", // 100 deleted
+            b"bulk000102",
+            b"bulk000103",
+        ],
+        "{}",
+        store.name()
+    );
+
+    // Concurrency smoke: writers + readers.
+    std::thread::scope(|scope| {
+        for t in 0..3u32 {
+            scope.spawn(move || {
+                for i in 0..400u32 {
+                    let key = format!("conc-{t}-{i:05}");
+                    store.put(key.as_bytes(), key.as_bytes()).unwrap();
+                    assert_eq!(store.get(key.as_bytes()).unwrap(), Some(key.into_bytes()));
+                }
+            });
+        }
+        scope.spawn(move || {
+            for i in 0..2000u32 {
+                let key = format!("bulk{:06}", (i * 7) % 1500);
+                let _ = store.get(key.as_bytes()).unwrap();
+            }
+        });
+    });
+    for t in 0..3u32 {
+        for i in (0..400u32).step_by(97) {
+            let key = format!("conc-{t}-{i:05}");
+            assert_eq!(
+                store.get(key.as_bytes()).unwrap(),
+                Some(key.clone().into_bytes()),
+                "{} {key}",
+                store.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn leveldb_like_conforms() {
+    let dir = TempDir::new("leveldb");
+    let store = LevelDbLike::open(&dir.0, Options::small_for_tests()).unwrap();
+    exercise(&store);
+}
+
+#[test]
+fn hyper_like_conforms() {
+    let dir = TempDir::new("hyper");
+    let store = HyperLike::open(&dir.0, Options::small_for_tests()).unwrap();
+    exercise(&store);
+}
+
+#[test]
+fn rocks_like_conforms() {
+    let dir = TempDir::new("rocks");
+    let mut opts = Options::small_for_tests();
+    opts.compaction_threads = 2; // the §5.3 configuration
+    let store = RocksLike::open(&dir.0, opts).unwrap();
+    exercise(&store);
+}
+
+#[test]
+fn blsm_like_conforms() {
+    let dir = TempDir::new("blsm");
+    let store = BlsmLike::open(&dir.0, Options::small_for_tests()).unwrap();
+    exercise(&store);
+}
+
+#[test]
+fn striped_rmw_conforms() {
+    let dir = TempDir::new("striped");
+    let store = StripedRmw::open(&dir.0, Options::small_for_tests()).unwrap();
+    exercise(&store);
+}
+
+#[test]
+fn clsm_conforms_to_the_same_contract() {
+    let dir = TempDir::new("clsm");
+    let store = clsm::Db::open(&dir.0, Options::small_for_tests()).unwrap();
+    exercise(&store);
+}
+
+#[test]
+fn striped_rmw_increments_are_atomic() {
+    let dir = TempDir::new("striped-inc");
+    let store = Arc::new(StripedRmw::open(&dir.0, Options::small_for_tests()).unwrap());
+    let threads = 4u64;
+    let per = 400u64;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for _ in 0..per {
+                    store
+                        .rmw(b"ctr", |cur| {
+                            let n = cur.map_or(0u64, |v| u64::from_le_bytes(v.try_into().unwrap()));
+                            Some((n + 1).to_le_bytes().to_vec())
+                        })
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let v = store.get(b"ctr").unwrap().unwrap();
+    assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), threads * per);
+}
+
+#[test]
+fn baselines_survive_reopen() {
+    let dir = TempDir::new("reopen");
+    {
+        let store = LevelDbLike::open(&dir.0, Options::small_for_tests()).unwrap();
+        store.put(b"persist", b"me").unwrap();
+    }
+    let store = LevelDbLike::open(&dir.0, Options::small_for_tests()).unwrap();
+    assert_eq!(store.get(b"persist").unwrap(), Some(b"me".to_vec()));
+}
+
+#[test]
+fn partitioned_routes_and_stitches() {
+    let dirs: Vec<TempDir> = (0..4).map(|i| TempDir::new(&format!("part{i}"))).collect();
+    let parts: Vec<LevelDbLike> = dirs
+        .iter()
+        .map(|d| LevelDbLike::open(&d.0, Options::small_for_tests()).unwrap())
+        .collect();
+    let store = Partitioned::new(parts, vec![b"g".to_vec(), b"n".to_vec(), b"t".to_vec()]);
+    assert_eq!(store.partition_of(b"apple"), 0);
+    assert_eq!(store.partition_of(b"g"), 1);
+    assert_eq!(store.partition_of(b"monkey"), 1);
+    assert_eq!(store.partition_of(b"night"), 2);
+    assert_eq!(store.partition_of(b"zebra"), 3);
+
+    for key in [
+        "apple", "grape", "night", "zebra", "fig", "melon", "swan", "yak",
+    ] {
+        store.put(key.as_bytes(), key.as_bytes()).unwrap();
+    }
+    for key in [
+        "apple", "grape", "night", "zebra", "fig", "melon", "swan", "yak",
+    ] {
+        assert_eq!(
+            store.get(key.as_bytes()).unwrap(),
+            Some(key.as_bytes().to_vec())
+        );
+    }
+    // Cross-partition scan stitches all four shards in order.
+    let all = store.scan(b"", 100).unwrap();
+    let keys: Vec<String> = all
+        .iter()
+        .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+        .collect();
+    assert_eq!(
+        keys,
+        vec!["apple", "fig", "grape", "melon", "night", "swan", "yak", "zebra"]
+    );
+    // Bounded cross-partition scan.
+    let some = store.scan(b"f", 3).unwrap();
+    assert_eq!(some.len(), 3);
+    assert_eq!(some[0].0, b"fig");
+}
+
+#[test]
+fn partitioned_clsm_composition_conforms() {
+    // Figure 1 also needs cLSM to compose under partitioning (the
+    // paper argues AGAINST it, but the mechanism must still work).
+    let dirs: Vec<TempDir> = (0..2).map(|i| TempDir::new(&format!("pclsm{i}"))).collect();
+    let parts: Vec<clsm::Db> = dirs
+        .iter()
+        .map(|d| clsm::Db::open(&d.0, Options::small_for_tests()).unwrap())
+        .collect();
+    let store = Partitioned::new(parts, vec![b"m".to_vec()]);
+    for key in ["alpha", "zulu", "mike", "lima"] {
+        store.put(key.as_bytes(), key.as_bytes()).unwrap();
+    }
+    assert_eq!(store.get(b"alpha").unwrap(), Some(b"alpha".to_vec()));
+    assert_eq!(store.get(b"zulu").unwrap(), Some(b"zulu".to_vec()));
+    let all: Vec<String> = store
+        .scan(b"", 10)
+        .unwrap()
+        .into_iter()
+        .map(|(k, _)| String::from_utf8(k).unwrap())
+        .collect();
+    assert_eq!(all, vec!["alpha", "lima", "mike", "zulu"]);
+    assert!(!store.put_if_absent(b"alpha", b"x").unwrap());
+    store.quiesce().unwrap();
+}

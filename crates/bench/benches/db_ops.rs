@@ -1,0 +1,140 @@
+//! End-to-end operation micro-benchmarks on the full cLSM database:
+//! put, get (memtable hit / disk hit / miss), snapshot creation, and
+//! RMW — the per-operation costs underlying the figure-level results.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use clsm::{Db, Options, RmwDecision};
+
+fn temp_db(name: &str) -> (Db, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "bench-db-{}-{}-{}",
+        std::process::id(),
+        name,
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let opts = Options {
+        memtable_bytes: 8 * 1024 * 1024,
+        ..Options::default()
+    };
+    (Db::open(&dir, opts).unwrap(), dir)
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db/put");
+    group.throughput(Throughput::Elements(1));
+    let (db, dir) = temp_db("put");
+    let mut i = 0u64;
+    group.bench_function("256B_async", |b| {
+        b.iter(|| {
+            i += 1;
+            db.put(format!("key{:012}", i % 100_000).as_bytes(), &[0u8; 256])
+                .unwrap();
+        })
+    });
+    group.finish();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db/get");
+    group.throughput(Throughput::Elements(1));
+    let (db, dir) = temp_db("get");
+    for i in 0..50_000u64 {
+        db.put(format!("key{i:012}").as_bytes(), &[1u8; 256])
+            .unwrap();
+    }
+    // Half the data to disk, half fresh in the memtable.
+    db.compact_to_quiescence().unwrap();
+    for i in 0..5_000u64 {
+        db.put(format!("fresh{i:012}").as_bytes(), &[2u8; 256])
+            .unwrap();
+    }
+
+    let mut i = 0u64;
+    group.bench_function("memtable_hit", |b| {
+        b.iter(|| {
+            i = (i + 37) % 5_000;
+            assert!(db
+                .get(format!("fresh{i:012}").as_bytes())
+                .unwrap()
+                .is_some());
+        })
+    });
+    let mut j = 0u64;
+    group.bench_function("disk_hit_cached", |b| {
+        b.iter(|| {
+            j = (j + 7919) % 50_000;
+            assert!(db.get(format!("key{j:012}").as_bytes()).unwrap().is_some());
+        })
+    });
+    group.bench_function("miss_bloom_filtered", |b| {
+        b.iter(|| assert!(db.get(b"zzz-never-written").unwrap().is_none()))
+    });
+    group.finish();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db/snapshot");
+    group.throughput(Throughput::Elements(1));
+    let (db, dir) = temp_db("snap");
+    for i in 0..10_000u64 {
+        db.put(format!("key{i:012}").as_bytes(), &[1u8; 64])
+            .unwrap();
+    }
+    group.bench_function("create_drop", |b| {
+        b.iter(|| {
+            let snap = db.snapshot().unwrap();
+            std::hint::black_box(snap.timestamp());
+        })
+    });
+    group.bench_function("range_scan_15_keys", |b| {
+        let snap = db.snapshot().unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 607) % 9_000;
+            let start = format!("key{i:012}");
+            let n = snap.range(start.as_bytes(), None).unwrap().take(15).count();
+            assert!(n > 0);
+        })
+    });
+    group.finish();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_rmw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db/rmw");
+    group.throughput(Throughput::Elements(1));
+    let (db, dir) = temp_db("rmw");
+    group.bench_function("counter_increment", |b| {
+        b.iter(|| {
+            db.read_modify_write(b"ctr", |cur| {
+                let n = cur.map_or(0u64, |v| u64::from_le_bytes(v.try_into().unwrap()));
+                RmwDecision::Update((n + 1).to_le_bytes().to_vec())
+            })
+            .unwrap()
+        })
+    });
+    let mut i = 0u64;
+    group.bench_function("put_if_absent_fresh_key", |b| {
+        b.iter(|| {
+            i += 1;
+            db.put_if_absent(format!("pia{i:016}").as_bytes(), b"v")
+                .unwrap()
+        })
+    });
+    group.finish();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_put, bench_get, bench_snapshot, bench_rmw);
+criterion_main!(benches);

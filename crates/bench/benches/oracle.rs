@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the Algorithm 2 timestamp oracle: the per-put
+//! overhead (`getTS` + publish), snapshot creation, and the cost of the
+//! Active-set scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use clsm_util::oracle::{ActiveSet, TimestampOracle};
+
+fn bench_get_ts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle/get_ts_publish");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("single-thread", |b| {
+        let oracle = TimestampOracle::default();
+        b.iter(|| {
+            let s = oracle.get_ts();
+            oracle.publish(s);
+        })
+    });
+    group.finish();
+}
+
+fn bench_get_snap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle/get_snap");
+    group.throughput(Throughput::Elements(1));
+    for slots in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("slots", slots), &slots, |b, &slots| {
+            let oracle = TimestampOracle::new(slots);
+            // A little history so snapTime is nonzero.
+            for _ in 0..100 {
+                let s = oracle.get_ts();
+                oracle.publish(s);
+            }
+            b.iter(|| std::hint::black_box(oracle.get_snap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_active_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle/active_set");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("add_remove", |b| {
+        let set = ActiveSet::new(256);
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            let ticket = set.add(ts);
+            set.remove(ticket);
+        })
+    });
+    group.bench_function("find_min_with_8_active", |b| {
+        let set = ActiveSet::new(256);
+        let tickets: Vec<_> = (1..=8u64).map(|t| set.add(t * 10)).collect();
+        b.iter(|| std::hint::black_box(set.find_min()));
+        for t in tickets {
+            set.remove(t);
+        }
+    });
+    group.finish();
+}
+
+fn bench_concurrent_writers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle/concurrent_get_ts");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let per = 50_000u64;
+        group.throughput(Throughput::Elements(per * threads as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let oracle = TimestampOracle::new(256);
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            let oracle = &oracle;
+                            scope.spawn(move || {
+                                for _ in 0..per {
+                                    let s = oracle.get_ts();
+                                    oracle.publish(s);
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_get_ts,
+    bench_get_snap,
+    bench_active_set,
+    bench_concurrent_writers
+);
+criterion_main!(benches);

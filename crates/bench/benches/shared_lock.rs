@@ -1,0 +1,110 @@
+//! Ablation from DESIGN.md: the custom writer-preferring
+//! shared-exclusive lock (Algorithm 1's `Lock`) vs
+//! `parking_lot::RwLock` and vs an uncontended mutex, on the pattern
+//! cLSM exhibits — a storm of short shared sections with very rare
+//! exclusive sections.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parking_lot::{Mutex, RwLock};
+
+use clsm_util::shared_lock::SharedExclusiveLock;
+
+fn bench_shared_acquire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_lock/shared_acquire");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("clsm-shared-exclusive", |b| {
+        let lock = SharedExclusiveLock::new();
+        b.iter(|| {
+            let g = lock.lock_shared();
+            std::hint::black_box(&g);
+        })
+    });
+    group.bench_function("parking_lot-rwlock", |b| {
+        let lock = RwLock::new(());
+        b.iter(|| {
+            let g = lock.read();
+            std::hint::black_box(&g);
+        })
+    });
+    group.bench_function("parking_lot-mutex", |b| {
+        let lock = Mutex::new(());
+        b.iter(|| {
+            let g = lock.lock();
+            std::hint::black_box(&g);
+        })
+    });
+    group.finish();
+}
+
+fn bench_contended_shared(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_lock/contended_shared");
+    group.sample_size(10);
+    for threads in [2usize, 4] {
+        let per = 100_000u64;
+        group.throughput(Throughput::Elements(per * threads as u64));
+        group.bench_with_input(
+            BenchmarkId::new("clsm-shared-exclusive", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let lock = Arc::new(SharedExclusiveLock::new());
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            let lock = Arc::clone(&lock);
+                            scope.spawn(move || {
+                                for _ in 0..per {
+                                    let _g = lock.lock_shared();
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("global-mutex", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let lock = Arc::new(Mutex::new(()));
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            let lock = Arc::clone(&lock);
+                            scope.spawn(move || {
+                                for _ in 0..per {
+                                    let _g = lock.lock();
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exclusive_with_readers(c: &mut Criterion) {
+    // The merge-hook scenario: an exclusive acquire must drain readers
+    // quickly (writer preference).
+    let mut group = c.benchmark_group("shared_lock/exclusive_acquire");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("uncontended", |b| {
+        let lock = SharedExclusiveLock::new();
+        b.iter(|| {
+            let g = lock.lock_exclusive();
+            std::hint::black_box(&g);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shared_acquire,
+    bench_contended_shared,
+    bench_exclusive_with_readers
+);
+criterion_main!(benches);

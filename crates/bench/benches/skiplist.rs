@@ -1,0 +1,132 @@
+//! Micro-benchmarks of the lock-free skip list (the cLSM memory
+//! component) plus the ablation DESIGN.md calls out: the lock-free
+//! list vs a mutex-guarded BTreeMap as the memtable structure.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use parking_lot::Mutex;
+
+use clsm_skiplist::SkipList;
+
+fn keys(n: u64) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| format!("key{:012}", i.wrapping_mul(0x9e3779b9) % n).into_bytes())
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiplist/insert");
+    for n in [1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("lockfree", n), &n, |b, &n| {
+            let ks = keys(n);
+            b.iter_batched(
+                SkipList::new,
+                |list| {
+                    for (i, k) in ks.iter().enumerate() {
+                        list.insert(k, i as u64 + 1, Some(b"value-256-bytes"));
+                    }
+                    list
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("mutex-btreemap", n), &n, |b, &n| {
+            let ks = keys(n);
+            b.iter_batched(
+                || Mutex::new(BTreeMap::<(Vec<u8>, std::cmp::Reverse<u64>), Vec<u8>>::new()),
+                |map| {
+                    for (i, k) in ks.iter().enumerate() {
+                        map.lock().insert(
+                            (k.clone(), std::cmp::Reverse(i as u64 + 1)),
+                            b"value-256-bytes".to_vec(),
+                        );
+                    }
+                    map
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiplist/get_latest");
+    let n = 100_000u64;
+    let list = SkipList::new();
+    let ks = keys(n);
+    for (i, k) in ks.iter().enumerate() {
+        list.insert(k, i as u64 + 1, Some(b"v"));
+    }
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0usize;
+    group.bench_function("hit", |b| {
+        b.iter(|| {
+            i = (i + 7919) % ks.len();
+            std::hint::black_box(list.get_latest(&ks[i], u64::MAX))
+        })
+    });
+    group.bench_function("miss", |b| {
+        b.iter(|| std::hint::black_box(list.get_latest(b"zzz-not-there", u64::MAX)))
+    });
+    group.finish();
+}
+
+fn bench_concurrent_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiplist/concurrent-insert");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let per = 20_000u64 / threads as u64;
+        group.throughput(Throughput::Elements(per * threads as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let list = Arc::new(SkipList::new());
+                    std::thread::scope(|scope| {
+                        for t in 0..threads {
+                            let list = Arc::clone(&list);
+                            scope.spawn(move || {
+                                for i in 0..per {
+                                    let key = format!("t{t}-{i:08}");
+                                    list.insert(key.as_bytes(), t as u64 * per + i + 1, Some(b"v"));
+                                }
+                            });
+                        }
+                    });
+                    list
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rmw_primitive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiplist/insert_if_latest");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("uncontended", |b| {
+        let list = SkipList::new();
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            let expected = (ts > 1).then_some(ts - 1);
+            list.insert_if_latest(b"hot", ts, Some(b"v"), expected)
+                .unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_get,
+    bench_concurrent_insert,
+    bench_rmw_primitive
+);
+criterion_main!(benches);

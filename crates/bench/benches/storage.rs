@@ -1,0 +1,164 @@
+//! Micro-benchmarks of the disk substrate: WAL append path, block
+//! building/seeking, Bloom filters, and the RCU component-pointer load
+//! ablation (RCU vs mutex-guarded pointer read).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parking_lot::Mutex;
+
+use clsm_util::bloom::BloomFilterPolicy;
+use clsm_util::rcu::RcuCell;
+use lsm_storage::format::{InternalKey, ValueKind, WriteRecord};
+use lsm_storage::sstable::{Block, BlockBuilder};
+use lsm_storage::wal::{LogQueue, LogWriter, SyncMode};
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/wal_append");
+    group.throughput(Throughput::Elements(1));
+    let dir = std::env::temp_dir().join(format!("bench-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let path = dir.join("bench.log");
+    let queue = LogQueue::start(LogWriter::new(std::fs::File::create(&path).unwrap()));
+    let mut record = Vec::new();
+    WriteRecord::put(1, b"key-of-16-bytes!".to_vec(), vec![0u8; 256]).encode_to(&mut record);
+    group.bench_function("async_enqueue_256B", |b| {
+        b.iter(|| queue.append(record.clone(), SyncMode::Async).unwrap())
+    });
+    queue.sync().unwrap();
+    drop(queue);
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+fn bench_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/block");
+    let n = 200u32;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("build_200_entries", |b| {
+        b.iter(|| {
+            let mut builder = BlockBuilder::default();
+            for i in 0..n {
+                let key = InternalKey::new(
+                    format!("key{i:08}").as_bytes(),
+                    i as u64 + 1,
+                    ValueKind::Put,
+                );
+                builder.add(key.encoded(), &[7u8; 64]);
+            }
+            builder.finish()
+        })
+    });
+
+    let mut builder = BlockBuilder::default();
+    for i in 0..n {
+        let key = InternalKey::new(
+            format!("key{i:08}").as_bytes(),
+            i as u64 + 1,
+            ValueKind::Put,
+        );
+        builder.add(key.encoded(), &[7u8; 64]);
+    }
+    let block = Arc::new(Block::parse(builder.finish()).unwrap());
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0u32;
+    group.bench_function("seek", |b| {
+        b.iter(|| {
+            i = (i + 37) % n;
+            let mut it = block.iter();
+            it.seek_internal(format!("key{i:08}").as_bytes(), u64::MAX >> 1);
+            assert!(it.is_valid());
+        })
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/bloom");
+    let policy = BloomFilterPolicy::new(10);
+    let keys: Vec<Vec<u8>> = (0..10_000u32)
+        .map(|i| format!("key{i:08}").into_bytes())
+        .collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("create_10k_keys", |b| {
+        b.iter(|| policy.create_filter(&refs))
+    });
+    let filter = policy.create_filter(&refs);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("probe", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % keys.len();
+            std::hint::black_box(policy.key_may_match(&keys[i], &filter))
+        })
+    });
+    group.finish();
+}
+
+fn bench_component_pointer(c: &mut Criterion) {
+    // Ablation: reading the global component pointers. cLSM's RCU load
+    // (lock-free) vs a mutex-guarded Arc clone (what LevelDB does under
+    // its global mutex).
+    let mut group = c.benchmark_group("storage/component_ptr");
+    group.throughput(Throughput::Elements(1));
+    let rcu = RcuCell::new(Arc::new(42u64));
+    group.bench_function("rcu_load", |b| b.iter(|| std::hint::black_box(rcu.load())));
+    let locked = Mutex::new(Arc::new(42u64));
+    group.bench_function("mutex_clone", |b| {
+        b.iter(|| std::hint::black_box(Arc::clone(&locked.lock())))
+    });
+    for threads in [2usize, 4] {
+        let per = 100_000u64;
+        group.throughput(Throughput::Elements(per * threads as u64));
+        group.bench_with_input(
+            BenchmarkId::new("rcu_load_concurrent", threads),
+            &threads,
+            |b, &threads| {
+                let rcu = RcuCell::new(Arc::new(7u64));
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            let rcu = &rcu;
+                            scope.spawn(move || {
+                                for _ in 0..per {
+                                    std::hint::black_box(rcu.load());
+                                }
+                            });
+                        }
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutex_clone_concurrent", threads),
+            &threads,
+            |b, &threads| {
+                let locked = Mutex::new(Arc::new(7u64));
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            let locked = &locked;
+                            scope.spawn(move || {
+                                for _ in 0..per {
+                                    std::hint::black_box(Arc::clone(&locked.lock()));
+                                }
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wal_append,
+    bench_block,
+    bench_bloom,
+    bench_component_pointer
+);
+criterion_main!(benches);

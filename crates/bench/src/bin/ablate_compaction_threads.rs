@@ -1,0 +1,59 @@
+//! Ablation — number of background compaction threads.
+//!
+//! The paper runs cLSM with a single compaction thread and notes that
+//! RocksDB's multi-threaded compaction "optimizations are orthogonal to
+//! our improved parallelism among worker threads" (§5.3). This
+//! ablation puts that to the test on the disk-bound update workload:
+//! sweep cLSM's compaction-thread count with a fixed worker count.
+
+use bench::driver::{run_one, Metric};
+use bench::report::Table;
+use bench::systems::{open_system, SystemKind};
+use clsm_workloads::{RunConfig, WorkloadSpec};
+
+fn main() {
+    let args = bench::parse_args();
+    let key_space = if args.quick { 80_000 } else { 1_000_000 };
+    let spec = WorkloadSpec::disk_bound(key_space);
+    let worker_threads = 4usize;
+    let compaction_sweep = [1usize, 2, 3, 4];
+
+    let columns: Vec<String> = compaction_sweep
+        .iter()
+        .map(|c| format!("{c} thread(s)"))
+        .collect();
+    let mut table = Table::new(
+        "Ablation — update throughput vs compaction threads, 4 workers (Kops/s)",
+        "compactors",
+        columns,
+    );
+
+    for (col, &compactors) in compaction_sweep.iter().enumerate() {
+        let mut opts = args.store_options();
+        opts.store.num_levels = 6;
+        opts.memtable_bytes = if args.quick { 1 << 20 } else { 64 << 20 };
+        opts.store.base_level_bytes = if args.quick { 4 << 20 } else { 64 << 20 };
+        opts.compaction_threads = compactors;
+        let dir = args
+            .scratch(&format!("ablate-compact-{compactors}"))
+            .expect("scratch");
+        let store = open_system(SystemKind::Clsm, &dir, opts).expect("open");
+        clsm_workloads::runner::prefill_store(store.as_ref(), &spec).expect("prefill");
+        let cfg = RunConfig {
+            threads: worker_threads,
+            duration: args.cell(),
+            seed: args.seed,
+        };
+        let r = run_one(&store, &spec, &cfg).expect("run");
+        eprintln!(
+            "[ablate-compact] compactors={compactors} {:>10.1} updates/s",
+            r.ops_per_sec()
+        );
+        table.set("cLSM", col, Metric::KopsPerSec.extract(&r));
+        store.quiesce().expect("quiesce");
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    table.print();
+    table.to_csv(&args.out_dir).expect("csv");
+}

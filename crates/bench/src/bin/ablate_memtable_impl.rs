@@ -1,0 +1,96 @@
+//! Ablation — lock-free skip list vs. locked BTreeMap as the memory
+//! component, at the whole-database level.
+//!
+//! The paper's generic algorithm (§3) runs over any thread-safe sorted
+//! map, but its *scalability* argument hinges on the map being
+//! lock-free. This ablation swaps `MemtableKind` under an otherwise
+//! identical cLSM database and measures the write and mixed paths.
+
+use std::sync::Arc;
+
+use bench::driver::{run_one, Metric};
+use bench::report::Table;
+use clsm::{Db, MemtableKind};
+use clsm_baselines::KvStore;
+use clsm_workloads::{Prefill, RunConfig, WorkloadSpec};
+
+fn main() {
+    let args = bench::parse_args();
+    let columns: Vec<String> = args.threads.iter().map(|t| t.to_string()).collect();
+    let mut write_table = Table::new(
+        "Ablation — write throughput by memtable implementation (Kops/s)",
+        "threads",
+        columns.clone(),
+    );
+    let mut mixed_table = Table::new(
+        "Ablation — mixed r/w throughput by memtable implementation (Kops/s)",
+        "threads",
+        columns,
+    );
+
+    for (kind, label) in [
+        (MemtableKind::LockFreeSkipList, "lock-free skiplist"),
+        (MemtableKind::LockedBTreeMap, "locked btreemap"),
+    ] {
+        // Write-only sweep.
+        let spec_w = WorkloadSpec::write_only(args.key_space());
+        let mut opts = args.store_options();
+        opts.memtable_kind = kind;
+        let dir = args
+            .scratch(&format!("ablate-mem-w-{label}"))
+            .expect("scratch");
+        let store: Arc<dyn KvStore> = Arc::new(Db::open(&dir, opts.clone()).expect("open"));
+        for (col, &threads) in args.threads.iter().enumerate() {
+            let cfg = RunConfig {
+                threads,
+                duration: args.cell(),
+                seed: args.seed,
+            };
+            let r = run_one(&store, &spec_w, &cfg).expect("run");
+            eprintln!(
+                "[ablate-mem] {label:<18} write threads={threads:<3} {:>10.1} ops/s",
+                r.ops_per_sec()
+            );
+            write_table.set(label, col, Metric::KopsPerSec.extract(&r));
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Mixed sweep (prefilled).
+        let spec_m = WorkloadSpec::mixed(args.key_space());
+        let dir = args
+            .scratch(&format!("ablate-mem-m-{label}"))
+            .expect("scratch");
+        let store: Arc<dyn KvStore> = Arc::new(Db::open(&dir, opts).expect("open"));
+        clsm_workloads::run_workload(
+            &store,
+            &spec_m,
+            &RunConfig {
+                threads: 1,
+                duration: std::time::Duration::from_millis(1),
+                seed: 0,
+            },
+            Prefill::Sequential,
+        )
+        .expect("prefill");
+        for (col, &threads) in args.threads.iter().enumerate() {
+            let cfg = RunConfig {
+                threads,
+                duration: args.cell(),
+                seed: args.seed,
+            };
+            let r = run_one(&store, &spec_m, &cfg).expect("run");
+            eprintln!(
+                "[ablate-mem] {label:<18} mixed threads={threads:<3} {:>10.1} ops/s",
+                r.ops_per_sec()
+            );
+            mixed_table.set(label, col, Metric::KopsPerSec.extract(&r));
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    write_table.print();
+    mixed_table.print();
+    write_table.to_csv(&args.out_dir).expect("csv");
+    mixed_table.to_csv(&args.out_dir).expect("csv");
+}

@@ -1,0 +1,111 @@
+//! Ablation — serializable vs. linearizable snapshots.
+//!
+//! §3.2.1: the default `getSnap` is serializable but may read "in the
+//! past"; a linearizable variant instead waits until the snapshot time
+//! covers the counter value at invocation. This ablation quantifies
+//! what that stricter guarantee costs under a snapshot-heavy mixed
+//! workload (writers + snapshot scanners).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::report::Table;
+use clsm::Db;
+
+fn main() {
+    let args = bench::parse_args();
+    let threads_sweep = args.threads.clone();
+    let columns: Vec<String> = threads_sweep.iter().map(|t| t.to_string()).collect();
+    let mut tput = Table::new(
+        "Ablation — snapshot creations/s by mode (writers + snapshotters)",
+        "threads",
+        columns.clone(),
+    );
+    let mut lat = Table::new(
+        "Ablation — mean snapshot creation latency (us)",
+        "threads",
+        columns,
+    );
+
+    for linearizable in [false, true] {
+        let label = if linearizable {
+            "linearizable"
+        } else {
+            "serializable"
+        };
+        let dir = args
+            .scratch(&format!("ablate-snap-{label}"))
+            .expect("scratch");
+        let mut opts = args.store_options();
+        opts.linearizable_snapshots = linearizable;
+        let db = Arc::new(Db::open(&dir, opts).expect("open"));
+        for i in 0..10_000u32 {
+            db.put(format!("seed{i:06}").as_bytes(), &[0u8; 64])
+                .unwrap();
+        }
+
+        for (col, &threads) in threads_sweep.iter().enumerate() {
+            // Half the threads write continuously; half take snapshots.
+            let writers = (threads / 2).max(1);
+            let snappers = (threads - writers).max(1);
+            let stop = Arc::new(AtomicBool::new(false));
+            let snaps_taken = Arc::new(AtomicU64::new(0));
+            let snap_nanos = Arc::new(AtomicU64::new(0));
+            let started = Instant::now();
+            std::thread::scope(|scope| {
+                for t in 0..writers {
+                    let db = Arc::clone(&db);
+                    let stop = Arc::clone(&stop);
+                    scope.spawn(move || {
+                        let mut i = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let key = format!("w{t}-{:06}", i % 50_000);
+                            db.put(key.as_bytes(), &[1u8; 64]).unwrap();
+                            i += 1;
+                        }
+                    });
+                }
+                for _ in 0..snappers {
+                    let db = Arc::clone(&db);
+                    let stop = Arc::clone(&stop);
+                    let snaps_taken = Arc::clone(&snaps_taken);
+                    let snap_nanos = Arc::clone(&snap_nanos);
+                    scope.spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            let begin = Instant::now();
+                            let snap = db.snapshot().unwrap();
+                            snap_nanos
+                                .fetch_add(begin.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            // Touch the snapshot so it is not optimized
+                            // away, then release.
+                            let _ = snap.get(b"seed000001").unwrap();
+                            snaps_taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+                std::thread::sleep(args.cell());
+                stop.store(true, Ordering::Relaxed);
+            });
+            let elapsed = started.elapsed().as_secs_f64();
+            let taken = snaps_taken.load(Ordering::Relaxed);
+            let mean_us = if taken == 0 {
+                0.0
+            } else {
+                snap_nanos.load(Ordering::Relaxed) as f64 / taken as f64 / 1000.0
+            };
+            eprintln!(
+                "[ablate-snap] {label:<13} threads={threads:<3} {:>10.0} snaps/s  mean={mean_us:.2}us",
+                taken as f64 / elapsed
+            );
+            tput.set(label, col, taken as f64 / elapsed);
+            lat.set(label, col, mean_us);
+        }
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    tput.print();
+    lat.print();
+    tput.to_csv(&args.out_dir).expect("csv");
+    lat.to_csv(&args.out_dir).expect("csv");
+}

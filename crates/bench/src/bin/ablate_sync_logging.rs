@@ -1,0 +1,61 @@
+//! Ablation — asynchronous vs. synchronous logging.
+//!
+//! §2.3/§4: asynchronous logging (the default) lets puts complete at
+//! memory speed, at the risk of losing a torn tail on a crash;
+//! synchronous logging group-commits an fsync per acknowledged write.
+//! This ablation measures the write-throughput gap, which is what the
+//! paper's "writes occur at memory speed" design choice buys.
+
+use bench::driver::{emit, sweep_threads, Metric};
+use bench::report::Table;
+use bench::systems::{open_system, SystemKind};
+use clsm_workloads::{RunConfig, WorkloadSpec};
+
+fn main() {
+    let args = bench::parse_args();
+    let spec = WorkloadSpec::write_only(args.key_space());
+
+    // Async mode: the regular Figure 5 write path for cLSM only.
+    let async_tables = sweep_threads(
+        &args,
+        "Ablation sync-logging (async)",
+        &[SystemKind::Clsm],
+        &spec,
+        &[(
+            Metric::KopsPerSec,
+            "cLSM write throughput, async logging (Kops/s)",
+        )],
+    )
+    .expect("async run failed");
+    emit(&args, &async_tables).expect("emit");
+
+    // Sync mode: same sweep with fsync-per-write (group-committed).
+    let columns: Vec<String> = args.threads.iter().map(|t| t.to_string()).collect();
+    let mut table = Table::new(
+        "Ablation sync-logging (sync) — cLSM write throughput, fsync per write (Kops/s)",
+        "threads",
+        columns,
+    );
+    let mut opts = args.store_options();
+    opts.sync_writes = true;
+    let dir = args.scratch("ablate-sync").expect("scratch");
+    let store = open_system(SystemKind::Clsm, &dir, opts).expect("open");
+    for (col, &threads) in args.threads.iter().enumerate() {
+        let cfg = RunConfig {
+            threads,
+            duration: args.cell(),
+            seed: args.seed,
+        };
+        let r = bench::driver::run_one(&store, &spec, &cfg).expect("run");
+        eprintln!(
+            "[ablate-sync] sync  threads={threads:<3} {:>10.1} ops/s  p90={:.1}us",
+            r.ops_per_sec(),
+            r.p90_latency_us()
+        );
+        table.set("cLSM sync", col, Metric::KopsPerSec.extract(&r));
+    }
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    table.print();
+    table.to_csv(&args.out_dir).expect("csv");
+}

@@ -1,0 +1,35 @@
+//! Figure 10 — production web-serving workloads.
+//!
+//! Four synthetic traces calibrated to the published properties of the
+//! paper's production logs (§5.2): 85–96% reads, 40-byte keys, 1 KiB
+//! values, heavy-tail popularity (top 10% of keys ≈ 75%+ of requests).
+//!
+//! Paper shape: cLSM starts slightly below the alternatives at 1
+//! thread but scales much further; the gap is narrower than in §5.1
+//! because larger keys/values dilute synchronization overhead.
+
+use bench::driver::{emit, sweep_threads, Metric};
+use bench::systems::SystemKind;
+use clsm_workloads::production_dataset;
+
+fn main() {
+    let args = bench::parse_args();
+    for dataset in 0..4usize {
+        let spec = production_dataset(dataset, args.key_space());
+        let label = format!(
+            "Production dataset {} throughput (Kops/s), {}% reads [Fig 10{}]",
+            dataset + 1,
+            spec.mix.read_pct,
+            char::from(b'a' + dataset as u8),
+        );
+        let tables = sweep_threads(
+            &args,
+            &format!("Figure 10 dataset {}", dataset + 1),
+            SystemKind::no_blsm(),
+            &spec,
+            &[(Metric::KopsPerSec, &label)],
+        )
+        .expect("benchmark failed");
+        emit(&args, &tables).expect("emit failed");
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 11 — workload with heavy disk compaction.
+//!
+//! §5.3 / the RocksDB benchmark: sequentially fill the store, then
+//! hammer it with uniform updates so compaction runs continuously and
+//! becomes the bottleneck. RocksDB runs with multi-threaded compaction
+//! (3 threads here); cLSM with the paper's single compaction thread.
+//! Both use 6 levels and the same table/block parameters, as §5.3
+//! prescribes.
+//!
+//! Paper shape: both systems scale all the way to 16 worker threads at
+//! a far lower absolute rate than the CPU-bound figures, converging to
+//! roughly equal throughput at high thread counts.
+
+use bench::driver::{run_one, Metric};
+use bench::report::Table;
+use bench::systems::{open_system, SystemKind};
+use clsm_workloads::{RunConfig, WorkloadSpec};
+
+fn main() {
+    let args = bench::parse_args();
+    // Value 400 bytes, small keys, dataset sized so updates keep
+    // compaction saturated (scaled from the paper's 1 billion items).
+    let key_space = if args.quick { 120_000 } else { 2_000_000 };
+    let spec = WorkloadSpec::disk_bound(key_space);
+
+    let columns: Vec<String> = args.threads.iter().map(|t| t.to_string()).collect();
+    let mut table = Table::new(
+        "Figure 11 — Update throughput under heavy compaction (Kops/s)",
+        "threads",
+        columns,
+    );
+
+    for sys in [SystemKind::Rocks, SystemKind::Clsm] {
+        let mut opts = args.store_options();
+        opts.store.num_levels = 6; // §5.3: "total number of levels (6)"
+                                   // Keep the budgets small so compaction genuinely saturates.
+        opts.memtable_bytes = if args.quick { 1 << 20 } else { 128 << 20 };
+        opts.store.base_level_bytes = if args.quick { 4 << 20 } else { 64 << 20 };
+        opts.compaction_threads = if sys == SystemKind::Rocks { 3 } else { 1 };
+
+        let dir = args
+            .scratch(&format!("fig11-{}", sys.name()))
+            .expect("scratch");
+        let store = open_system(sys, &dir, opts).expect("open store");
+        eprintln!("[fig11] filling {} with {} items…", sys.name(), key_space);
+        clsm_workloads::runner::prefill_store(store.as_ref(), &spec).expect("prefill");
+
+        for (col, &threads) in args.threads.iter().enumerate() {
+            let cfg = RunConfig {
+                threads,
+                duration: args.cell(),
+                seed: args.seed,
+            };
+            let r = run_one(&store, &spec, &cfg).expect("run");
+            eprintln!(
+                "[fig11] {:<10} threads={:<3} {:>10.1} updates/s",
+                sys.name(),
+                threads,
+                r.ops_per_sec()
+            );
+            table.set(sys.name(), col, Metric::KopsPerSec.extract(&r));
+        }
+        store.quiesce().expect("quiesce");
+        if let Some(amp) = store.write_amp() {
+            eprintln!(
+                "[fig11] {:<10} write amplification: {:.2}x ({} MB flushed, {} MB compacted)",
+                sys.name(),
+                amp.factor(),
+                amp.flushed >> 20,
+                amp.compacted >> 20
+            );
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    table.print();
+    let path = table.to_csv(&args.out_dir).expect("csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,194 @@
+//! Figure 1 — partitioning (horizontal) vs shared concurrency
+//! (vertical) scalability.
+//!
+//! "The resource-isolated configuration exercises LevelDB and
+//! HyperLevelDB with 4 separate partitions, whereas the resource-shared
+//! configuration evaluates cLSM with one big partition" — each small
+//! partition gets a dedicated quarter of the worker threads; the big
+//! partition is served by all of them. The workload is the production
+//! mix (§5.2), partitioned by key range; the big partition runs the
+//! union.
+//!
+//! Paper shape: cLSM's one big partition overtakes the partitioned
+//! configurations as threads grow (~25% above at peak).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bench::report::Table;
+use bench::systems::{open_system, SystemKind};
+use clsm_baselines::KvStore;
+use clsm_workloads::keygen::{format_key, value_for};
+use clsm_workloads::Zipf;
+
+const PARTS: usize = 4;
+const READ_PCT: u32 = 90;
+const KEY_LEN: usize = 40;
+const VALUE_LEN: usize = 1024;
+
+fn main() {
+    let args = bench::parse_args();
+    let key_space = args.key_space();
+    let threads_sweep: Vec<usize> = args
+        .threads
+        .iter()
+        .copied()
+        .filter(|&t| t >= PARTS || t == 1 || t == 2)
+        .collect();
+
+    let columns: Vec<String> = threads_sweep.iter().map(|t| t.to_string()).collect();
+    let mut table = Table::new(
+        "Figure 1 — Partitioned (resource-isolated) vs one big partition (Kops/s)",
+        "threads",
+        columns,
+    );
+
+    // Partitioned configurations: 4 stores, threads pinned per store.
+    for sys in [SystemKind::LevelDb, SystemKind::Hyper] {
+        let mut stores = Vec::new();
+        for p in 0..PARTS {
+            let dir = args
+                .scratch(&format!("fig1-{}-p{}", sys.name(), p))
+                .expect("scratch dir");
+            let store = open_system(sys, &dir, args.store_options()).expect("open");
+            prefill_range(&*store, p, key_space);
+            stores.push(store);
+        }
+        for (col, &threads) in threads_sweep.iter().enumerate() {
+            let ops = run_pinned(&stores, threads, key_space, args.cell(), args.seed);
+            let kops = ops / 1000.0;
+            eprintln!(
+                "[fig1] {:<14} x{} partitions threads={:<3} {:>8.1} Kops/s",
+                sys.name(),
+                PARTS,
+                threads,
+                kops
+            );
+            table.set(&format!("{} x4 partitions", sys.name()), col, kops);
+        }
+    }
+
+    // Resource-shared configuration: one big cLSM partition, all
+    // threads on the union workload.
+    {
+        let dir = args.scratch("fig1-clsm-big").expect("scratch dir");
+        let store = open_system(SystemKind::Clsm, &dir, args.store_options()).expect("open");
+        for p in 0..PARTS {
+            prefill_range(&*store, p, key_space);
+        }
+        let stores = [store];
+        for (col, &threads) in threads_sweep.iter().enumerate() {
+            let ops = run_shared(&stores[0], threads, key_space, args.cell(), args.seed);
+            let kops = ops / 1000.0;
+            eprintln!("[fig1] cLSM one partition  threads={threads:<3} {kops:>8.1} Kops/s");
+            table.set("cLSM one partition", col, kops);
+        }
+    }
+
+    table.print();
+    let path = table.to_csv(&args.out_dir).expect("csv");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Loads partition `p`'s key range (a quarter of the space).
+fn prefill_range(store: &dyn KvStore, p: usize, key_space: u64) {
+    let part_len = key_space / PARTS as u64;
+    let base = p as u64 * part_len;
+    for i in 0..part_len / 2 {
+        let key = format_key(base + i, KEY_LEN);
+        store
+            .put(&key, &value_for(base + i, VALUE_LEN))
+            .expect("prefill put");
+    }
+    store.quiesce().expect("quiesce");
+}
+
+/// Resource isolation: thread `t` only serves partition `t % PARTS`.
+fn run_pinned(
+    stores: &[Arc<dyn KvStore>],
+    threads: usize,
+    key_space: u64,
+    duration: std::time::Duration,
+    seed: u64,
+) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let store = Arc::clone(&stores[t % stores.len()]);
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total);
+            let part = t % stores.len();
+            scope.spawn(move || {
+                let ops = worker_loop(&*store, part, key_space, seed ^ t as u64, &stop);
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Resource sharing: every thread serves the whole key space.
+fn run_shared(
+    store: &Arc<dyn KvStore>,
+    threads: usize,
+    key_space: u64,
+    duration: std::time::Duration,
+    seed: u64,
+) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let store = Arc::clone(store);
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total);
+            scope.spawn(move || {
+                // Partition rotates per op: the union workload.
+                let ops = worker_loop(&*store, t % PARTS, key_space, seed ^ t as u64, &stop);
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Production-style loop over one partition's key range.
+fn worker_loop(
+    store: &dyn KvStore,
+    part: usize,
+    key_space: u64,
+    seed: u64,
+    stop: &AtomicBool,
+) -> u64 {
+    let part_len = key_space / PARTS as u64;
+    let base = part as u64 * part_len;
+    let zipf = Zipf::new(part_len, 0.99);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = 0u64;
+    let mut salt = seed;
+    while !stop.load(Ordering::Relaxed) {
+        let rank = zipf.sample(&mut rng);
+        // Scatter ranks within the partition.
+        let idx = base + (rank.wrapping_mul(0x9e37_79b9_7f4a_7c15) % part_len);
+        let key = format_key(idx, KEY_LEN);
+        if rng.random_range(0..100u32) < READ_PCT {
+            let _ = store.get(&key).expect("get");
+        } else {
+            salt = salt.wrapping_add(1);
+            store.put(&key, &value_for(salt, VALUE_LEN)).expect("put");
+        }
+        ops += 1;
+    }
+    ops
+}

@@ -1,0 +1,33 @@
+//! Figure 5 — write performance.
+//!
+//! "A 100% write scenario, with the keys uniformly distributed across
+//! the domain." Produces both panels: (a) throughput vs worker
+//! threads, (b) throughput vs 90th-percentile latency.
+//!
+//! Paper shape to look for: LevelDB/bLSM/RocksDB flat-or-declining
+//! (single-writer), HyperLevelDB peaking around 4 threads, cLSM scaling
+//! furthest and highest (≈1.8× the best competitor at peak).
+
+use bench::driver::{emit, sweep_threads, Metric};
+use bench::systems::SystemKind;
+use clsm_workloads::WorkloadSpec;
+
+fn main() {
+    let args = bench::parse_args();
+    let spec = WorkloadSpec::write_only(args.key_space());
+    let tables = sweep_threads(
+        &args,
+        "Figure 5 (write-only)",
+        SystemKind::all(),
+        &spec,
+        &[
+            (Metric::KopsPerSec, "Write throughput (Kops/s) [Fig 5a]"),
+            (
+                Metric::P90LatencyUs,
+                "90th percentile latency (us) [Fig 5b]",
+            ),
+        ],
+    )
+    .expect("benchmark failed");
+    emit(&args, &tables).expect("emit failed");
+}

@@ -1,0 +1,38 @@
+//! Figure 6 — read performance.
+//!
+//! "A 100% read scenario with locality (90% of keys picked from 10%
+//! popular blocks)" over a prefilled store. Threads sweep to 128 —
+//! beyond the hardware parallelism, as in the paper.
+//!
+//! Paper shape: LevelDB/HyperLevelDB plateau by ~8 threads (reads take
+//! the global mutex); RocksDB and cLSM keep scaling to 128 threads,
+//! with cLSM fastest (~2.3× peak competitor) and RocksDB paying a much
+//! higher latency for its throughput (Fig 6b).
+
+use bench::driver::{emit, sweep_threads, Metric};
+use bench::systems::SystemKind;
+use clsm_workloads::WorkloadSpec;
+
+fn main() {
+    let mut args = bench::parse_args();
+    // The read benchmark extends the sweep beyond hardware threads.
+    if args.threads == bench::BenchArgs::default().threads {
+        args.threads = vec![1, 2, 4, 8, 16, 32, 64, 128];
+    }
+    let spec = WorkloadSpec::read_only(args.key_space());
+    let tables = sweep_threads(
+        &args,
+        "Figure 6 (read-only)",
+        SystemKind::all(),
+        &spec,
+        &[
+            (Metric::KopsPerSec, "Read throughput (Kops/s) [Fig 6a]"),
+            (
+                Metric::P90LatencyUs,
+                "90th percentile latency (us) [Fig 6b]",
+            ),
+        ],
+    )
+    .expect("benchmark failed");
+    emit(&args, &tables).expect("emit failed");
+}

@@ -1,0 +1,44 @@
+//! Figure 7 — mixed workloads.
+//!
+//! (a) 1:1 read/write mix; (b) scan/write mix where ranges span 10–20
+//! keys and throughput counts *keys* accessed per second. bLSM is
+//! excluded from (b) — "it does not directly support consistent scans".
+//!
+//! Paper shape: cLSM scales past 730K ops/s at 16 threads in (a);
+//! competitors trail by ≥60% in (b).
+
+use bench::driver::{emit, sweep_threads, Metric};
+use bench::systems::SystemKind;
+use clsm_workloads::WorkloadSpec;
+
+fn main() {
+    let args = bench::parse_args();
+
+    let spec_a = WorkloadSpec::mixed(args.key_space());
+    let tables_a = sweep_threads(
+        &args,
+        "Figure 7a (50r/50w)",
+        SystemKind::all(),
+        &spec_a,
+        &[(
+            Metric::KopsPerSec,
+            "Mixed read/write throughput (Kops/s) [Fig 7a]",
+        )],
+    )
+    .expect("fig7a failed");
+    emit(&args, &tables_a).expect("emit failed");
+
+    let spec_b = WorkloadSpec::scan_write(args.key_space());
+    let tables_b = sweep_threads(
+        &args,
+        "Figure 7b (scan/write)",
+        SystemKind::no_blsm(),
+        &spec_b,
+        &[(
+            Metric::KkeysPerSec,
+            "Mixed scan/write throughput (Kkeys/s) [Fig 7b]",
+        )],
+    )
+    .expect("fig7b failed");
+    emit(&args, &tables_b).expect("emit failed");
+}

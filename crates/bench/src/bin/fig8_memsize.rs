@@ -1,0 +1,62 @@
+//! Figure 8 — benefit from a larger memory component.
+//!
+//! "Mixed reads and writes benefit from memory component size with 8
+//! threads. cLSM successfully exploits RAM buffers of up to 512 MB,
+//! whereas LevelDB can only exploit 16 MB."
+//!
+//! We sweep the memtable budget (scaled down in quick mode) under the
+//! Figure 7a mix with a fixed thread count, comparing cLSM to LevelDB.
+//! Shape to look for: LevelDB's curve flattens almost immediately;
+//! cLSM keeps improving with the buffer.
+
+use bench::driver::{run_one, Metric};
+use bench::report::Table;
+use bench::systems::{open_system, SystemKind};
+use clsm_workloads::{RunConfig, WorkloadSpec};
+
+fn main() {
+    let args = bench::parse_args();
+    let threads = 8usize;
+    // Memtable sizes: the paper sweeps 1 MB → 512 MB; quick mode scales
+    // each point down 16×.
+    let sizes_mb: Vec<usize> = vec![1, 4, 8, 16, 32, 64];
+    let scale = if args.quick { 4 } else { 1 };
+
+    let columns: Vec<String> = sizes_mb.iter().map(|m| format!("{m}MB")).collect();
+    let mut table = Table::new(
+        "Figure 8 — Mixed r/w throughput vs memtable size, 8 threads (Kops/s)",
+        "memtable",
+        columns,
+    );
+
+    let spec = WorkloadSpec::mixed(args.key_space());
+    for sys in [SystemKind::LevelDb, SystemKind::Clsm] {
+        for (col, &mb) in sizes_mb.iter().enumerate() {
+            let mut opts = args.store_options();
+            opts.memtable_bytes = mb * 1024 * 1024 / scale;
+            let dir = args
+                .scratch(&format!("fig8-{}-{}mb", sys.name(), mb))
+                .expect("scratch dir");
+            let store = open_system(sys, &dir, opts).expect("open store");
+            clsm_workloads::runner::prefill_store(store.as_ref(), &spec).expect("prefill");
+            let cfg = RunConfig {
+                threads,
+                duration: args.cell(),
+                seed: args.seed,
+            };
+            let r = run_one(&store, &spec, &cfg).expect("run");
+            eprintln!(
+                "[fig8] {:<10} mem={:>4}MB  {:>10.1} ops/s",
+                sys.name(),
+                mb,
+                r.ops_per_sec()
+            );
+            table.set(sys.name(), col, Metric::KopsPerSec.extract(&r));
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    table.print();
+    let path = table.to_csv(&args.out_dir).expect("csv");
+    eprintln!("wrote {}", path.display());
+}

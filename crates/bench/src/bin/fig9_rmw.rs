@@ -1,0 +1,23 @@
+//! Figure 9 — read-modify-write throughput.
+//!
+//! "A 100% put-if-absent scenario with locality. cLSM improves upon
+//! lock-striping by 150%." Compares cLSM's non-blocking Algorithm 3
+//! against the textbook lock-striped LevelDB baseline.
+
+use bench::driver::{emit, sweep_threads, Metric};
+use bench::systems::SystemKind;
+use clsm_workloads::WorkloadSpec;
+
+fn main() {
+    let args = bench::parse_args();
+    let spec = WorkloadSpec::rmw(args.key_space());
+    let tables = sweep_threads(
+        &args,
+        "Figure 9 (RMW put-if-absent)",
+        &[SystemKind::Striped, SystemKind::Clsm],
+        &spec,
+        &[(Metric::KopsPerSec, "RMW throughput (Kops/s) [Fig 9]")],
+    )
+    .expect("benchmark failed");
+    emit(&args, &tables).expect("emit failed");
+}

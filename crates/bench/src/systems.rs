@@ -1,0 +1,105 @@
+//! Construction of the systems under test.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use clsm::{Db, Options};
+use clsm_baselines::{BlsmLike, HyperLike, KvStore, LevelDbLike, RocksLike, StripedRmw};
+use clsm_util::error::Result;
+
+/// The systems the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// This paper's contribution.
+    Clsm,
+    /// LevelDB model (global lock, single writer).
+    LevelDb,
+    /// HyperLevelDB model (fine-grained, ordered commit).
+    Hyper,
+    /// RocksDB model (single writer, lock-free reads).
+    Rocks,
+    /// bLSM model (single writer, gear-throttled merges).
+    Blsm,
+    /// Lock-striped RMW over the LevelDB model (Figure 9 baseline).
+    Striped,
+}
+
+impl SystemKind {
+    /// Display name used in tables (matches the paper's legends).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::Clsm => "cLSM",
+            SystemKind::LevelDb => "LevelDB",
+            SystemKind::Hyper => "HyperLevelDB",
+            SystemKind::Rocks => "rocksDB",
+            SystemKind::Blsm => "bLSM",
+            SystemKind::Striped => "LevelDB+striping",
+        }
+    }
+
+    /// The standard five-way comparison set (Figures 5–7).
+    pub fn all() -> &'static [SystemKind] {
+        &[
+            SystemKind::Rocks,
+            SystemKind::Blsm,
+            SystemKind::LevelDb,
+            SystemKind::Hyper,
+            SystemKind::Clsm,
+        ]
+    }
+
+    /// The four-way set used where bLSM is excluded (scans, production).
+    pub fn no_blsm() -> &'static [SystemKind] {
+        &[
+            SystemKind::Rocks,
+            SystemKind::LevelDb,
+            SystemKind::Hyper,
+            SystemKind::Clsm,
+        ]
+    }
+}
+
+/// Opens a system of `kind` at `dir` with shared options.
+pub fn open_system(kind: SystemKind, dir: &Path, opts: Options) -> Result<Arc<dyn KvStore>> {
+    Ok(match kind {
+        SystemKind::Clsm => Arc::new(Db::open(dir, opts)?),
+        SystemKind::LevelDb => Arc::new(LevelDbLike::open(dir, opts)?),
+        SystemKind::Hyper => Arc::new(HyperLike::open(dir, opts)?),
+        SystemKind::Rocks => Arc::new(RocksLike::open(dir, opts)?),
+        SystemKind::Blsm => Arc::new(BlsmLike::open(dir, opts)?),
+        SystemKind::Striped => Arc::new(StripedRmw::open(dir, opts)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_system_opens_and_serves() {
+        for kind in [
+            SystemKind::Clsm,
+            SystemKind::LevelDb,
+            SystemKind::Hyper,
+            SystemKind::Rocks,
+            SystemKind::Blsm,
+            SystemKind::Striped,
+        ] {
+            let dir = std::env::temp_dir().join(format!(
+                "bench-sys-{}-{}-{:?}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos(),
+                kind
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let store = open_system(kind, &dir, Options::small_for_tests()).unwrap();
+            store.put(b"k", b"v").unwrap();
+            assert_eq!(store.get(b"k").unwrap(), Some(b"v".to_vec()));
+            drop(store);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}

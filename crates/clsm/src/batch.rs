@@ -1,0 +1,107 @@
+//! Atomic write batches (builder API).
+//!
+//! LevelDB exposes `WriteBatch`; cLSM "continues to block" for batches
+//! by taking the shared-exclusive lock in exclusive mode (§4). This
+//! module provides the ergonomic builder over
+//! [`Db::write_batch`](crate::Db::write_batch).
+
+use clsm_util::error::Result;
+
+use crate::db::Db;
+
+/// A buffered set of writes applied atomically.
+///
+/// # Examples
+///
+/// ```
+/// use clsm::{Db, Options, WriteBatch};
+///
+/// let dir = std::env::temp_dir().join(format!("clsm-batch-doc-{}", std::process::id()));
+/// let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+/// let mut batch = WriteBatch::new();
+/// batch.put(b"a", b"1").put(b"b", b"2").delete(b"c");
+/// db.write(batch).unwrap();
+/// assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+/// drop(db);
+/// std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct WriteBatch {
+    pub(crate) ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// Adds a put.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
+        self.ops.push((key.to_vec(), Some(value.to_vec())));
+        self
+    }
+
+    /// Adds a delete.
+    pub fn delete(&mut self, key: &[u8]) -> &mut Self {
+        self.ops.push((key.to_vec(), None));
+        self
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Clears the batch for reuse.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+impl Db {
+    /// Applies a [`WriteBatch`] atomically: all operations receive
+    /// consecutive timestamps under the exclusive lock, so no snapshot
+    /// or scan can observe a partial batch.
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        self.write_batch(&batch.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Options;
+
+    #[test]
+    fn builder_accumulates_and_clears() {
+        let mut b = WriteBatch::new();
+        assert!(b.is_empty());
+        b.put(b"x", b"1").delete(b"y").put(b"z", b"2");
+        assert_eq!(b.len(), 3);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let dir = std::env::temp_dir().join(format!(
+            "clsm-batch-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        db.write(WriteBatch::new()).unwrap();
+        assert_eq!(db.stats().puts, 0);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,562 @@
+//! The cLSM database: Algorithms 1 and 2 plus background maintenance.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use clsm_util::error::{Error, Result};
+use clsm_util::oracle::{SnapshotRegistry, TimestampOracle};
+use clsm_util::rcu::RcuCell;
+use clsm_util::shared_lock::SharedExclusiveLock;
+
+use lsm_storage::format::{ValueKind, WriteRecord};
+use lsm_storage::wal::SyncMode;
+use lsm_storage::{Store, StoreOptions};
+
+use crate::mem_component::MemComponent;
+use crate::options::Options;
+use crate::snapshot::Snapshot;
+use crate::stats::{Stats, StatsSnapshot};
+
+/// Latest version of a key: `(ts, value-or-tombstone)`, plus whether
+/// it was found in the mutable memtable (the RMW conflict scope).
+pub(crate) type VersionedRead = (Option<(u64, Option<Vec<u8>>)>, bool);
+
+/// Shared state of an open database.
+pub(crate) struct DbInner {
+    pub(crate) opts: Options,
+    pub(crate) store: Store,
+    /// Algorithm 1's shared-exclusive lock: shared by puts/RMW/getSnap,
+    /// exclusive in the merge hooks and for atomic write batches.
+    pub(crate) lock: SharedExclusiveLock,
+    /// Algorithm 2's timestamp oracle.
+    pub(crate) oracle: TimestampOracle,
+    /// Live snapshot handles (version-GC watermark).
+    pub(crate) snapshots: SnapshotRegistry,
+    /// `Pm`: the mutable memory component.
+    pub(crate) pm: RcuCell<Arc<dyn MemComponent>>,
+    /// `P'm`: the immutable memory component being merged, if any.
+    pub(crate) pm_prev: RcuCell<Option<Arc<dyn MemComponent>>>,
+    pub(crate) stats: Stats,
+
+    pub(crate) shutdown: AtomicBool,
+    /// Set while a flush is scheduled or running.
+    flush_pending: AtomicBool,
+    /// Wakes background workers; also signalled when a flush finishes
+    /// (unblocking stalled writers).
+    work_mutex: Mutex<()>,
+    work_cv: Condvar,
+}
+
+/// A concurrent log-structured data store (the paper's cLSM).
+///
+/// Cheap to share: internally reference-counted. All operations take
+/// `&self` and are safe to call from any number of threads.
+pub struct Db {
+    pub(crate) inner: Arc<DbInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Db {
+    /// Opens (or creates) a database at `path`, replaying any WAL left
+    /// by a previous incarnation (§4: out-of-order log records are
+    /// sorted by timestamp on recovery).
+    pub fn open(path: &Path, opts: Options) -> Result<Db> {
+        opts.validate()?;
+        let store_opts = StoreOptions {
+            ..opts.store.clone()
+        };
+        let (store, recovered) = Store::open(path, store_opts)?;
+
+        let pm = opts.memtable_kind.create();
+        for rec in &recovered.records {
+            let value = match rec.kind {
+                ValueKind::Put => Some(rec.value.as_slice()),
+                ValueKind::Delete => None,
+            };
+            pm.insert(&rec.key, rec.ts, value);
+        }
+
+        let inner = Arc::new(DbInner {
+            oracle: TimestampOracle::recovered_at(recovered.last_ts, opts.active_slots),
+            opts,
+            store,
+            lock: SharedExclusiveLock::new(),
+            snapshots: SnapshotRegistry::new(),
+            pm: RcuCell::new(pm),
+            pm_prev: RcuCell::new(None),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            flush_pending: AtomicBool::new(false),
+            work_mutex: Mutex::new(()),
+            work_cv: Condvar::new(),
+        });
+
+        let mut workers = Vec::new();
+        // Flush worker (the paper's single maintenance thread), plus
+        // optional extra compaction threads (RocksDB-style, §5.3).
+        {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("clsm-flush".into())
+                    .spawn(move || flush_worker(inner))
+                    .expect("spawn flush worker"),
+            );
+        }
+        for i in 0..inner.opts.compaction_threads {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("clsm-compact-{i}"))
+                    .spawn(move || compaction_worker(inner))
+                    .expect("spawn compaction worker"),
+            );
+        }
+
+        Ok(Db { inner, workers })
+    }
+
+    /// Stores `value` under `key` (Algorithm 2's `put`).
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.write_one(key, Some(value))
+    }
+
+    /// Deletes `key` by storing a deletion marker (the paper's ⊥).
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.write_one(key, None)
+    }
+
+    fn write_one(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(Error::ShuttingDown);
+        }
+        if key.is_empty() {
+            return Err(Error::invalid_argument("empty keys are not supported"));
+        }
+        inner.stall_if_needed();
+
+        {
+            // Algorithm 2, put: shared lock → getTS → log → insert →
+            // Active.remove. The WAL enqueue is non-blocking (logging
+            // queue); the insert is lock-free.
+            let _shared = inner.lock.lock_shared();
+            let stamp = inner.oracle.get_ts();
+            let record = match value {
+                Some(v) => WriteRecord::put(stamp.ts, key, v),
+                None => WriteRecord::delete(stamp.ts, key),
+            };
+            inner.store.log(&[record], SyncMode::Async)?;
+            inner.pm.load().insert(key, stamp.ts, value);
+            inner.oracle.publish(stamp);
+        }
+        if inner.opts.sync_writes {
+            // Group-committed durability wait happens outside the
+            // critical section so it never blocks the merge hooks.
+            inner.store.sync_wal()?;
+        }
+        match value {
+            Some(_) => Stats::bump(&inner.stats.puts),
+            None => Stats::bump(&inner.stats.deletes),
+        }
+        inner.maybe_schedule_flush();
+        Ok(())
+    }
+
+    /// Atomically applies a batch of puts/deletes.
+    ///
+    /// As in the paper (§4), batches take the shared-exclusive lock in
+    /// *exclusive* mode — batched writes are the one operation cLSM
+    /// keeps coarse-grained.
+    pub fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(Error::ShuttingDown);
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        inner.stall_if_needed();
+        {
+            let _excl = inner.lock.lock_exclusive();
+            let mut records = Vec::with_capacity(batch.len());
+            let mut stamps = Vec::with_capacity(batch.len());
+            for (key, value) in batch {
+                let stamp = inner.oracle.get_ts();
+                records.push(match value {
+                    Some(v) => WriteRecord::put(stamp.ts, key.clone(), v.clone()),
+                    None => WriteRecord::delete(stamp.ts, key.clone()),
+                });
+                stamps.push(stamp);
+            }
+            inner.store.log(&records, SyncMode::Async)?;
+            let pm = inner.pm.load();
+            for (record, stamp) in records.iter().zip(stamps) {
+                let value = match record.kind {
+                    ValueKind::Put => Some(record.value.as_slice()),
+                    ValueKind::Delete => None,
+                };
+                pm.insert(&record.key, record.ts, value);
+                inner.oracle.publish(stamp);
+            }
+        }
+        if inner.opts.sync_writes {
+            inner.store.sync_wal()?;
+        }
+        Stats::bump(&inner.stats.puts);
+        inner.maybe_schedule_flush();
+        Ok(())
+    }
+
+    /// Returns the latest value of `key`, or `None` if absent/deleted.
+    ///
+    /// Never blocks (Algorithm 1): component pointers are read through
+    /// RCU in data-flow order `Pm → P'm → Pd`, the opposite of the
+    /// order the merge hooks update them, so a concurrent swing is
+    /// harmless.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Stats::bump(&self.inner.stats.gets);
+        self.inner.get_at(key, lsm_storage::format::MAX_TS)
+    }
+
+    /// Scans all live pairs from an implicit fresh snapshot
+    /// (convenience over [`Db::snapshot`] + iterate). The snapshot
+    /// handle lives inside the iterator.
+    pub fn iter(&self) -> Result<crate::snapshot::SnapshotIter> {
+        self.snapshot()?.into_iter_owned()
+    }
+
+    /// Range query `[start, end)` over an implicit fresh snapshot. The
+    /// snapshot handle lives inside the iterator.
+    pub fn range(&self, start: &[u8], end: Option<&[u8]>) -> Result<crate::snapshot::SnapshotIter> {
+        self.snapshot()?.into_range_owned(start, end)
+    }
+
+    /// Creates a consistent snapshot (Algorithm 2's `getSnap`).
+    pub fn snapshot(&self) -> Result<Snapshot> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(Error::ShuttingDown);
+        }
+        let ts = {
+            // The registry is read by `beforeMerge` under the exclusive
+            // lock; registering under shared mode closes the race
+            // between installing a handle and the merge observing it.
+            let _shared = inner.lock.lock_shared();
+            let ts = if inner.opts.linearizable_snapshots {
+                inner.oracle.get_snap_linearizable()
+            } else {
+                inner.oracle.get_snap()
+            };
+            inner.snapshots.register(ts);
+            ts
+        };
+        Stats::bump(&inner.stats.snapshots);
+        Ok(Snapshot::new(Arc::clone(inner), ts))
+    }
+
+    /// Current operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Blocks until the memtable is flushed and no compaction is due
+    /// (test/benchmark hook; not part of the paper's API).
+    pub fn compact_to_quiescence(&self) -> Result<()> {
+        loop {
+            self.inner.maybe_schedule_flush_force();
+            let busy = self.inner.flush_pending.load(Ordering::Acquire)
+                || !self.inner.pm.load().is_empty()
+                || self.inner.pm_prev.load().is_some()
+                || self.inner.store.needs_compaction();
+            if let Some(e) = self.inner.store.wal_poisoned() {
+                return Err(e);
+            }
+            if !busy {
+                return Ok(());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    /// Per-level file counts (diagnostics).
+    pub fn level_file_counts(&self) -> Vec<usize> {
+        self.inner.store.level_file_counts()
+    }
+
+    /// Approximate bytes in the mutable memtable.
+    pub fn memtable_bytes(&self) -> usize {
+        self.inner.pm.load().memory_usage()
+    }
+
+    /// Manually compacts the key range `[start, end]` down to the
+    /// bottom level (flushes the memtable first so everything in the
+    /// range participates).
+    pub fn compact_range(&self, start: &[u8], end: &[u8]) -> Result<()> {
+        self.compact_to_quiescence()?;
+        self.inner
+            .store
+            .compact_range(start, end, self.inner.gc_watermark())
+    }
+
+    /// Walks every on-disk table verifying checksums and key order;
+    /// returns the number of entries checked (offline verification
+    /// hook).
+    pub fn verify_integrity(&self) -> Result<u64> {
+        self.inner.store.verify_integrity()
+    }
+
+    /// Block-cache `(hits, misses)`, if a cache is configured.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.inner.store.cache_stats()
+    }
+
+    /// Write-amplification counters (bytes flushed vs. rewritten by
+    /// compaction) — useful when analyzing compaction-bound workloads
+    /// like Figure 11's.
+    pub fn write_amp(&self) -> lsm_storage::store::WriteAmp {
+        self.inner.store.write_amp()
+    }
+
+    /// Approximate bytes stored for keys in `[start, end]`: on-disk
+    /// share plus the in-memory components (LevelDB's
+    /// `GetApproximateSizes` analogue; coarse, for capacity planning).
+    pub fn approximate_size(&self, start: &[u8], end: &[u8]) -> u64 {
+        let disk = self.inner.store.approximate_range_bytes(start, end);
+        // Memory components are not range-indexed; charge them whole.
+        let mem = self.inner.pm.load().memory_usage()
+            + self.inner.pm_prev.load().map_or(0, |m| m.memory_usage());
+        disk + mem as u64
+    }
+
+    /// Force-releases snapshot handles older than `ttl`, unblocking
+    /// version GC when an application leaks handles (the paper's
+    /// TTL-based snapshot removal, §3.2.1). Returns how many were
+    /// reclaimed. Reads through a reclaimed handle may subsequently
+    /// miss versions — by contract, expired handles must not be used.
+    pub fn expire_snapshots(&self, ttl: std::time::Duration) -> usize {
+        self.inner.snapshots.expire_older_than(ttl)
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<DbInner> {
+        &self.inner
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.inner.work_mutex.lock();
+            self.inner.work_cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Unflushed memtable data stays recoverable via the WAL; make
+        // sure the logging queue has pushed it to the OS.
+        let _ = self.inner.store.sync_wal();
+    }
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db")
+            .field("memtable_bytes", &self.memtable_bytes())
+            .field("levels", &self.level_file_counts())
+            .finish()
+    }
+}
+
+impl DbInner {
+    /// Read at a snapshot time: `Pm → P'm → Pd` (Algorithm 1's get).
+    pub(crate) fn get_at(&self, key: &[u8], max_ts: u64) -> Result<Option<Vec<u8>>> {
+        let pm = self.pm.load();
+        if let Some((_, value)) = pm.get_latest(key, max_ts) {
+            return Ok(value);
+        }
+        if let Some(prev) = self.pm_prev.load() {
+            if let Some((_, value)) = prev.get_latest(key, max_ts) {
+                return Ok(value);
+            }
+        }
+        match self.store.get(key, max_ts)? {
+            Some((_, ValueKind::Put, value)) => Ok(Some(value)),
+            Some((_, ValueKind::Delete, _)) | None => Ok(None),
+        }
+    }
+
+    /// Latest version's `(ts, value)` of `key` across all components
+    /// (the read step of Algorithm 3). The boolean is `true` when the
+    /// version lives in the *mutable* memtable.
+    pub(crate) fn read_latest_versioned(&self, key: &[u8]) -> Result<VersionedRead> {
+        let max_ts = lsm_storage::format::MAX_TS;
+        let pm = self.pm.load();
+        if let Some((ts, value)) = pm.get_latest(key, max_ts) {
+            return Ok((Some((ts, value)), true));
+        }
+        if let Some(prev) = self.pm_prev.load() {
+            if let Some((ts, value)) = prev.get_latest(key, max_ts) {
+                return Ok((Some((ts, value)), false));
+            }
+        }
+        match self.store.get(key, max_ts)? {
+            Some((ts, ValueKind::Put, value)) => Ok((Some((ts, Some(value))), false)),
+            Some((ts, ValueKind::Delete, _)) => Ok((Some((ts, None)), false)),
+            None => Ok((None, false)),
+        }
+    }
+
+    /// Write stall (§5.3): when `Cm` is full while `C'm` is still being
+    /// merged, client writes wait for the merge to finish.
+    pub(crate) fn stall_if_needed(&self) {
+        loop {
+            let full = self.pm.load().memory_usage() >= self.opts.memtable_bytes;
+            if !full || self.pm_prev.load().is_none() {
+                return;
+            }
+            Stats::bump(&self.stats.write_stalls);
+            let mut guard = self.work_mutex.lock();
+            // Re-check under the lock to avoid missing the wakeup.
+            if self.pm.load().memory_usage() >= self.opts.memtable_bytes
+                && self.pm_prev.load().is_some()
+                && !self.shutdown.load(Ordering::Acquire)
+            {
+                self.work_cv
+                    .wait_for(&mut guard, std::time::Duration::from_millis(100));
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn maybe_schedule_flush(&self) {
+        if self.pm.load().memory_usage() >= self.opts.memtable_bytes {
+            self.maybe_schedule_flush_force();
+        }
+    }
+
+    fn maybe_schedule_flush_force(&self) {
+        if !self.flush_pending.swap(true, Ordering::AcqRel) {
+            let _g = self.work_mutex.lock();
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// The snapshot-GC watermark: the oldest live snapshot, or "now"
+    /// when none exists (future snapshots always exceed the current
+    /// counter).
+    pub(crate) fn gc_watermark(&self) -> u64 {
+        self.snapshots
+            .oldest()
+            .unwrap_or_else(|| self.oracle.current_time())
+    }
+
+    /// The merge of `C'm` into `Cd` with its beforeMerge/afterMerge
+    /// hooks (Algorithm 1 lines 8–17).
+    fn flush_once(&self) -> Result<bool> {
+        // --- beforeMerge: swing the memory pointers under the
+        // exclusive lock. Order matters for lock-free readers:
+        // P'm must point at the old data before Pm stops doing so.
+        let (imm, new_wal, watermark) = {
+            let _excl = self.lock.lock_exclusive();
+            let old = self.pm.load();
+            if old.is_empty() {
+                return Ok(false);
+            }
+            self.pm_prev.store(Some(Arc::clone(&old)));
+            self.pm.store(self.opts.memtable_kind.create());
+            // New WAL: records of the immutable memtable live only in
+            // older logs, which die when the flush commits.
+            let new_wal = self.store.rotate_wal()?;
+            // Read the snapshot list under the exclusive lock (§3.2.1).
+            let watermark = self.gc_watermark();
+            (old, new_wal, watermark)
+        };
+
+        // --- merge (no locks held): stream C'm into L0.
+        let mut iter = Arc::clone(&imm).internal_iter();
+        let max_ts = imm.max_ts();
+        self.store
+            .flush_memtable(&mut iter, watermark, max_ts, new_wal)?;
+
+        // --- afterMerge: Pd was already swung inside the store (data
+        // is reachable via the disk pointer); dropping P'm last keeps
+        // the read order `Pm → P'm → Pd` gap-free throughout.
+        {
+            let _excl = self.lock.lock_exclusive();
+            self.pm_prev.store(None);
+        }
+        Stats::bump(&self.stats.flushes);
+        Ok(true)
+    }
+}
+
+/// Background flush worker: waits for a scheduled flush, runs the
+/// merge, then wakes stalled writers.
+fn flush_worker(inner: Arc<DbInner>) {
+    loop {
+        {
+            let mut guard = inner.work_mutex.lock();
+            while !inner.flush_pending.load(Ordering::Acquire)
+                && !inner.shutdown.load(Ordering::Acquire)
+            {
+                inner
+                    .work_cv
+                    .wait_for(&mut guard, std::time::Duration::from_millis(50));
+            }
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match inner.flush_once() {
+            Ok(_) => {}
+            Err(_e) => {
+                // The store records WAL poisoning; surface via
+                // `compact_to_quiescence` / next sync. Back off to
+                // avoid a hot error loop.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+        inner.flush_pending.store(false, Ordering::Release);
+        let _g = inner.work_mutex.lock();
+        inner.work_cv.notify_all();
+    }
+}
+
+/// Background compaction worker. Several may run concurrently (the
+/// RocksDB-style configuration of §5.3); disjoint input claims keep
+/// them from colliding.
+fn compaction_worker(inner: Arc<DbInner>) {
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let did_work = if inner.store.needs_compaction() {
+            match inner.store.maybe_compact(inner.gc_watermark()) {
+                Ok(ran) => {
+                    if ran {
+                        Stats::bump(&inner.stats.compactions);
+                    }
+                    ran
+                }
+                Err(_) => false,
+            }
+        } else {
+            false
+        };
+        if !did_work {
+            let mut guard = inner.work_mutex.lock();
+            if !inner.shutdown.load(Ordering::Acquire) {
+                inner
+                    .work_cv
+                    .wait_for(&mut guard, std::time::Duration::from_millis(20));
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Database configuration.
+
+use lsm_storage::StoreOptions;
+
+use crate::mem_component::MemtableKind;
+
+/// Configuration of a [`crate::Db`].
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Memtable size that triggers a flush (the paper's default,
+    /// inherited from HBase practice, is 128 MiB; scale it down for
+    /// small experiments).
+    pub memtable_bytes: usize,
+    /// `true` → every write waits for an fsync (the paper's synchronous
+    /// logging). `false` (default, as in LevelDB) → writes only enqueue
+    /// the log record on the logging queue.
+    pub sync_writes: bool,
+    /// `true` → snapshots are linearizable (never "read in the past");
+    /// `false` (default) → serializable, as in the paper's Algorithm 2.
+    pub linearizable_snapshots: bool,
+    /// Number of background compaction threads. The paper's cLSM uses a
+    /// single compaction thread (§5); the RocksDB comparison (§5.3)
+    /// raises this.
+    pub compaction_threads: usize,
+    /// Slot count of the oracle's `Active` set; must exceed the number
+    /// of concurrent writer threads.
+    pub active_slots: usize,
+    /// Which in-memory component implementation to use (§3's generic
+    /// algorithm: any thread-safe sorted map works for puts/gets/scans;
+    /// RMW requires the skip list).
+    pub memtable_kind: MemtableKind,
+    /// Disk substrate tuning.
+    pub store: StoreOptions,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            memtable_bytes: 128 * 1024 * 1024,
+            sync_writes: false,
+            linearizable_snapshots: false,
+            compaction_threads: 1,
+            active_slots: 256,
+            memtable_kind: MemtableKind::default(),
+            store: StoreOptions::default(),
+        }
+    }
+}
+
+impl Options {
+    /// Checks configuration invariants; called by `Db::open`.
+    pub fn validate(&self) -> clsm_util::error::Result<()> {
+        use clsm_util::error::Error;
+        if self.memtable_bytes < 4 * 1024 {
+            return Err(Error::invalid_argument(
+                "memtable_bytes must be at least 4 KiB",
+            ));
+        }
+        if self.active_slots == 0 {
+            return Err(Error::invalid_argument("active_slots must be nonzero"));
+        }
+        if self.compaction_threads == 0 {
+            return Err(Error::invalid_argument(
+                "compaction_threads must be at least 1 (the paper's maintenance thread)",
+            ));
+        }
+        if self.store.num_levels < 2 || self.store.num_levels > lsm_storage::NUM_LEVELS {
+            return Err(Error::invalid_argument(format!(
+                "num_levels must be within 2..={}",
+                lsm_storage::NUM_LEVELS
+            )));
+        }
+        if self.store.level_multiplier < 2 {
+            return Err(Error::invalid_argument(
+                "level_multiplier must be at least 2",
+            ));
+        }
+        if self.store.block_size < 64 {
+            return Err(Error::invalid_argument(
+                "block_size must be at least 64 bytes",
+            ));
+        }
+        Ok(())
+    }
+
+    /// A configuration scaled down for unit tests and examples: tiny
+    /// memtable and tables so flushes and compactions happen quickly.
+    pub fn small_for_tests() -> Self {
+        Options {
+            memtable_bytes: 64 * 1024,
+            store: StoreOptions {
+                table_file_size: 64 * 1024,
+                base_level_bytes: 256 * 1024,
+                level_multiplier: 4,
+                l0_compaction_trigger: 4,
+                block_size: 4096,
+                block_cache_bytes: 1 << 20,
+                ..StoreOptions::default()
+            },
+            ..Options::default()
+        }
+    }
+}

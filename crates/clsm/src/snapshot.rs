@@ -1,0 +1,180 @@
+//! Consistent snapshots, scans, and range queries (§3.2).
+
+use std::sync::Arc;
+
+use clsm_util::error::Result;
+
+use lsm_storage::format::ValueKind;
+use lsm_storage::iter::{InternalIterator, MergingIterator};
+use lsm_storage::version::Version;
+
+use crate::db::DbInner;
+
+/// A consistent read-only view of the database at one point in time.
+///
+/// A snapshot handle is "simply a timestamp" (§3.2.1): reads through it
+/// return, for every key, the newest version written at or before that
+/// time. While the handle is live, the merge process keeps every
+/// version a read at this time could need; dropping the handle releases
+/// them for garbage collection.
+pub struct Snapshot {
+    inner: Arc<DbInner>,
+    ts: u64,
+}
+
+impl Snapshot {
+    pub(crate) fn new(inner: Arc<DbInner>, ts: u64) -> Snapshot {
+        Snapshot { inner, ts }
+    }
+
+    /// The snapshot's timestamp.
+    pub fn timestamp(&self) -> u64 {
+        self.ts
+    }
+
+    /// Reads `key` as of this snapshot ("snapshot read", §3.2.2).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get_at(key, self.ts)
+    }
+
+    /// Iterates every live key-value pair in key order.
+    pub fn iter(&self) -> Result<SnapshotIter> {
+        self.scan_from(None, None)
+    }
+
+    /// Range query over `[start, end)` in key order (§3.2.2). Pass
+    /// `end = None` for an unbounded upper end.
+    pub fn range(&self, start: &[u8], end: Option<&[u8]>) -> Result<SnapshotIter> {
+        self.scan_from(Some(start), end)
+    }
+
+    fn scan_from(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Result<SnapshotIter> {
+        // Gather component iterators newest-first: Pm, P'm, then the
+        // disk levels. Each child holds its component alive (`Arc`s on
+        // memtables, the pinned `Version` for the files) — the paper's
+        // per-component reference counts.
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        children.push(self.inner.pm.load().internal_iter());
+        if let Some(prev) = self.inner.pm_prev.load() {
+            children.push(prev.internal_iter());
+        }
+        let (version, disk_iters) = self.inner.store.version_iterators()?;
+        children.extend(disk_iters);
+
+        let mut merged = MergingIterator::new(children);
+        match start {
+            Some(key) => merged.seek(key, self.ts),
+            None => merged.seek_to_first(),
+        }
+        Ok(SnapshotIter {
+            merged,
+            snap_ts: self.ts,
+            end: end.map(<[u8]>::to_vec),
+            _version: version,
+            _snapshot: None,
+            last_key: None,
+            finished: false,
+        })
+    }
+
+    /// Consumes the snapshot into a full-scan iterator that keeps the
+    /// handle (and thus the GC registration) alive for its duration.
+    pub fn into_iter_owned(self) -> Result<SnapshotIter> {
+        let mut it = self.iter()?;
+        it._snapshot = Some(self);
+        Ok(it)
+    }
+
+    /// Consumes the snapshot into a range iterator (see
+    /// [`Snapshot::into_iter_owned`]).
+    pub fn into_range_owned(self, start: &[u8], end: Option<&[u8]>) -> Result<SnapshotIter> {
+        let mut it = self.range(start, end)?;
+        it._snapshot = Some(self);
+        Ok(it)
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.inner.snapshots.unregister(self.ts);
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot").field("ts", &self.ts).finish()
+    }
+}
+
+/// Iterator over a snapshot's live key-value pairs.
+///
+/// Implements the `next` filtering of §3.2.1: versions newer than the
+/// snapshot time are skipped, only the newest remaining version of each
+/// key is surfaced, and deletion markers hide their key.
+pub struct SnapshotIter {
+    merged: MergingIterator,
+    snap_ts: u64,
+    end: Option<Vec<u8>>,
+    /// Pins the disk files the child iterators read.
+    _version: Arc<Version>,
+    /// Keeps the snapshot handle registered while iterating, when the
+    /// iterator owns its snapshot (see [`Snapshot::into_iter_owned`]).
+    _snapshot: Option<Snapshot>,
+    /// Last key whose newest visible version was already processed;
+    /// persists across `next` calls so older versions never resurface.
+    last_key: Option<Vec<u8>>,
+    finished: bool,
+}
+
+impl Iterator for SnapshotIter {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        while self.merged.valid() {
+            let ts = self.merged.ts();
+            let key = self.merged.user_key();
+
+            if let Some(end) = &self.end {
+                if key >= end.as_slice() {
+                    break;
+                }
+            }
+            if ts > self.snap_ts || self.last_key.as_deref() == Some(key) {
+                // Invisible at this snapshot, or an older version of a
+                // key already decided.
+                self.merged.next();
+                continue;
+            }
+            // Newest visible version of this key.
+            self.last_key = Some(key.to_vec());
+            match self.merged.kind() {
+                ValueKind::Put => {
+                    let pair = (key.to_vec(), self.merged.value().to_vec());
+                    self.merged.next();
+                    return Some(Ok(pair));
+                }
+                ValueKind::Delete => {
+                    // Tombstone: the key is dead at this snapshot; keep
+                    // scanning (older versions are now skipped via
+                    // `last_key`).
+                    self.merged.next();
+                }
+            }
+        }
+        self.finished = true;
+        if let Err(e) = self.merged.status() {
+            return Some(Err(e));
+        }
+        None
+    }
+}
+
+impl SnapshotIter {
+    /// Surfaces any I/O or corruption error hit during iteration.
+    pub fn status(&self) -> Result<()> {
+        self.merged.status()
+    }
+}

@@ -1,0 +1,61 @@
+//! Operation counters (diagnostics and the evaluation harness).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone operation counters. All methods are wait-free.
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub(crate) puts: AtomicU64,
+    pub(crate) gets: AtomicU64,
+    pub(crate) deletes: AtomicU64,
+    pub(crate) rmw_ops: AtomicU64,
+    pub(crate) rmw_conflicts: AtomicU64,
+    pub(crate) snapshots: AtomicU64,
+    pub(crate) flushes: AtomicU64,
+    pub(crate) compactions: AtomicU64,
+    pub(crate) write_stalls: AtomicU64,
+}
+
+/// A point-in-time copy of [`Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Completed put operations.
+    pub puts: u64,
+    /// Completed get operations.
+    pub gets: u64,
+    /// Completed delete operations.
+    pub deletes: u64,
+    /// Completed read-modify-write operations.
+    pub rmw_ops: u64,
+    /// RMW retries due to conflicts (Algorithm 3).
+    pub rmw_conflicts: u64,
+    /// Snapshots created.
+    pub snapshots: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Disk compactions performed.
+    pub compactions: u64,
+    /// Puts that stalled waiting for a flush.
+    pub write_stalls: u64,
+}
+
+impl Stats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            rmw_ops: self.rmw_ops.load(Ordering::Relaxed),
+            rmw_conflicts: self.rmw_conflicts.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            write_stalls: self.write_stalls.load(Ordering::Relaxed),
+        }
+    }
+}

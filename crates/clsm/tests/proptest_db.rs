@@ -1,0 +1,126 @@
+//! Model-based property tests: the database must agree with an
+//! in-memory reference model under arbitrary operation sequences, with
+//! flushes forced at arbitrary points and snapshots checked against
+//! frozen copies of the model.
+
+use std::collections::BTreeMap;
+
+use clsm::{Db, Options, RmwDecision};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, value: Vec<u8> },
+    Delete { key: u8 },
+    PutIfAbsent { key: u8, value: Vec<u8> },
+    RmwAppend { key: u8, suffix: u8 },
+    TakeSnapshot,
+    Flush,
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u8..12, prop::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(key, value)| Op::Put { key, value }),
+        2 => (0u8..12).prop_map(|key| Op::Delete { key }),
+        2 => (0u8..12, prop::collection::vec(any::<u8>(), 1..8))
+            .prop_map(|(key, value)| Op::PutIfAbsent { key, value }),
+        2 => (0u8..12, any::<u8>()).prop_map(|(key, suffix)| Op::RmwAppend { key, suffix }),
+        1 => Just(Op::TakeSnapshot),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn key_bytes(k: u8) -> Vec<u8> {
+    format!("key-{k:03}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn db_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let dir = std::env::temp_dir().join(format!(
+            "clsm-prop-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        // Live snapshots paired with their frozen model copy.
+        type FrozenSnap = (clsm::Snapshot, BTreeMap<Vec<u8>, Vec<u8>>);
+        let mut snaps: Vec<FrozenSnap> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Put { key, value } => {
+                    db.put(&key_bytes(*key), value).unwrap();
+                    model.insert(key_bytes(*key), value.clone());
+                }
+                Op::Delete { key } => {
+                    db.delete(&key_bytes(*key)).unwrap();
+                    model.remove(&key_bytes(*key));
+                }
+                Op::PutIfAbsent { key, value } => {
+                    let stored = db.put_if_absent(&key_bytes(*key), value).unwrap();
+                    let expect = !model.contains_key(&key_bytes(*key));
+                    prop_assert_eq!(stored, expect);
+                    if expect {
+                        model.insert(key_bytes(*key), value.clone());
+                    }
+                }
+                Op::RmwAppend { key, suffix } => {
+                    let s = *suffix;
+                    db.read_modify_write(&key_bytes(*key), move |cur| {
+                        let mut v = cur.map(<[u8]>::to_vec).unwrap_or_default();
+                        v.push(s);
+                        RmwDecision::Update(v)
+                    })
+                    .unwrap();
+                    model.entry(key_bytes(*key)).or_default().push(s);
+                }
+                Op::TakeSnapshot => {
+                    snaps.push((db.snapshot().unwrap(), model.clone()));
+                    if snaps.len() > 3 {
+                        snaps.remove(0);
+                    }
+                }
+                Op::Flush => {
+                    db.compact_to_quiescence().unwrap();
+                }
+                Op::Reopen => {
+                    // Snapshots cannot outlive the handle; drop them.
+                    snaps.clear();
+                    drop(db);
+                    db = Db::open(&dir, Options::small_for_tests()).unwrap();
+                }
+            }
+
+            // Point reads agree with the live model.
+            for k in 0u8..12 {
+                let got = db.get(&key_bytes(k)).unwrap();
+                let want = model.get(&key_bytes(k)).cloned();
+                prop_assert_eq!(got, want, "key {}", k);
+            }
+            // Every live snapshot agrees with its frozen model.
+            for (snap, frozen) in &snaps {
+                let scanned: Vec<(Vec<u8>, Vec<u8>)> =
+                    snap.iter().unwrap().map(|r| r.unwrap()).collect();
+                let expect: Vec<(Vec<u8>, Vec<u8>)> =
+                    frozen.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                prop_assert_eq!(&scanned, &expect);
+            }
+        }
+
+        drop(snaps);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,406 @@
+//! Block cache and table cache.
+//!
+//! The disk component "utilizes a large RAM cache" (§2.3): most reads
+//! that reach the disk component in a workload with locality are served
+//! from this cache. The block cache is a sharded strict-LRU keyed by
+//! `(table number, block offset)`; the table cache keeps open table
+//! readers (file descriptors + parsed index/filter).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use clsm_util::error::Result;
+
+use crate::filenames;
+use crate::sstable::{Block, Table};
+
+/// Number of independent LRU shards (reduces lock contention).
+const SHARDS: usize = 16;
+
+type CacheKey = (u64, u64);
+
+/// A sharded LRU cache of parsed blocks, bounded in bytes.
+pub struct BlockCache {
+    shards: Vec<Mutex<LruShard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BlockCache {
+    /// Creates a cache with a total `capacity_bytes` budget.
+    pub fn new(capacity_bytes: usize) -> Self {
+        let per_shard = (capacity_bytes / SHARDS).max(1);
+        BlockCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<LruShard> {
+        let h = key.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ key.1.rotate_left(17);
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// Looks up a block, refreshing its recency.
+    pub fn get(&self, table: u64, offset: u64) -> Option<Arc<Block>> {
+        let key = (table, offset);
+        let found = self.shard(&key).lock().get(&key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a block, evicting LRU entries past the byte budget.
+    pub fn insert(&self, table: u64, offset: u64, block: Arc<Block>) {
+        let key = (table, offset);
+        let charge = block.size() + 64;
+        self.shard(&key).lock().insert(key, block, charge);
+    }
+
+    /// Drops every cached block belonging to `table` (called when the
+    /// file is deleted after a compaction).
+    pub fn evict_table(&self, table: u64) {
+        for shard in &self.shards {
+            shard.lock().retain(|k| k.0 != table);
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total bytes currently charged.
+    pub fn used_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().used).sum()
+    }
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (h, m) = self.stats();
+        f.debug_struct("BlockCache")
+            .field("hits", &h)
+            .field("misses", &m)
+            .finish()
+    }
+}
+
+/// One strict-LRU shard: hash map into a slab of doubly-linked slots.
+struct LruShard {
+    capacity: usize,
+    used: usize,
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: Option<usize>,
+    /// Least recently used.
+    tail: Option<usize>,
+}
+
+struct Slot {
+    key: CacheKey,
+    value: Arc<Block>,
+    charge: usize,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            capacity,
+            used: 0,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            Some(p) => self.slots[p].next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.slots[n].prev = prev,
+            None => self.tail = prev,
+        }
+        self.slots[i].prev = None;
+        self.slots[i].next = None;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = None;
+        self.slots[i].next = self.head;
+        if let Some(h) = self.head {
+            self.slots[h].prev = Some(i);
+        }
+        self.head = Some(i);
+        if self.tail.is_none() {
+            self.tail = Some(i);
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<Block>> {
+        let i = *self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(Arc::clone(&self.slots[i].value))
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Arc<Block>, charge: usize) {
+        if let Some(&i) = self.map.get(&key) {
+            // Replace in place and refresh.
+            self.used = self.used - self.slots[i].charge + charge;
+            self.slots[i].value = value;
+            self.slots[i].charge = charge;
+            self.unlink(i);
+            self.push_front(i);
+        } else {
+            let slot = Slot {
+                key,
+                value,
+                charge,
+                prev: None,
+                next: None,
+            };
+            let i = match self.free.pop() {
+                Some(i) => {
+                    self.slots[i] = slot;
+                    i
+                }
+                None => {
+                    self.slots.push(slot);
+                    self.slots.len() - 1
+                }
+            };
+            self.map.insert(key, i);
+            self.push_front(i);
+            self.used += charge;
+        }
+        self.evict_to_capacity();
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.used > self.capacity {
+            let Some(t) = self.tail else { break };
+            // Never evict the entry just inserted if it alone exceeds
+            // the budget and is the only entry — drop it instead.
+            self.remove_slot(t);
+        }
+    }
+
+    fn remove_slot(&mut self, i: usize) {
+        self.unlink(i);
+        let key = self.slots[i].key;
+        self.map.remove(&key);
+        self.used -= self.slots[i].charge;
+        // Drop the Arc now; keep the slot for reuse.
+        self.slots[i].value = dangling_block();
+        self.free.push(i);
+    }
+
+    fn retain(&mut self, keep: impl Fn(&CacheKey) -> bool) {
+        let doomed: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| !keep(k))
+            .map(|(_, &i)| i)
+            .collect();
+        for i in doomed {
+            self.remove_slot(i);
+        }
+    }
+}
+
+/// A shared empty block used to release evicted payloads eagerly.
+fn dangling_block() -> Arc<Block> {
+    use std::sync::OnceLock;
+    static EMPTY: OnceLock<Arc<Block>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| {
+        // An empty block: zero restarts, count = 0.
+        Arc::new(Block::parse(vec![0, 0, 0, 0]).expect("static empty block"))
+    }))
+}
+
+/// Cache of open table readers keyed by file number.
+pub struct TableCache {
+    dir: PathBuf,
+    bloom_bits_per_key: usize,
+    block_cache: Option<Arc<BlockCache>>,
+    tables: Mutex<HashMap<u64, (Arc<Table>, u64)>>,
+    tick: AtomicU64,
+    max_open: usize,
+}
+
+impl TableCache {
+    /// Creates a table cache for `dir` holding at most `max_open`
+    /// readers.
+    pub fn new(
+        dir: PathBuf,
+        bloom_bits_per_key: usize,
+        block_cache: Option<Arc<BlockCache>>,
+        max_open: usize,
+    ) -> Self {
+        TableCache {
+            dir,
+            bloom_bits_per_key,
+            block_cache,
+            tables: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            max_open: max_open.max(8),
+        }
+    }
+
+    /// Returns the open table for `number`, opening it if needed.
+    pub fn table(&self, number: u64) -> Result<Arc<Table>> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut tables = self.tables.lock();
+            if let Some((t, last)) = tables.get_mut(&number) {
+                *last = tick;
+                return Ok(Arc::clone(t));
+            }
+        }
+        // Open outside the lock; racing opens are harmless (one wins).
+        let path = filenames::table_path(&self.dir, number);
+        let table = Arc::new(Table::open(
+            &path,
+            number,
+            self.bloom_bits_per_key,
+            self.block_cache.clone(),
+        )?);
+        let mut tables = self.tables.lock();
+        if tables.len() >= self.max_open {
+            // Evict the coldest quarter (amortized, keeps the common
+            // path O(1)).
+            let mut by_age: Vec<(u64, u64)> =
+                tables.iter().map(|(&n, &(_, last))| (last, n)).collect();
+            by_age.sort_unstable();
+            for &(_, n) in by_age.iter().take(self.max_open / 4 + 1) {
+                tables.remove(&n);
+            }
+        }
+        let entry = tables.entry(number).or_insert((table, tick));
+        Ok(Arc::clone(&entry.0))
+    }
+
+    /// Forgets a deleted table and purges its cached blocks.
+    pub fn evict(&self, number: u64) {
+        self.tables.lock().remove(&number);
+        if let Some(cache) = &self.block_cache {
+            cache.evict_table(number);
+        }
+    }
+
+    /// The shared block cache, if configured.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.block_cache.as_ref()
+    }
+
+    /// The directory this cache serves.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+}
+
+impl std::fmt::Debug for TableCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableCache")
+            .field("open_tables", &self.tables.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_of_size(n: usize) -> Arc<Block> {
+        // Payload followed by a minimal trailer (0 restarts).
+        let mut data = vec![0u8; n.saturating_sub(4)];
+        data.extend_from_slice(&0u32.to_le_bytes());
+        Arc::new(Block::parse(data).unwrap())
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = BlockCache::new(1 << 20);
+        assert!(cache.get(1, 0).is_none());
+        cache.insert(1, 0, block_of_size(100));
+        assert!(cache.get(1, 0).is_some());
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        // Single-shard-sized budget: force all keys into one shard by
+        // using the same table number... different offsets may still
+        // spread across shards, so check the aggregate property: total
+        // usage stays within budget and recently used entries survive.
+        let cache = BlockCache::new(SHARDS * 1000);
+        for i in 0..100u64 {
+            cache.insert(7, i, block_of_size(500));
+        }
+        assert!(cache.used_bytes() <= SHARDS * 1000);
+        // Freshly inserted block is present.
+        cache.insert(7, 1000, block_of_size(500));
+        assert!(cache.get(7, 1000).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_charge() {
+        let cache = BlockCache::new(1 << 20);
+        cache.insert(1, 0, block_of_size(100));
+        let used_small = cache.used_bytes();
+        cache.insert(1, 0, block_of_size(10_000));
+        let used_big = cache.used_bytes();
+        assert!(used_big > used_small);
+        cache.insert(1, 0, block_of_size(100));
+        assert_eq!(cache.used_bytes(), used_small);
+    }
+
+    #[test]
+    fn evict_table_removes_all_blocks() {
+        let cache = BlockCache::new(1 << 20);
+        for i in 0..10u64 {
+            cache.insert(3, i, block_of_size(100));
+            cache.insert(4, i, block_of_size(100));
+        }
+        cache.evict_table(3);
+        for i in 0..10u64 {
+            assert!(cache.get(3, i).is_none());
+            assert!(cache.get(4, i).is_some());
+        }
+    }
+
+    #[test]
+    fn recency_protects_hot_entries() {
+        // Budget fits ~4 entries per shard; hammer one key and verify
+        // it survives a stream of cold inserts mapping to all shards.
+        let cache = BlockCache::new(SHARDS * 2048);
+        cache.insert(9, 42, block_of_size(400));
+        for i in 0..200u64 {
+            cache.insert(1, i, block_of_size(400));
+            assert!(cache.get(9, 42).is_some(), "hot entry evicted at i={i}");
+        }
+    }
+}

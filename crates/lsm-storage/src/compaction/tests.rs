@@ -1,0 +1,271 @@
+//! Tests for compaction picking and the version-GC drop rules.
+
+use super::*;
+use crate::iter::VecIterator;
+use crate::store::StoreOptions;
+use crate::version::VersionSet;
+use crate::ValueKind;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "compaction-{}-{}-{}",
+        std::process::id(),
+        name,
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+use std::path::PathBuf;
+
+fn small_opts() -> StoreOptions {
+    StoreOptions {
+        table_file_size: 1024,
+        base_level_bytes: 4096,
+        level_multiplier: 4,
+        l0_compaction_trigger: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn level_budgets_grow_multiplicatively() {
+    let opts = small_opts();
+    assert_eq!(max_bytes_for_level(&opts, 1), 4096);
+    assert_eq!(max_bytes_for_level(&opts, 2), 16384);
+    assert_eq!(max_bytes_for_level(&opts, 3), 65536);
+}
+
+fn run_drop(
+    entries: Vec<(&str, u64, ValueKind, &str)>,
+    watermark: u64,
+    drop_tombstones: bool,
+) -> Vec<(String, u64)> {
+    let dir = tmpdir("droprule");
+    let opts = StoreOptions::default();
+    let mut it = VecIterator::new(
+        entries
+            .into_iter()
+            .map(|(k, ts, kind, v)| (k.as_bytes().to_vec(), ts, kind, v.as_bytes().to_vec()))
+            .collect(),
+    );
+    it.seek_to_first();
+    let mut n = 100u64;
+    let mut alloc = || {
+        n += 1;
+        n
+    };
+    let files = write_merged_tables(
+        &mut it,
+        &dir,
+        &opts,
+        1,
+        watermark,
+        drop_tombstones,
+        &mut alloc,
+    )
+    .unwrap();
+    // Read everything back.
+    let cache = Arc::new(TableCache::new(dir.clone(), 10, None, 16));
+    let mut out = Vec::new();
+    for f in &files {
+        let table = cache.table(f.number).unwrap();
+        let mut ti = table.iter();
+        ti.seek_to_first();
+        while ti.valid() {
+            out.push((String::from_utf8(ti.user_key().to_vec()).unwrap(), ti.ts()));
+            ti.next();
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+    out
+}
+
+#[test]
+fn shadowed_versions_below_watermark_are_dropped() {
+    // Versions 9 and 5 are both ≤ watermark 10: only the newest (9)
+    // survives; 5 and 2 are shadowed.
+    let out = run_drop(
+        vec![
+            ("k", 9, ValueKind::Put, "v9"),
+            ("k", 5, ValueKind::Put, "v5"),
+            ("k", 2, ValueKind::Put, "v2"),
+        ],
+        10,
+        false,
+    );
+    assert_eq!(out, vec![("k".to_string(), 9)]);
+}
+
+#[test]
+fn versions_above_watermark_are_kept() {
+    // Watermark 4: versions 9 and 5 exceed it (kept); 2 is the newest
+    // ≤ 4 (kept, some snapshot may need it); nothing older exists.
+    let out = run_drop(
+        vec![
+            ("k", 9, ValueKind::Put, "v9"),
+            ("k", 5, ValueKind::Put, "v5"),
+            ("k", 2, ValueKind::Put, "v2"),
+            ("k", 1, ValueKind::Put, "v1"),
+        ],
+        4,
+        false,
+    );
+    assert_eq!(
+        out,
+        vec![
+            ("k".to_string(), 9),
+            ("k".to_string(), 5),
+            ("k".to_string(), 2)
+        ]
+    );
+}
+
+#[test]
+fn tombstones_dropped_only_at_bottom() {
+    let entries = vec![
+        ("a", 7, ValueKind::Delete, ""),
+        ("a", 3, ValueKind::Put, "va"),
+        ("b", 5, ValueKind::Put, "vb"),
+    ];
+    // Not bottom: tombstone kept, shadowed put dropped.
+    let out = run_drop(entries.clone(), 10, false);
+    assert_eq!(out, vec![("a".to_string(), 7), ("b".to_string(), 5)]);
+    // Bottom: tombstone elided entirely.
+    let out = run_drop(entries, 10, true);
+    assert_eq!(out, vec![("b".to_string(), 5)]);
+}
+
+#[test]
+fn fresh_tombstone_survives_bottom_drop() {
+    // Tombstone above the watermark: a live snapshot may need it.
+    let out = run_drop(
+        vec![
+            ("a", 7, ValueKind::Delete, ""),
+            ("a", 3, ValueKind::Put, "v"),
+        ],
+        5,
+        true,
+    );
+    assert_eq!(out, vec![("a".to_string(), 7), ("a".to_string(), 3)]);
+}
+
+#[test]
+fn exact_duplicates_are_deduplicated() {
+    // A WAL-replay overlap shows up as the same (key, ts) entry in two
+    // components; merge them and verify only one copy survives.
+    let dir = tmpdir("dedup");
+    let opts = StoreOptions::default();
+    let a = VecIterator::new(vec![(b"k".to_vec(), 5, ValueKind::Put, b"v".to_vec())]);
+    let b = VecIterator::new(vec![(b"k".to_vec(), 5, ValueKind::Put, b"v".to_vec())]);
+    let mut merged = crate::iter::MergingIterator::new(vec![Box::new(a), Box::new(b)]);
+    merged.seek_to_first();
+    let mut n = 0u64;
+    let mut alloc = || {
+        n += 1;
+        n
+    };
+    let files = write_merged_tables(&mut merged, &dir, &opts, 1, 0, false, &mut alloc).unwrap();
+    let cache = Arc::new(TableCache::new(dir.clone(), 10, None, 16));
+    let mut count = 0;
+    for f in &files {
+        let table = cache.table(f.number).unwrap();
+        let mut ti = table.iter();
+        ti.seek_to_first();
+        while ti.valid() {
+            count += 1;
+            ti.next();
+        }
+    }
+    assert_eq!(count, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn outputs_roll_without_splitting_keys() {
+    // Values big enough to exceed the 1 KiB target repeatedly, with
+    // multiple versions per key: every key must land in exactly one
+    // output file.
+    let dir = tmpdir("roll");
+    let opts = small_opts();
+    let mut entries = Vec::new();
+    let mut ts = 1000u64;
+    for i in 0..30u32 {
+        for _v in 0..3 {
+            entries.push((
+                format!("key{i:04}").into_bytes(),
+                ts,
+                ValueKind::Put,
+                vec![b'x'; 200],
+            ));
+            ts -= 1;
+        }
+    }
+    // Internal order: ts descending per key.
+    let mut it = VecIterator::new(entries);
+    it.seek_to_first();
+    let mut n = 0u64;
+    let mut alloc = || {
+        n += 1;
+        n
+    };
+    let files = write_merged_tables(&mut it, &dir, &opts, 1, 0, false, &mut alloc).unwrap();
+    assert!(
+        files.len() > 1,
+        "expected multiple outputs, got {}",
+        files.len()
+    );
+    // Disjoint user-key ranges.
+    for w in files.windows(2) {
+        let a_last = &w[0].largest[..w[0].largest.len() - 8];
+        let b_first = &w[1].smallest[..w[1].smallest.len() - 8];
+        assert!(a_last < b_first, "outputs share a user key");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pick_respects_claims_and_trigger() {
+    let dir = tmpdir("pick");
+    let opts = small_opts();
+    // Build two overlapping L0 tables (trigger = 2).
+    let mk = |num: u64, k: &str, ts: u64| {
+        let path = crate::filenames::table_path(&dir, num);
+        let mut b =
+            crate::sstable::TableBuilder::new(std::fs::File::create(&path).unwrap(), 4096, 10);
+        b.add(
+            crate::format::InternalKey::new(k.as_bytes(), ts, ValueKind::Put).encoded(),
+            b"v",
+        )
+        .unwrap();
+        let s = b.finish().unwrap();
+        crate::version::NewFile {
+            level: 0,
+            number: num,
+            file_size: s.file_size,
+            smallest: s.smallest,
+            largest: s.largest,
+        }
+    };
+    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    let f1 = mk(10, "a", 1);
+    let f2 = mk(11, "a", 2);
+    set.log_and_apply(crate::version::VersionEdit {
+        new_files: vec![f1, f2],
+        ..Default::default()
+    })
+    .unwrap();
+    let v = set.current();
+    let task = pick(&v, &opts).expect("two L0 files at trigger 2");
+    assert_eq!(task.level, 0);
+    assert_eq!(task.base.len(), 2);
+    // While claimed, picking again yields nothing.
+    assert!(pick(&v, &opts).is_none());
+    drop(task);
+    assert!(pick(&v, &opts).is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,163 @@
+//! SSTable construction.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use clsm_util::bloom::BloomFilterPolicy;
+use clsm_util::crc;
+use clsm_util::error::Result;
+
+use crate::format::{compare_internal_keys, split_internal_key};
+use crate::sstable::{BlockBuilder, BlockHandle, Footer, BLOCK_TRAILER_SIZE};
+
+/// Summary of a finished table, fed into the version edit.
+#[derive(Debug, Clone)]
+pub struct TableSummary {
+    /// Total file size in bytes.
+    pub file_size: u64,
+    /// Smallest internal key in the table.
+    pub smallest: Vec<u8>,
+    /// Largest internal key in the table.
+    pub largest: Vec<u8>,
+    /// Number of entries.
+    pub num_entries: u64,
+}
+
+/// Streams sorted internal entries into an SSTable file.
+pub struct TableBuilder {
+    file: BufWriter<File>,
+    offset: u64,
+    data_block: BlockBuilder,
+    index_block: BlockBuilder,
+    /// Index entry for the block flushed most recently, emitted lazily.
+    pending_index: Option<(Vec<u8>, BlockHandle)>,
+    filter_keys: Vec<Vec<u8>>,
+    bloom: BloomFilterPolicy,
+    block_size: usize,
+    num_entries: u64,
+    smallest: Option<Vec<u8>>,
+    last_key: Vec<u8>,
+}
+
+impl TableBuilder {
+    /// Creates a builder writing to `file`.
+    pub fn new(file: File, block_size: usize, bloom_bits_per_key: usize) -> Self {
+        TableBuilder {
+            file: BufWriter::new(file),
+            offset: 0,
+            data_block: BlockBuilder::default(),
+            index_block: BlockBuilder::new(1),
+            pending_index: None,
+            filter_keys: Vec::new(),
+            bloom: BloomFilterPolicy::new(bloom_bits_per_key),
+            block_size: block_size.max(64),
+            num_entries: 0,
+            smallest: None,
+            last_key: Vec::new(),
+        }
+    }
+
+    /// Appends an entry. Internal keys must arrive strictly increasing.
+    pub fn add(&mut self, internal_key: &[u8], value: &[u8]) -> Result<()> {
+        debug_assert!(
+            self.last_key.is_empty()
+                || compare_internal_keys(&self.last_key, internal_key) == std::cmp::Ordering::Less,
+            "keys must be added in order"
+        );
+        if let Some((key, handle)) = self.pending_index.take() {
+            self.emit_index_entry(&key, handle);
+        }
+        if self.smallest.is_none() {
+            self.smallest = Some(internal_key.to_vec());
+        }
+        let user_key = split_internal_key(internal_key)?.0;
+        // Deduplicated per key would save a little space; the Bloom
+        // policy handles duplicates fine, so keep it simple.
+        self.filter_keys.push(user_key.to_vec());
+        self.data_block.add(internal_key, value);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(internal_key);
+        self.num_entries += 1;
+        if self.data_block.size_estimate() >= self.block_size {
+            self.flush_data_block()?;
+        }
+        Ok(())
+    }
+
+    fn emit_index_entry(&mut self, last_key: &[u8], handle: BlockHandle) {
+        let mut value = Vec::with_capacity(16);
+        handle.encode_to(&mut value);
+        self.index_block.add(last_key, &value);
+    }
+
+    fn flush_data_block(&mut self) -> Result<()> {
+        if self.data_block.is_empty() {
+            return Ok(());
+        }
+        let block = std::mem::take(&mut self.data_block);
+        let last_key = block.last_key().to_vec();
+        let contents = block.finish();
+        let handle = self.write_raw_block(&contents)?;
+        self.pending_index = Some((last_key, handle));
+        Ok(())
+    }
+
+    /// Writes `contents` + trailer and returns its handle.
+    fn write_raw_block(&mut self, contents: &[u8]) -> Result<BlockHandle> {
+        let handle = BlockHandle {
+            offset: self.offset,
+            size: contents.len() as u64,
+        };
+        self.file.write_all(contents)?;
+        // Trailer: compression type (0 = none) + masked CRC of
+        // contents + type byte.
+        let ty = [0u8];
+        let mut c = crc::extend(0, contents);
+        c = crc::extend(c, &ty);
+        self.file.write_all(&ty)?;
+        self.file.write_all(&crc::mask(c).to_le_bytes())?;
+        self.offset += contents.len() as u64 + BLOCK_TRAILER_SIZE as u64;
+        Ok(handle)
+    }
+
+    /// Finishes the table: filter block, index block, footer, fsync.
+    pub fn finish(mut self) -> Result<TableSummary> {
+        self.flush_data_block()?;
+        if let Some((key, handle)) = self.pending_index.take() {
+            self.emit_index_entry(&key, handle);
+        }
+        // Filter block.
+        let key_refs: Vec<&[u8]> = self.filter_keys.iter().map(|k| k.as_slice()).collect();
+        let filter = self.bloom.create_filter(&key_refs);
+        let filter_handle = self.write_raw_block(&filter)?;
+        // Index block.
+        let index = std::mem::take(&mut self.index_block);
+        let index_handle = self.write_raw_block(&index.finish())?;
+        // Footer.
+        let footer = Footer {
+            filter_handle,
+            index_handle,
+        };
+        self.file.write_all(&footer.encode())?;
+        self.offset += super::FOOTER_SIZE as u64;
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+
+        Ok(TableSummary {
+            file_size: self.offset,
+            smallest: self.smallest.unwrap_or_default(),
+            largest: self.last_key,
+            num_entries: self.num_entries,
+        })
+    }
+
+    /// Number of entries added so far.
+    pub fn num_entries(&self) -> u64 {
+        self.num_entries
+    }
+
+    /// Bytes written so far (excludes the current unflushed block).
+    pub fn current_size(&self) -> u64 {
+        self.offset + self.data_block.size_estimate() as u64
+    }
+}

@@ -1,0 +1,395 @@
+//! SSTable reading: point lookups and two-level iteration.
+
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::Arc;
+
+use clsm_util::bloom::BloomFilterPolicy;
+use clsm_util::crc;
+use clsm_util::error::{Error, Result};
+
+use crate::cache::BlockCache;
+use crate::format::{split_internal_key, ValueKind};
+use crate::iter::InternalIterator;
+use crate::sstable::{Block, BlockHandle, BlockIter, Footer, BLOCK_TRAILER_SIZE, FOOTER_SIZE};
+
+/// An open, immutable table file.
+pub struct Table {
+    file: File,
+    /// Table file number; used as the cache-key namespace.
+    number: u64,
+    index: Arc<Block>,
+    filter: Vec<u8>,
+    bloom: BloomFilterPolicy,
+    cache: Option<Arc<BlockCache>>,
+}
+
+impl Table {
+    /// Opens and validates a table file.
+    pub fn open(
+        path: &Path,
+        number: u64,
+        bloom_bits_per_key: usize,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<Table> {
+        let file = File::open(path)?;
+        let size = file.metadata()?.len();
+        if size < FOOTER_SIZE as u64 {
+            return Err(Error::corruption("table smaller than footer"));
+        }
+        let mut footer_buf = vec![0u8; FOOTER_SIZE];
+        file.read_exact_at(&mut footer_buf, size - FOOTER_SIZE as u64)?;
+        let footer = Footer::decode(&footer_buf)?;
+
+        let index_data = read_verified_block(&file, footer.index_handle)?;
+        let index = Arc::new(Block::parse(index_data)?);
+        let filter = read_verified_block(&file, footer.filter_handle)?;
+
+        Ok(Table {
+            file,
+            number,
+            index,
+            filter,
+            bloom: BloomFilterPolicy::new(bloom_bits_per_key),
+            cache,
+        })
+    }
+
+    /// The table's file number.
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// Reads (or fetches from cache) the data block at `handle`.
+    fn block(&self, handle: BlockHandle) -> Result<Arc<Block>> {
+        if let Some(cache) = &self.cache {
+            if let Some(block) = cache.get(self.number, handle.offset) {
+                return Ok(block);
+            }
+            let data = read_verified_block(&self.file, handle)?;
+            let block = Arc::new(Block::parse(data)?);
+            cache.insert(self.number, handle.offset, Arc::clone(&block));
+            Ok(block)
+        } else {
+            let data = read_verified_block(&self.file, handle)?;
+            Ok(Arc::new(Block::parse(data)?))
+        }
+    }
+
+    /// Point lookup: the newest version of `user_key` with timestamp
+    /// `<= max_ts` stored in this table.
+    pub fn get(&self, user_key: &[u8], max_ts: u64) -> Result<Option<(u64, ValueKind, Vec<u8>)>> {
+        if !self.bloom.key_may_match(user_key, &self.filter) {
+            return Ok(None);
+        }
+        let mut index_iter = self.index.iter();
+        index_iter.seek_internal(user_key, max_ts);
+        if !index_iter.is_valid() {
+            index_iter.status()?;
+            return Ok(None);
+        }
+        let (handle, _) = BlockHandle::decode_from(index_iter.raw_value())?;
+        let block = self.block(handle)?;
+        let mut data_iter = block.iter();
+        data_iter.seek_internal(user_key, max_ts);
+        if !data_iter.is_valid() {
+            data_iter.status()?;
+            return Ok(None);
+        }
+        let (found_key, ts, kind) = split_internal_key(data_iter.raw_key())?;
+        if found_key != user_key {
+            return Ok(None);
+        }
+        debug_assert!(ts <= max_ts);
+        Ok(Some((ts, kind, data_iter.raw_value().to_vec())))
+    }
+
+    /// Creates a two-level iterator over the whole table.
+    pub fn iter(self: &Arc<Self>) -> TableIter {
+        TableIter {
+            table: Arc::clone(self),
+            index_iter: self.index.iter(),
+            data_iter: None,
+            error: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("number", &self.number)
+            .finish()
+    }
+}
+
+/// Reads a block's contents and verifies its trailer CRC.
+fn read_verified_block(file: &File, handle: BlockHandle) -> Result<Vec<u8>> {
+    let total = handle.size as usize + BLOCK_TRAILER_SIZE;
+    let mut buf = vec![0u8; total];
+    file.read_exact_at(&mut buf, handle.offset)?;
+    let (contents, trailer) = buf.split_at(handle.size as usize);
+    let ty = trailer[0];
+    if ty != 0 {
+        return Err(Error::corruption(format!(
+            "unsupported compression type {ty}"
+        )));
+    }
+    let stored = crc::unmask(u32::from_le_bytes(
+        trailer[1..5].try_into().expect("4 bytes"),
+    ));
+    let mut actual = crc::extend(0, contents);
+    actual = crc::extend(actual, &[ty]);
+    if stored != actual {
+        return Err(Error::corruption("block checksum mismatch"));
+    }
+    buf.truncate(handle.size as usize);
+    Ok(buf)
+}
+
+/// Two-level iterator: index block → data blocks.
+pub struct TableIter {
+    table: Arc<Table>,
+    index_iter: BlockIter,
+    data_iter: Option<BlockIter>,
+    error: Option<Error>,
+}
+
+impl TableIter {
+    /// Loads the data block referenced by the current index entry.
+    fn load_data_block(&mut self) -> bool {
+        if !self.index_iter.is_valid() {
+            self.data_iter = None;
+            return false;
+        }
+        match BlockHandle::decode_from(self.index_iter.raw_value())
+            .and_then(|(h, _)| self.table.block(h))
+        {
+            Ok(block) => {
+                self.data_iter = Some(block.iter());
+                true
+            }
+            Err(e) => {
+                self.error.get_or_insert(e);
+                self.data_iter = None;
+                false
+            }
+        }
+    }
+
+    /// Advances through index entries until the data iterator is valid.
+    fn skip_empty_blocks_forward(&mut self) {
+        while self.data_iter.as_ref().is_none_or(|d| !d.is_valid()) {
+            if !self.index_iter.is_valid() {
+                self.data_iter = None;
+                return;
+            }
+            self.index_iter.step();
+            if self.load_data_block() {
+                if let Some(d) = &mut self.data_iter {
+                    d.to_first();
+                }
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+impl InternalIterator for TableIter {
+    fn valid(&self) -> bool {
+        self.data_iter.as_ref().is_some_and(|d| d.is_valid())
+    }
+
+    fn seek_to_first(&mut self) {
+        self.index_iter.to_first();
+        if self.load_data_block() {
+            if let Some(d) = &mut self.data_iter {
+                d.to_first();
+            }
+            self.skip_empty_blocks_forward();
+        }
+    }
+
+    fn seek(&mut self, user_key: &[u8], ts: u64) {
+        self.index_iter.seek_internal(user_key, ts);
+        if self.load_data_block() {
+            if let Some(d) = &mut self.data_iter {
+                d.seek_internal(user_key, ts);
+            }
+            self.skip_empty_blocks_forward();
+        }
+    }
+
+    fn next(&mut self) {
+        if let Some(d) = &mut self.data_iter {
+            d.step();
+        }
+        self.skip_empty_blocks_forward();
+    }
+
+    fn user_key(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("valid").user_key()
+    }
+
+    fn ts(&self) -> u64 {
+        self.data_iter.as_ref().expect("valid").ts()
+    }
+
+    fn kind(&self) -> ValueKind {
+        self.data_iter.as_ref().expect("valid").kind()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("valid").value()
+    }
+
+    fn status(&self) -> Result<()> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        self.index_iter.status()?;
+        if let Some(d) = &self.data_iter {
+            d.status()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::InternalKey;
+    use crate::sstable::TableBuilder;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("table-{}-{}", std::process::id(), name));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn build_table(
+        dir: &Path,
+        entries: &[(&[u8], u64, ValueKind, &[u8])],
+        block_size: usize,
+    ) -> Arc<Table> {
+        let path = dir.join("t.sst");
+        let mut b = TableBuilder::new(File::create(&path).unwrap(), block_size, 10);
+        for (k, ts, kind, v) in entries {
+            b.add(InternalKey::new(k, *ts, *kind).encoded(), v).unwrap();
+        }
+        let summary = b.finish().unwrap();
+        assert_eq!(summary.num_entries, entries.len() as u64);
+        Arc::new(Table::open(&path, 1, 10, None).unwrap())
+    }
+
+    #[test]
+    fn build_open_get() {
+        let dir = tmpdir("basic");
+        let table = build_table(
+            &dir,
+            &[
+                (b"alpha", 3, ValueKind::Put, b"va"),
+                (b"beta", 9, ValueKind::Put, b"vb9"),
+                (b"beta", 2, ValueKind::Put, b"vb2"),
+                (b"gamma", 5, ValueKind::Delete, b""),
+            ],
+            4096,
+        );
+        assert_eq!(
+            table.get(b"alpha", 100).unwrap().unwrap(),
+            (3, ValueKind::Put, b"va".to_vec())
+        );
+        assert_eq!(table.get(b"beta", 100).unwrap().unwrap().2, b"vb9".to_vec());
+        assert_eq!(table.get(b"beta", 5).unwrap().unwrap().2, b"vb2".to_vec());
+        assert_eq!(table.get(b"beta", 1).unwrap(), None);
+        assert_eq!(
+            table.get(b"gamma", 100).unwrap().unwrap().1,
+            ValueKind::Delete
+        );
+        assert_eq!(table.get(b"delta", 100).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn many_blocks_iterate_in_order() {
+        let dir = tmpdir("multiblock");
+        let mut entries = Vec::new();
+        let values: Vec<Vec<u8>> = (0..300u32).map(|i| vec![(i % 251) as u8; 64]).collect();
+        let keys: Vec<Vec<u8>> = (0..300u32)
+            .map(|i| format!("key{i:06}").into_bytes())
+            .collect();
+        for i in 0..300usize {
+            entries.push((
+                keys[i].as_slice(),
+                (i + 1) as u64,
+                ValueKind::Put,
+                values[i].as_slice(),
+            ));
+        }
+        // Tiny blocks force many data blocks.
+        let table = build_table(&dir, &entries, 256);
+        let mut it = table.iter();
+        it.seek_to_first();
+        let mut n = 0;
+        let mut last: Option<Vec<u8>> = None;
+        while it.valid() {
+            if let Some(l) = &last {
+                assert!(it.user_key() > l.as_slice());
+            }
+            assert_eq!(it.value(), values[n].as_slice());
+            last = Some(it.user_key().to_vec());
+            n += 1;
+            it.next();
+        }
+        it.status().unwrap();
+        assert_eq!(n, 300);
+        // Seeks land exactly.
+        it.seek(b"key000100", u64::MAX >> 1);
+        assert_eq!(it.user_key(), b"key000100");
+        it.seek(b"key000299", u64::MAX >> 1);
+        assert_eq!(it.user_key(), b"key000299");
+        it.seek(b"key999999", u64::MAX >> 1);
+        assert!(!it.valid());
+        // Point gets across blocks.
+        for i in (0..300).step_by(23) {
+            let k = format!("key{i:06}");
+            let got = table.get(k.as_bytes(), u64::MAX >> 1).unwrap().unwrap();
+            assert_eq!(got.0, (i + 1) as u64);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_block_detected() {
+        let dir = tmpdir("corrupt");
+        let table = build_table(&dir, &[(b"k", 1, ValueKind::Put, b"v")], 4096);
+        drop(table);
+        let path = dir.join("t.sst");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[2] ^= 0x55; // damage the first data block
+        std::fs::write(&path, &bytes).unwrap();
+        let table = Arc::new(Table::open(&path, 1, 10, None).unwrap());
+        assert!(table.get(b"k", 100).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn block_cache_is_used() {
+        let dir = tmpdir("cached");
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let path = dir.join("t.sst");
+        let mut b = TableBuilder::new(File::create(&path).unwrap(), 4096, 10);
+        b.add(InternalKey::new(b"k", 1, ValueKind::Put).encoded(), b"v")
+            .unwrap();
+        b.finish().unwrap();
+        let table = Table::open(&path, 42, 10, Some(Arc::clone(&cache))).unwrap();
+        assert!(table.get(b"k", 100).unwrap().is_some());
+        let (hits_before, _) = cache.stats();
+        assert!(table.get(b"k", 100).unwrap().is_some());
+        let (hits_after, _) = cache.stats();
+        assert!(hits_after > hits_before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

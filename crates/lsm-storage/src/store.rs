@@ -1,0 +1,534 @@
+//! The disk component facade: everything below the memory components.
+//!
+//! A [`Store`] owns the directory, WAL (through the logging queue), the
+//! version set + manifest, the table/block caches, and the compaction
+//! machinery. It corresponds to the paper's `Cd` plus LevelDB's
+//! infrastructure modules, with one cLSM-specific property: **reads
+//! never block** — the current version is published through an RCU
+//! cell, so `get` and iterator creation take no lock (the paper's `Pd`
+//! pointer).
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use clsm_util::error::Result;
+use clsm_util::rcu::RcuCell;
+
+use crate::cache::{BlockCache, TableCache};
+use crate::compaction;
+use crate::filenames;
+use crate::format::{ValueKind, WriteRecord};
+use crate::iter::{BoxedIterator, InternalIterator};
+use crate::version::{Version, VersionEdit, VersionSet};
+use crate::wal::{LogQueue, LogReader, LogWriter, SyncMode};
+use crate::NUM_LEVELS;
+
+/// Tunables of the disk substrate.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Target uncompressed size of one data block.
+    pub block_size: usize,
+    /// Bloom-filter budget per key.
+    pub bloom_bits_per_key: usize,
+    /// Target size of one table file.
+    pub table_file_size: u64,
+    /// Byte budget of the block cache (0 disables it).
+    pub block_cache_bytes: usize,
+    /// Number of L0 files that triggers a compaction.
+    pub l0_compaction_trigger: usize,
+    /// Byte budget of L1; deeper levels get `level_multiplier`× more.
+    pub base_level_bytes: u64,
+    /// Growth factor between level budgets.
+    pub level_multiplier: u64,
+    /// Number of levels (≤ [`NUM_LEVELS`]).
+    pub num_levels: usize,
+    /// Maximum simultaneously open table readers.
+    pub max_open_tables: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            block_size: 4 * 1024,
+            bloom_bits_per_key: 10,
+            table_file_size: 2 * 1024 * 1024,
+            block_cache_bytes: 8 * 1024 * 1024,
+            l0_compaction_trigger: 4,
+            base_level_bytes: 10 * 1024 * 1024,
+            level_multiplier: 10,
+            num_levels: NUM_LEVELS,
+            max_open_tables: 500,
+        }
+    }
+}
+
+/// State recovered from a previous incarnation.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Unflushed writes from live WALs, sorted by timestamp and
+    /// deduplicated (the cLSM out-of-order-logging recovery rule, §4).
+    pub records: Vec<WriteRecord>,
+    /// Highest timestamp ever issued (resume the oracle above this).
+    pub last_ts: u64,
+}
+
+/// The disk component.
+pub struct Store {
+    dir: PathBuf,
+    opts: StoreOptions,
+    cache: Arc<TableCache>,
+    versions: Mutex<VersionSet>,
+    /// Lock-free snapshot of the current version (the `Pd` pointer).
+    current: RcuCell<Arc<Version>>,
+    wal: LogQueue,
+    /// Number of the WAL currently receiving appends.
+    wal_number: AtomicU64,
+    /// Output files of in-flight flushes/compactions: written to disk
+    /// but not yet committed to a version. Obsolete-file GC must spare
+    /// them (LevelDB's `pending_outputs_`).
+    pending_outputs: Mutex<HashSet<u64>>,
+    /// Bytes written by memtable flushes.
+    bytes_flushed: AtomicU64,
+    /// Bytes written by compactions (rewrites).
+    bytes_compacted: AtomicU64,
+}
+
+/// Write-amplification accounting: bytes written by flushes vs. bytes
+/// rewritten by compactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteAmp {
+    /// Bytes first written by memtable flushes (the logical ingest).
+    pub flushed: u64,
+    /// Bytes rewritten by compactions on top of that.
+    pub compacted: u64,
+}
+
+impl WriteAmp {
+    /// Total device writes divided by logical ingest (≥ 1.0).
+    pub fn factor(&self) -> f64 {
+        if self.flushed == 0 {
+            1.0
+        } else {
+            (self.flushed + self.compacted) as f64 / self.flushed as f64
+        }
+    }
+}
+
+/// RAII registration of in-flight output file numbers; deregisters on
+/// drop so failed flushes/compactions release their claims.
+struct PendingGuard<'a> {
+    store: &'a Store,
+    numbers: Arc<Mutex<Vec<u64>>>,
+}
+
+impl<'a> PendingGuard<'a> {
+    fn new(store: &'a Store) -> Self {
+        PendingGuard {
+            store,
+            numbers: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// An allocator of output file numbers that registers each one as
+    /// pending (shared with the guard for release on drop).
+    fn allocator(&self) -> impl FnMut() -> u64 + '_ {
+        let numbers = Arc::clone(&self.numbers);
+        move || {
+            let n = self.store.versions.lock().new_file_number();
+            self.store.pending_outputs.lock().insert(n);
+            numbers.lock().push(n);
+            n
+        }
+    }
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let mut pending = self.store.pending_outputs.lock();
+        for n in self.numbers.lock().iter() {
+            pending.remove(n);
+        }
+    }
+}
+
+impl Store {
+    /// Opens (or creates) a store in `dir` and replays its WALs.
+    pub fn open(dir: &Path, opts: StoreOptions) -> Result<(Store, Recovered)> {
+        assert!(opts.num_levels >= 2 && opts.num_levels <= NUM_LEVELS);
+        std::fs::create_dir_all(dir)?;
+        let (mut versions, manifest_state) = VersionSet::open(dir)?;
+
+        // Replay every WAL at/above the manifest's boundary.
+        let mut wal_numbers: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(filenames::FileKind::Wal(n)) = filenames::parse_file_name(name) {
+                if n >= manifest_state.log_number {
+                    wal_numbers.push(n);
+                }
+            }
+        }
+        wal_numbers.sort_unstable();
+        let mut records: Vec<WriteRecord> = Vec::new();
+        for n in &wal_numbers {
+            let path = filenames::wal_path(dir, *n);
+            let mut reader = LogReader::new(std::fs::File::open(&path)?);
+            while let Some(payload) = reader.read_record()? {
+                records.extend(WriteRecord::decode_batch(&payload)?);
+            }
+        }
+        // cLSM WALs are written out of timestamp order; restore order
+        // and drop duplicates (a record may coexist with its flushed
+        // copy, or appear twice across a rotation race).
+        records.sort_by_key(|r| r.ts);
+        records.dedup_by_key(|r| r.ts);
+        let last_ts = records
+            .last()
+            .map(|r| r.ts)
+            .unwrap_or(0)
+            .max(manifest_state.last_ts);
+
+        let cache = Arc::new(TableCache::new(
+            dir.to_path_buf(),
+            opts.bloom_bits_per_key,
+            (opts.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(opts.block_cache_bytes))),
+            opts.max_open_tables,
+        ));
+
+        // Fresh WAL for the new incarnation. The recovered records stay
+        // covered by the old WALs (numbers ≥ log_number), which are
+        // retired only after the next flush.
+        let wal_number = versions.new_file_number();
+        let wal_file = std::fs::File::create(filenames::wal_path(dir, wal_number))?;
+        let wal = LogQueue::start(LogWriter::new(wal_file));
+
+        let current = RcuCell::new(versions.current());
+        let store = Store {
+            dir: dir.to_path_buf(),
+            opts,
+            cache,
+            versions: Mutex::new(versions),
+            current,
+            wal,
+            wal_number: AtomicU64::new(wal_number),
+            pending_outputs: Mutex::new(HashSet::new()),
+            bytes_flushed: AtomicU64::new(0),
+            bytes_compacted: AtomicU64::new(0),
+        };
+        Ok((store, Recovered { records, last_ts }))
+    }
+
+    /// The store's options.
+    pub fn options(&self) -> &StoreOptions {
+        &self.opts
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shared table cache.
+    pub fn table_cache(&self) -> &Arc<TableCache> {
+        &self.cache
+    }
+
+    /// Appends a batch of writes to the WAL.
+    pub fn log(&self, batch: &[WriteRecord], mode: SyncMode) -> Result<()> {
+        let mut payload =
+            Vec::with_capacity(batch.iter().map(|r| r.key.len() + r.value.len() + 16).sum());
+        for r in batch {
+            r.encode_to(&mut payload);
+        }
+        self.wal.append(payload, mode)
+    }
+
+    /// Forces everything logged so far to disk.
+    pub fn sync_wal(&self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// Lock-free snapshot of the current disk component.
+    pub fn current_version(&self) -> Arc<Version> {
+        self.current.load()
+    }
+
+    /// Point lookup: newest version of `user_key` with ts `<= max_ts`.
+    pub fn get(&self, user_key: &[u8], max_ts: u64) -> Result<Option<(u64, ValueKind, Vec<u8>)>> {
+        self.current_version().get(&self.cache, user_key, max_ts)
+    }
+
+    /// Iterators over the current version (for merging with memtables).
+    pub fn iterators(&self) -> Result<Vec<BoxedIterator>> {
+        self.current_version().iterators(&self.cache)
+    }
+
+    /// Like [`Store::iterators`], but also returns the version the
+    /// iterators read. Long-lived scans must hold the `Arc<Version>`:
+    /// it is what protects the underlying files from deletion by a
+    /// concurrent compaction (the paper's component reference counts).
+    pub fn version_iterators(&self) -> Result<(Arc<Version>, Vec<BoxedIterator>)> {
+        let version = self.current_version();
+        let iters = version.iterators(&self.cache)?;
+        Ok((version, iters))
+    }
+
+    /// Starts a new WAL file; subsequent appends go to it. Returns the
+    /// new WAL's number. Called by `beforeMerge` when the memtable is
+    /// swapped, so each memtable maps to a WAL prefix.
+    pub fn rotate_wal(&self) -> Result<u64> {
+        let number = self.versions.lock().new_file_number();
+        let file = std::fs::File::create(filenames::wal_path(&self.dir, number))?;
+        self.wal.rotate(LogWriter::new(file))?;
+        self.wal_number.store(number, Ordering::SeqCst);
+        Ok(number)
+    }
+
+    /// The WAL number currently receiving appends.
+    pub fn current_wal_number(&self) -> u64 {
+        self.wal_number.load(Ordering::SeqCst)
+    }
+
+    /// Flushes a sorted memtable stream into level-0 tables.
+    ///
+    /// `watermark` is the oldest live snapshot; `max_ts` the highest
+    /// timestamp in the stream; `retire_wals_below` the WAL number the
+    /// flushed data predates (those logs become garbage).
+    pub fn flush_memtable(
+        &self,
+        it: &mut dyn InternalIterator,
+        watermark: u64,
+        max_ts: u64,
+        retire_wals_below: u64,
+    ) -> Result<()> {
+        it.seek_to_first();
+        let guard = PendingGuard::new(self);
+        let new_files = {
+            let mut alloc = guard.allocator();
+            compaction::write_merged_tables(
+                it, &self.dir, &self.opts, 0, watermark, false, &mut alloc,
+            )?
+        };
+        self.bytes_flushed.fetch_add(
+            new_files.iter().map(|f| f.file_size).sum::<u64>(),
+            Ordering::Relaxed,
+        );
+        let edit = VersionEdit {
+            log_number: Some(retire_wals_below),
+            last_ts: Some(max_ts),
+            new_files,
+            ..Default::default()
+        };
+        let mut versions = self.versions.lock();
+        let new_version = versions.log_and_apply(edit)?;
+        self.current.store(new_version);
+        self.delete_obsolete_locked(&mut versions)?;
+        drop(versions);
+        drop(guard);
+        Ok(())
+    }
+
+    /// Returns `true` if some level's score is at or past its budget.
+    pub fn needs_compaction(&self) -> bool {
+        let v = self.current_version();
+        (0..self.opts.num_levels - 1).any(|l| compaction::level_score(&v, &self.opts, l) >= 1.0)
+    }
+
+    /// Picks and runs one compaction if any level needs it.
+    ///
+    /// Safe to call from several threads: file claims make concurrent
+    /// compactions work on disjoint inputs (this is how the RocksDB
+    /// baseline's multi-threaded compaction is modeled, §5.3).
+    pub fn maybe_compact(&self, watermark: u64) -> Result<bool> {
+        let version = self.current_version();
+        let Some(task) = compaction::pick(&version, &self.opts) else {
+            return Ok(false);
+        };
+        let guard = PendingGuard::new(self);
+        let edit = {
+            let mut alloc = guard.allocator();
+            compaction::run(
+                &task,
+                &self.dir,
+                &self.cache,
+                &self.opts,
+                watermark,
+                &mut alloc,
+            )?
+        };
+        let mut versions = self.versions.lock();
+        let new_version = versions.log_and_apply(edit)?;
+        self.current.store(new_version);
+        self.delete_obsolete_locked(&mut versions)?;
+        drop(versions);
+        drop(guard);
+        drop(task);
+        Ok(true)
+    }
+
+    /// Runs obsolete-file deletion, sparing in-flight pending outputs.
+    fn delete_obsolete_locked(&self, versions: &mut VersionSet) -> Result<()> {
+        let pending: HashSet<u64> = self.pending_outputs.lock().clone();
+        versions.delete_obsolete_files(&self.cache, &pending)?;
+        Ok(())
+    }
+
+    /// Per-level file counts (diagnostics).
+    pub fn level_file_counts(&self) -> Vec<usize> {
+        let v = self.current_version();
+        (0..self.opts.num_levels).map(|l| v.num_files(l)).collect()
+    }
+
+    /// Per-level byte totals (diagnostics).
+    pub fn level_byte_sizes(&self) -> Vec<u64> {
+        let v = self.current_version();
+        (0..self.opts.num_levels)
+            .map(|l| v.level_bytes(l))
+            .collect()
+    }
+
+    /// First WAL I/O error, if the logger thread hit one.
+    pub fn wal_poisoned(&self) -> Option<clsm_util::error::Error> {
+        self.wal.poisoned()
+    }
+
+    /// Manually compacts every file overlapping `[start, end]` (user
+    /// keys) down to the bottom level, level by level — LevelDB's
+    /// `CompactRange` admin operation. Blocks until done; safe to run
+    /// concurrently with background compactions (claims serialize).
+    pub fn compact_range(&self, start: &[u8], end: &[u8], watermark: u64) -> Result<()> {
+        for level in 0..self.opts.num_levels - 1 {
+            loop {
+                let version = self.current_version();
+                let Some(task) =
+                    compaction::pick_level_range(&version, &self.opts, level, start, end)
+                else {
+                    // Nothing overlapping at this level, or claimed by a
+                    // background compaction: if the level still has
+                    // overlapping files we must wait and retry, else we
+                    // move on.
+                    if version.overlapping_files(level, start, end).is_empty() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                    continue;
+                };
+                let guard = PendingGuard::new(self);
+                let edit = {
+                    let mut alloc = guard.allocator();
+                    compaction::run(
+                        &task,
+                        &self.dir,
+                        &self.cache,
+                        &self.opts,
+                        watermark,
+                        &mut alloc,
+                    )?
+                };
+                let mut versions = self.versions.lock();
+                let new_version = versions.log_and_apply(edit)?;
+                self.current.store(new_version);
+                self.delete_obsolete_locked(&mut versions)?;
+                drop(versions);
+                drop(guard);
+                drop(task);
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Full integrity scan: walks every table in the current version
+    /// end-to-end, validating per-block checksums and internal key
+    /// order. Returns the number of entries checked.
+    ///
+    /// Intended for offline verification tools and tests; it reads
+    /// every byte of every table, so it is proportional to store size.
+    pub fn verify_integrity(&self) -> Result<u64> {
+        let version = self.current_version();
+        let mut checked = 0u64;
+        for level in &version.levels {
+            for file in level {
+                let table = self.cache.table(file.number)?;
+                let mut it = table.iter();
+                it.seek_to_first();
+                let mut prev: Option<(Vec<u8>, u64)> = None;
+                while it.valid() {
+                    if let Some((pk, pts)) = &prev {
+                        let ord = pk.as_slice().cmp(it.user_key());
+                        let in_order = ord == std::cmp::Ordering::Less
+                            || (ord == std::cmp::Ordering::Equal && it.ts() < *pts);
+                        if !in_order {
+                            return Err(clsm_util::error::Error::corruption(format!(
+                                "table {:06} has out-of-order keys",
+                                file.number
+                            )));
+                        }
+                    }
+                    prev = Some((it.user_key().to_vec(), it.ts()));
+                    checked += 1;
+                    it.next();
+                }
+                it.status()?;
+            }
+        }
+        Ok(checked)
+    }
+
+    /// Block-cache hit/miss counters, if a cache is configured.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.block_cache().map(|c| c.stats())
+    }
+
+    /// Write-amplification counters (flush vs. compaction bytes).
+    pub fn write_amp(&self) -> WriteAmp {
+        WriteAmp {
+            flushed: self.bytes_flushed.load(Ordering::Relaxed),
+            compacted: self.bytes_compacted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Approximate on-disk bytes attributable to user keys in
+    /// `[start, end]` (LevelDB's `GetApproximateSizes`): whole files
+    /// fully inside the range count entirely, boundary files count
+    /// proportionally by key-range position.
+    pub fn approximate_range_bytes(&self, start: &[u8], end: &[u8]) -> u64 {
+        let version = self.current_version();
+        let mut total = 0u64;
+        for level in &version.levels {
+            for file in level {
+                let lo = file.smallest_user_key();
+                let hi = file.largest_user_key();
+                if hi < start || lo > end {
+                    continue;
+                }
+                if lo >= start && hi <= end {
+                    total += file.file_size;
+                } else {
+                    // Boundary overlap: charge half as a coarse estimate
+                    // (no per-block index probing; good enough for
+                    // capacity planning, the API's intended use).
+                    total += file.file_size / 2;
+                }
+            }
+        }
+        total
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("levels", &self.level_file_counts())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,280 @@
+//! End-to-end tests of the disk substrate: logging, recovery, flush,
+//! compaction, and snapshot-preservation.
+
+use super::*;
+use crate::iter::{MergingIterator, VecIterator};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "store-{}-{}-{}",
+        std::process::id(),
+        name,
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_opts() -> StoreOptions {
+    StoreOptions {
+        table_file_size: 4096,
+        base_level_bytes: 16 * 1024,
+        level_multiplier: 4,
+        l0_compaction_trigger: 2,
+        block_cache_bytes: 1 << 20,
+        ..Default::default()
+    }
+}
+
+fn put_entries(range: std::ops::Range<u64>) -> Vec<(Vec<u8>, u64, ValueKind, Vec<u8>)> {
+    // One put per key; internal order == key order here because each
+    // key has a single version.
+    range
+        .map(|i| {
+            (
+                format!("key{i:06}").into_bytes(),
+                i + 1,
+                ValueKind::Put,
+                format!("value-{i}").into_bytes(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn open_empty_store() {
+    let dir = tmpdir("empty");
+    let (store, rec) = Store::open(&dir, small_opts()).unwrap();
+    assert!(rec.records.is_empty());
+    assert_eq!(rec.last_ts, 0);
+    assert!(store.get(b"nope", u64::MAX >> 1).unwrap().is_none());
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn logged_writes_recover_sorted_and_deduped() {
+    let dir = tmpdir("recover");
+    {
+        let (store, _) = Store::open(&dir, small_opts()).unwrap();
+        // Log out of timestamp order, with one duplicate.
+        store
+            .log(
+                &[WriteRecord::put(5, b"b".to_vec(), b"v5".to_vec())],
+                SyncMode::Async,
+            )
+            .unwrap();
+        store
+            .log(
+                &[
+                    WriteRecord::put(2, b"a".to_vec(), b"v2".to_vec()),
+                    WriteRecord::delete(7, b"c".to_vec()),
+                ],
+                SyncMode::Async,
+            )
+            .unwrap();
+        store
+            .log(
+                &[WriteRecord::put(5, b"b".to_vec(), b"v5".to_vec())],
+                SyncMode::Sync,
+            )
+            .unwrap();
+    }
+    let (_store, rec) = Store::open(&dir, small_opts()).unwrap();
+    let ts_seq: Vec<u64> = rec.records.iter().map(|r| r.ts).collect();
+    assert_eq!(ts_seq, vec![2, 5, 7]);
+    assert_eq!(rec.last_ts, 7);
+    assert_eq!(rec.records[2].kind, ValueKind::Delete);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn flush_makes_data_durable_and_retires_wals() {
+    let dir = tmpdir("flush");
+    {
+        let (store, _) = Store::open(&dir, small_opts()).unwrap();
+        let records: Vec<WriteRecord> = (0..100u64)
+            .map(|i| WriteRecord::put(i + 1, format!("key{i:06}").into_bytes(), b"v".to_vec()))
+            .collect();
+        store.log(&records, SyncMode::Sync).unwrap();
+        // Rotate: the data above predates the new WAL.
+        let new_wal = store.rotate_wal().unwrap();
+        let mut it = VecIterator::new(put_entries(0..100));
+        store.flush_memtable(&mut it, 100, 100, new_wal).unwrap();
+        assert_eq!(store.level_file_counts()[0], 1);
+        // Reads hit the table.
+        let (ts, kind, v) = store.get(b"key000042", u64::MAX >> 1).unwrap().unwrap();
+        assert_eq!(
+            (ts, kind, v.as_slice()),
+            (43, ValueKind::Put, &b"value-42"[..])
+        );
+    }
+    // After reopen nothing needs replay (WALs retired), data persists.
+    let (store, rec) = Store::open(&dir, small_opts()).unwrap();
+    assert!(rec.records.is_empty(), "flushed data must not replay");
+    assert_eq!(rec.last_ts, 100);
+    assert!(store.get(b"key000099", u64::MAX >> 1).unwrap().is_some());
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn snapshot_reads_survive_flush() {
+    let dir = tmpdir("snapread");
+    let (store, _) = Store::open(&dir, small_opts()).unwrap();
+    // Two versions of one key; watermark 1 keeps both.
+    let entries = vec![
+        (b"k".to_vec(), 9, ValueKind::Put, b"new".to_vec()),
+        (b"k".to_vec(), 1, ValueKind::Put, b"old".to_vec()),
+    ];
+    let mut it = VecIterator::new(entries);
+    let wal = store.rotate_wal().unwrap();
+    store.flush_memtable(&mut it, 1, 9, wal).unwrap();
+    assert_eq!(store.get(b"k", 100).unwrap().unwrap().2, b"new".to_vec());
+    assert_eq!(store.get(b"k", 5).unwrap().unwrap().2, b"old".to_vec());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compaction_preserves_all_data() {
+    let dir = tmpdir("compact");
+    let (store, _) = Store::open(&dir, small_opts()).unwrap();
+    let mut ts = 0u64;
+    // Ten flushes of 200 keys each (two overlapping key ranges), with
+    // compactions in between.
+    for round in 0..10u64 {
+        let mut entries = Vec::new();
+        for i in 0..200u64 {
+            let key = (round % 2) * 100 + i; // overlapping ranges
+            ts += 1;
+            entries.push((
+                format!("key{key:06}").into_bytes(),
+                ts,
+                ValueKind::Put,
+                format!("r{round}-{key}").into_bytes(),
+            ));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let wal = store.rotate_wal().unwrap();
+        let mut it = VecIterator::new(entries);
+        store.flush_memtable(&mut it, ts, ts, wal).unwrap();
+        while store.needs_compaction() {
+            if !store.maybe_compact(ts).unwrap() {
+                break;
+            }
+        }
+    }
+    // Data must be fully intact: the last writer of each key wins.
+    for key in 0..300u64 {
+        let k = format!("key{key:06}");
+        let got = store.get(k.as_bytes(), u64::MAX >> 1).unwrap();
+        assert!(got.is_some(), "missing {k}");
+    }
+    // Compactions actually moved data below L0.
+    let counts = store.level_file_counts();
+    assert!(counts[1..].iter().sum::<usize>() > 0, "levels: {counts:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compaction_respects_snapshot_watermark() {
+    let dir = tmpdir("watermark");
+    let (store, _) = Store::open(&dir, small_opts()).unwrap();
+    let mut ts = 0u64;
+    // Write 5 versions of the same key across 5 flushes.
+    for v in 0..5u64 {
+        ts += 1;
+        let entries = vec![(
+            b"hot".to_vec(),
+            ts,
+            ValueKind::Put,
+            format!("v{v}").into_bytes(),
+        )];
+        let wal = store.rotate_wal().unwrap();
+        let mut it = VecIterator::new(entries);
+        store.flush_memtable(&mut it, 2, ts, wal).unwrap(); // snapshot at ts=2 held
+        while store.maybe_compact(2).unwrap() {}
+    }
+    // The snapshot at ts=2 must still read version 2.
+    let got = store.get(b"hot", 2).unwrap().unwrap();
+    assert_eq!(got.2, b"v1".to_vec());
+    // Latest wins at the top.
+    assert_eq!(store.get(b"hot", 100).unwrap().unwrap().2, b"v4".to_vec());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn deletes_disappear_after_bottom_compaction() {
+    let dir = tmpdir("tombstone");
+    let mut opts = small_opts();
+    opts.num_levels = 2; // L0 → L1 (bottom) directly
+    let (store, _) = Store::open(&dir, opts).unwrap();
+    // Put then delete, flush both, compact to bottom with watermark
+    // beyond both.
+    let wal = store.rotate_wal().unwrap();
+    let mut it = VecIterator::new(vec![(b"k".to_vec(), 1, ValueKind::Put, b"v".to_vec())]);
+    store.flush_memtable(&mut it, 10, 1, wal).unwrap();
+    let wal = store.rotate_wal().unwrap();
+    let mut it = VecIterator::new(vec![(b"k".to_vec(), 2, ValueKind::Delete, Vec::new())]);
+    store.flush_memtable(&mut it, 10, 2, wal).unwrap();
+    while store.maybe_compact(10).unwrap() {}
+    // The key is gone and so is its tombstone.
+    assert!(store.get(b"k", 100).unwrap().is_none());
+    let mut total_entries = 0u64;
+    for level_files in store.level_file_counts() {
+        total_entries += level_files as u64;
+    }
+    // Everything compacted away: at most an empty set of files remains.
+    let _ = total_entries;
+    let merged = store.iterators().unwrap();
+    let mut m = MergingIterator::new(merged);
+    m.seek_to_first();
+    assert!(!m.valid(), "tombstone or value leaked");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn iterators_merge_levels_in_order() {
+    let dir = tmpdir("merge-iter");
+    let (store, _) = Store::open(&dir, small_opts()).unwrap();
+    let mut ts = 0u64;
+    for _round in 0..4u64 {
+        let mut entries = Vec::new();
+        for i in 0..50u64 {
+            ts += 1;
+            entries.push((
+                format!("key{:06}", i * 7 % 100).into_bytes(),
+                ts,
+                ValueKind::Put,
+                b"v".to_vec(),
+            ));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let wal = store.rotate_wal().unwrap();
+        let mut it = VecIterator::new(entries);
+        store.flush_memtable(&mut it, ts, ts, wal).unwrap();
+    }
+    while store.maybe_compact(ts).unwrap() {}
+    let mut m = MergingIterator::new(store.iterators().unwrap());
+    m.seek_to_first();
+    let mut last: Option<(Vec<u8>, u64)> = None;
+    let mut count = 0;
+    while m.valid() {
+        if let Some((lk, lts)) = &last {
+            let ord = lk.as_slice().cmp(m.user_key());
+            assert!(
+                ord == std::cmp::Ordering::Less
+                    || (ord == std::cmp::Ordering::Equal && m.ts() < *lts),
+                "order violated"
+            );
+        }
+        last = Some((m.user_key().to_vec(), m.ts()));
+        count += 1;
+        m.next();
+    }
+    assert!(count > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,485 @@
+//! Versions: immutable snapshots of the leveled file layout.
+//!
+//! A [`Version`] is the disk component `Cd` at one instant. Readers
+//! grab the current version through an RCU pointer (lock-free, matching
+//! cLSM's non-blocking `get`), while flushes and compactions install
+//! new versions through [`VersionSet::log_and_apply`] under the
+//! version-set mutex.
+
+mod edit;
+mod level_iter;
+
+pub use edit::{NewFile, VersionEdit};
+pub use level_iter::LevelIter;
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+
+use clsm_util::error::{Error, Result};
+
+use crate::cache::TableCache;
+use crate::filenames;
+use crate::format::ValueKind;
+use crate::iter::BoxedIterator;
+use crate::wal::{LogReader, LogWriter};
+use crate::NUM_LEVELS;
+
+/// Immutable metadata of one table file.
+#[derive(Debug)]
+pub struct FileMeta {
+    /// Table file number.
+    pub number: u64,
+    /// File size in bytes.
+    pub file_size: u64,
+    /// Smallest internal key in the file.
+    pub smallest: Vec<u8>,
+    /// Largest internal key in the file.
+    pub largest: Vec<u8>,
+    /// Set while a compaction claims this file as input.
+    pub being_compacted: AtomicBool,
+}
+
+impl FileMeta {
+    /// The user-key prefix of the smallest internal key.
+    pub fn smallest_user_key(&self) -> &[u8] {
+        user_part(&self.smallest)
+    }
+
+    /// The user-key prefix of the largest internal key.
+    pub fn largest_user_key(&self) -> &[u8] {
+        user_part(&self.largest)
+    }
+}
+
+fn user_part(internal: &[u8]) -> &[u8] {
+    &internal[..internal.len().saturating_sub(crate::format::TAG_SIZE)]
+}
+
+/// One immutable snapshot of the file layout across levels.
+#[derive(Debug)]
+pub struct Version {
+    /// Files per level. L0 is sorted by file number descending (newest
+    /// first); L1+ are sorted by smallest key with disjoint ranges.
+    pub levels: Vec<Vec<Arc<FileMeta>>>,
+}
+
+impl Version {
+    /// An empty version.
+    pub fn empty() -> Version {
+        Version {
+            levels: (0..NUM_LEVELS).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Point lookup across all levels: the newest version of `user_key`
+    /// with timestamp `<= max_ts`.
+    pub fn get(
+        &self,
+        cache: &TableCache,
+        user_key: &[u8],
+        max_ts: u64,
+    ) -> Result<Option<(u64, ValueKind, Vec<u8>)>> {
+        // L0: files may overlap; search newest-first. Any hit is the
+        // newest visible version because newer L0 files hold strictly
+        // newer versions of a key than older ones.
+        for file in &self.levels[0] {
+            if user_key < file.smallest_user_key() || user_key > file.largest_user_key() {
+                continue;
+            }
+            let table = cache.table(file.number)?;
+            if let Some(hit) = table.get(user_key, max_ts)? {
+                return Ok(Some(hit));
+            }
+        }
+        // L1+: disjoint ranges; at most one candidate file per level.
+        for level in &self.levels[1..] {
+            let idx = level.partition_point(|f| f.largest_user_key() < user_key);
+            if idx >= level.len() {
+                continue;
+            }
+            let file = &level[idx];
+            if user_key < file.smallest_user_key() {
+                continue;
+            }
+            let table = cache.table(file.number)?;
+            if let Some(hit) = table.get(user_key, max_ts)? {
+                return Ok(Some(hit));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Iterators over every file/level, newest component first, for use
+    /// in a [`crate::MergingIterator`].
+    pub fn iterators(&self, cache: &Arc<TableCache>) -> Result<Vec<BoxedIterator>> {
+        let mut out: Vec<BoxedIterator> = Vec::new();
+        for file in &self.levels[0] {
+            let table = cache.table(file.number)?;
+            out.push(Box::new(table.iter()));
+        }
+        for level in &self.levels[1..] {
+            if !level.is_empty() {
+                out.push(Box::new(LevelIter::new(Arc::clone(cache), level.clone())));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Files in `level` whose user-key range intersects
+    /// `[smallest, largest]`.
+    pub fn overlapping_files(
+        &self,
+        level: usize,
+        smallest: &[u8],
+        largest: &[u8],
+    ) -> Vec<Arc<FileMeta>> {
+        self.levels[level]
+            .iter()
+            .filter(|f| f.largest_user_key() >= smallest && f.smallest_user_key() <= largest)
+            .cloned()
+            .collect()
+    }
+
+    /// Total bytes in `level`.
+    pub fn level_bytes(&self, level: usize) -> u64 {
+        self.levels[level].iter().map(|f| f.file_size).sum()
+    }
+
+    /// Number of files in `level`.
+    pub fn num_files(&self, level: usize) -> usize {
+        self.levels[level].len()
+    }
+
+    /// Collects every file number referenced by this version.
+    pub fn live_files(&self, into: &mut HashSet<u64>) {
+        for level in &self.levels {
+            for f in level {
+                into.insert(f.number);
+            }
+        }
+    }
+}
+
+/// Mutable owner of the version history and the manifest.
+pub struct VersionSet {
+    dir: PathBuf,
+    current: Arc<Version>,
+    manifest: LogWriter,
+    next_file_number: u64,
+    /// WAL number at/above which logs still hold unflushed data.
+    log_number: u64,
+    /// Highest timestamp known flushed.
+    last_ts: u64,
+    /// Versions that may still be referenced by in-flight readers.
+    live_versions: Vec<Weak<Version>>,
+}
+
+impl std::fmt::Debug for VersionSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionSet")
+            .field("next_file_number", &self.next_file_number)
+            .field("log_number", &self.log_number)
+            .finish()
+    }
+}
+
+/// State recovered from the manifest on open.
+#[derive(Debug)]
+pub struct RecoveredManifest {
+    /// WAL numbers `>=` this still hold unflushed data.
+    pub log_number: u64,
+    /// Highest timestamp known flushed to tables.
+    pub last_ts: u64,
+}
+
+impl VersionSet {
+    /// Opens (or creates) the version state in `dir`.
+    ///
+    /// Rewrites the manifest as a fresh snapshot on every open, which
+    /// bounds manifest growth and keeps recovery O(current state).
+    pub fn open(dir: &Path) -> Result<(VersionSet, RecoveredManifest)> {
+        std::fs::create_dir_all(dir)?;
+        let current_file = filenames::current_path(dir);
+        let mut version = Version::empty();
+        let mut next_file_number = 1u64;
+        let mut log_number = 0u64;
+        let mut last_ts = 0u64;
+
+        if current_file.exists() {
+            let name = std::fs::read_to_string(&current_file)?;
+            let manifest_path = dir.join(name.trim());
+            let mut reader = LogReader::new(std::fs::File::open(&manifest_path)?);
+            let mut builder = Builder::new(Version::empty());
+            while let Some(record) = reader.read_record()? {
+                let edit = VersionEdit::decode(&record)?;
+                if let Some(v) = edit.log_number {
+                    log_number = v;
+                }
+                if let Some(v) = edit.next_file_number {
+                    next_file_number = next_file_number.max(v);
+                }
+                if let Some(v) = edit.last_ts {
+                    last_ts = last_ts.max(v);
+                }
+                builder.apply(&edit)?;
+            }
+            version = builder.finish();
+        }
+
+        // Write a fresh manifest snapshot and swing CURRENT to it.
+        let manifest_number = next_file_number;
+        next_file_number += 1;
+        let manifest_path = filenames::manifest_path(dir, manifest_number);
+        let mut manifest = LogWriter::new(std::fs::File::create(&manifest_path)?);
+        let snapshot = snapshot_edit(&version, next_file_number, log_number, last_ts);
+        manifest.add_record(&snapshot.encode())?;
+        manifest.sync()?;
+        install_current(dir, manifest_number)?;
+
+        let current = Arc::new(version);
+        let set = VersionSet {
+            dir: dir.to_path_buf(),
+            current: Arc::clone(&current),
+            manifest,
+            next_file_number,
+            log_number,
+            last_ts,
+            live_versions: vec![Arc::downgrade(&current)],
+        };
+        Ok((
+            set,
+            RecoveredManifest {
+                log_number,
+                last_ts,
+            },
+        ))
+    }
+
+    /// The current version.
+    pub fn current(&self) -> Arc<Version> {
+        Arc::clone(&self.current)
+    }
+
+    /// Allocates a fresh file number.
+    pub fn new_file_number(&mut self) -> u64 {
+        let n = self.next_file_number;
+        self.next_file_number += 1;
+        n
+    }
+
+    /// The WAL number boundary recorded in the manifest.
+    pub fn log_number(&self) -> u64 {
+        self.log_number
+    }
+
+    /// Logs `edit` durably and installs the resulting version.
+    pub fn log_and_apply(&mut self, mut edit: VersionEdit) -> Result<Arc<Version>> {
+        edit.next_file_number = Some(self.next_file_number);
+        if let Some(v) = edit.log_number {
+            debug_assert!(v >= self.log_number);
+            self.log_number = v;
+        }
+        if let Some(v) = edit.last_ts {
+            self.last_ts = self.last_ts.max(v);
+        }
+        let mut builder = Builder::new_from(&self.current);
+        builder.apply(&edit)?;
+        let new_version = Arc::new(builder.finish());
+        self.manifest.add_record(&edit.encode())?;
+        self.manifest.sync()?;
+        self.current = Arc::clone(&new_version);
+        self.live_versions.push(Arc::downgrade(&new_version));
+        self.live_versions.retain(|w| w.strong_count() > 0);
+        Ok(new_version)
+    }
+
+    /// Table-file numbers still referenced by any live version.
+    pub fn live_table_files(&self) -> HashSet<u64> {
+        let mut live = HashSet::new();
+        self.current.live_files(&mut live);
+        for weak in &self.live_versions {
+            if let Some(v) = weak.upgrade() {
+                v.live_files(&mut live);
+            }
+        }
+        live
+    }
+
+    /// Deletes table and WAL files that no live version references and
+    /// that are not pending outputs of an in-flight flush/compaction.
+    /// Returns the numbers of the deleted tables (for cache eviction).
+    pub fn delete_obsolete_files(
+        &mut self,
+        cache: &TableCache,
+        pending: &HashSet<u64>,
+    ) -> Result<Vec<u64>> {
+        let mut live = self.live_table_files();
+        live.extend(pending.iter().copied());
+        let mut deleted = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            match filenames::parse_file_name(name) {
+                Some(filenames::FileKind::Table(n)) if !live.contains(&n) => {
+                    std::fs::remove_file(entry.path())?;
+                    cache.evict(n);
+                    deleted.push(n);
+                }
+                Some(filenames::FileKind::Wal(n)) if n < self.log_number => {
+                    std::fs::remove_file(entry.path())?;
+                }
+                Some(filenames::FileKind::Temp(_)) => {
+                    std::fs::remove_file(entry.path())?;
+                }
+                _ => {}
+            }
+        }
+        Ok(deleted)
+    }
+}
+
+/// Atomically points CURRENT at the given manifest.
+fn install_current(dir: &Path, manifest_number: u64) -> Result<()> {
+    let tmp = filenames::temp_path(dir, manifest_number);
+    std::fs::write(&tmp, format!("MANIFEST-{manifest_number:06}\n"))?;
+    std::fs::rename(&tmp, filenames::current_path(dir))?;
+    Ok(())
+}
+
+/// Produces an edit that recreates `version` from scratch.
+fn snapshot_edit(
+    version: &Version,
+    next_file_number: u64,
+    log_number: u64,
+    last_ts: u64,
+) -> VersionEdit {
+    let mut edit = VersionEdit {
+        log_number: Some(log_number),
+        next_file_number: Some(next_file_number),
+        last_ts: Some(last_ts),
+        ..Default::default()
+    };
+    for (level, files) in version.levels.iter().enumerate() {
+        for f in files {
+            edit.new_files.push(NewFile {
+                level: level as u32,
+                number: f.number,
+                file_size: f.file_size,
+                smallest: f.smallest.clone(),
+                largest: f.largest.clone(),
+            });
+        }
+    }
+    edit
+}
+
+/// Applies edits to a base version, producing the next version.
+struct Builder {
+    levels: Vec<Vec<Arc<FileMeta>>>,
+}
+
+impl Builder {
+    fn new(base: Version) -> Builder {
+        Builder {
+            levels: base.levels,
+        }
+    }
+
+    fn new_from(base: &Version) -> Builder {
+        Builder {
+            levels: base.levels.clone(),
+        }
+    }
+
+    fn apply(&mut self, edit: &VersionEdit) -> Result<()> {
+        for &(level, number) in &edit.deleted_files {
+            let level = level as usize;
+            if level >= self.levels.len() {
+                return Err(Error::corruption("edit deletes file at bad level"));
+            }
+            let before = self.levels[level].len();
+            self.levels[level].retain(|f| f.number != number);
+            if self.levels[level].len() == before {
+                return Err(Error::corruption(format!(
+                    "edit deletes unknown file {number} at level {level}"
+                )));
+            }
+        }
+        for nf in &edit.new_files {
+            let level = nf.level as usize;
+            if level >= self.levels.len() {
+                return Err(Error::corruption("edit adds file at bad level"));
+            }
+            let meta = Arc::new(FileMeta {
+                number: nf.number,
+                file_size: nf.file_size,
+                smallest: nf.smallest.clone(),
+                largest: nf.largest.clone(),
+                being_compacted: AtomicBool::new(false),
+            });
+            self.levels[level].push(meta);
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Version {
+        // L0: newest (highest number) first.
+        self.levels[0].sort_by_key(|f| std::cmp::Reverse(f.number));
+        // L1+: by smallest key; ranges are disjoint by construction.
+        for level in &mut self.levels[1..] {
+            level.sort_by(|a, b| crate::format::compare_internal_keys(&a.smallest, &b.smallest));
+        }
+        Version {
+            levels: self.levels,
+        }
+    }
+}
+
+impl Drop for VersionSet {
+    fn drop(&mut self) {
+        let _ = self.manifest.sync();
+    }
+}
+
+/// Marks compaction inputs; clears the flags when dropped (RAII guard
+/// so failed compactions release their claims).
+#[derive(Debug)]
+pub struct CompactionClaim {
+    files: Vec<Arc<FileMeta>>,
+}
+
+impl CompactionClaim {
+    /// Attempts to claim every file; returns `None` if any is already
+    /// claimed by another compaction.
+    pub fn try_claim(files: Vec<Arc<FileMeta>>) -> Option<CompactionClaim> {
+        for (i, f) in files.iter().enumerate() {
+            if f.being_compacted.swap(true, Ordering::AcqRel) {
+                // Roll back the ones we claimed.
+                for g in &files[..i] {
+                    g.being_compacted.store(false, Ordering::Release);
+                }
+                return None;
+            }
+        }
+        Some(CompactionClaim { files })
+    }
+
+    /// The claimed files.
+    pub fn files(&self) -> &[Arc<FileMeta>] {
+        &self.files
+    }
+}
+
+impl Drop for CompactionClaim {
+    fn drop(&mut self) {
+        for f in &self.files {
+            f.being_compacted.store(false, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,301 @@
+//! Tests for version bookkeeping, manifest recovery, and level reads.
+
+use super::*;
+use crate::format::InternalKey;
+use crate::iter::InternalIterator;
+use crate::sstable::TableBuilder;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "version-{}-{}-{}",
+        std::process::id(),
+        name,
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds a table file and returns its NewFile record.
+fn build_table(
+    dir: &Path,
+    number: u64,
+    level: u32,
+    entries: &[(&[u8], u64, ValueKind, &[u8])],
+) -> NewFile {
+    let path = filenames::table_path(dir, number);
+    let mut b = TableBuilder::new(std::fs::File::create(&path).unwrap(), 4096, 10);
+    for (k, ts, kind, v) in entries {
+        b.add(InternalKey::new(k, *ts, *kind).encoded(), v).unwrap();
+    }
+    let s = b.finish().unwrap();
+    NewFile {
+        level,
+        number,
+        file_size: s.file_size,
+        smallest: s.smallest,
+        largest: s.largest,
+    }
+}
+
+fn cache_for(dir: &Path) -> Arc<TableCache> {
+    Arc::new(TableCache::new(dir.to_path_buf(), 10, None, 100))
+}
+
+#[test]
+fn empty_store_roundtrips_through_manifest() {
+    let dir = tmpdir("empty");
+    {
+        let (set, rec) = VersionSet::open(&dir).unwrap();
+        assert_eq!(rec.log_number, 0);
+        assert_eq!(set.current().num_files(0), 0);
+    }
+    // Re-open recovers cleanly.
+    let (set, _) = VersionSet::open(&dir).unwrap();
+    assert_eq!(set.current().num_files(0), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn edits_survive_reopen() {
+    let dir = tmpdir("edits");
+    let f1 = build_table(&dir, 11, 0, &[(b"a", 1, ValueKind::Put, b"v1")]);
+    let f2 = build_table(&dir, 12, 1, &[(b"m", 2, ValueKind::Put, b"v2")]);
+    {
+        let (mut set, _) = VersionSet::open(&dir).unwrap();
+        let edit = VersionEdit {
+            log_number: Some(5),
+            last_ts: Some(2),
+            new_files: vec![f1.clone(), f2.clone()],
+            ..Default::default()
+        };
+        set.log_and_apply(edit).unwrap();
+        assert_eq!(set.current().num_files(0), 1);
+        assert_eq!(set.current().num_files(1), 1);
+    }
+    let (set, rec) = VersionSet::open(&dir).unwrap();
+    assert_eq!(rec.log_number, 5);
+    assert_eq!(rec.last_ts, 2);
+    let v = set.current();
+    assert_eq!(v.num_files(0), 1);
+    assert_eq!(v.levels[0][0].number, 11);
+    assert_eq!(v.levels[1][0].number, 12);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn version_get_prefers_newer_levels() {
+    let dir = tmpdir("get");
+    // L0 newest file has k=5; older L0 file has k=3; L1 has k=1.
+    let f_new = build_table(&dir, 30, 0, &[(b"k", 5, ValueKind::Put, b"new")]);
+    let f_old = build_table(&dir, 20, 0, &[(b"k", 3, ValueKind::Put, b"mid")]);
+    let f_l1 = build_table(&dir, 10, 1, &[(b"k", 1, ValueKind::Put, b"old")]);
+    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    set.log_and_apply(VersionEdit {
+        new_files: vec![f_new, f_old, f_l1],
+        ..Default::default()
+    })
+    .unwrap();
+    let v = set.current();
+    let cache = cache_for(&dir);
+    // Latest overall.
+    let (ts, _, val) = v.get(&cache, b"k", u64::MAX >> 1).unwrap().unwrap();
+    assert_eq!((ts, val.as_slice()), (5, &b"new"[..]));
+    // Snapshot reads walk down the levels.
+    let (ts, _, val) = v.get(&cache, b"k", 4).unwrap().unwrap();
+    assert_eq!((ts, val.as_slice()), (3, &b"mid"[..]));
+    let (ts, _, val) = v.get(&cache, b"k", 2).unwrap().unwrap();
+    assert_eq!((ts, val.as_slice()), (1, &b"old"[..]));
+    assert!(v.get(&cache, b"k", 0).unwrap().is_none());
+    assert!(v.get(&cache, b"zz", 100).unwrap().is_none());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn deleted_files_leave_the_version_and_disk() {
+    let dir = tmpdir("delete");
+    let f1 = build_table(&dir, 7, 0, &[(b"x", 1, ValueKind::Put, b"v")]);
+    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    set.log_and_apply(VersionEdit {
+        new_files: vec![f1],
+        ..Default::default()
+    })
+    .unwrap();
+    set.log_and_apply(VersionEdit {
+        deleted_files: vec![(0, 7)],
+        ..Default::default()
+    })
+    .unwrap();
+    assert_eq!(set.current().num_files(0), 0);
+    let cache = cache_for(&dir);
+    let deleted = set.delete_obsolete_files(&cache, &HashSet::new()).unwrap();
+    assert_eq!(deleted, vec![7]);
+    assert!(!filenames::table_path(&dir, 7).exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn obsolete_deletion_spares_files_held_by_live_versions() {
+    let dir = tmpdir("held");
+    let f1 = build_table(&dir, 7, 0, &[(b"x", 1, ValueKind::Put, b"v")]);
+    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    let v_with_file = set
+        .log_and_apply(VersionEdit {
+            new_files: vec![f1],
+            ..Default::default()
+        })
+        .unwrap();
+    set.log_and_apply(VersionEdit {
+        deleted_files: vec![(0, 7)],
+        ..Default::default()
+    })
+    .unwrap();
+    let cache = cache_for(&dir);
+    // A reader still holds the old version: the file must survive.
+    let deleted = set.delete_obsolete_files(&cache, &HashSet::new()).unwrap();
+    assert!(deleted.is_empty());
+    assert!(filenames::table_path(&dir, 7).exists());
+    drop(v_with_file);
+    let deleted = set.delete_obsolete_files(&cache, &HashSet::new()).unwrap();
+    assert_eq!(deleted, vec![7]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_edit_is_rejected() {
+    let dir = tmpdir("bad-edit");
+    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    let r = set.log_and_apply(VersionEdit {
+        deleted_files: vec![(0, 999)],
+        ..Default::default()
+    });
+    assert!(r.is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn overlap_queries() {
+    let dir = tmpdir("overlap");
+    let f1 = build_table(
+        &dir,
+        1,
+        1,
+        &[
+            (b"b", 1, ValueKind::Put, b""),
+            (b"d", 2, ValueKind::Put, b""),
+        ],
+    );
+    let f2 = build_table(
+        &dir,
+        2,
+        1,
+        &[
+            (b"f", 3, ValueKind::Put, b""),
+            (b"h", 4, ValueKind::Put, b""),
+        ],
+    );
+    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    set.log_and_apply(VersionEdit {
+        new_files: vec![f1, f2],
+        ..Default::default()
+    })
+    .unwrap();
+    let v = set.current();
+    let hit = |lo: &[u8], hi: &[u8]| {
+        v.overlapping_files(1, lo, hi)
+            .iter()
+            .map(|f| f.number)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(hit(b"a", b"a"), Vec::<u64>::new());
+    assert_eq!(hit(b"a", b"b"), vec![1]);
+    assert_eq!(hit(b"c", b"g"), vec![1, 2]);
+    assert_eq!(hit(b"e", b"e"), Vec::<u64>::new());
+    assert_eq!(hit(b"h", b"z"), vec![2]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn level_iter_concatenates_files() {
+    let dir = tmpdir("leveliter");
+    let f1 = build_table(
+        &dir,
+        1,
+        1,
+        &[
+            (b"a", 1, ValueKind::Put, b"va"),
+            (b"c", 2, ValueKind::Put, b"vc"),
+        ],
+    );
+    let f2 = build_table(
+        &dir,
+        2,
+        1,
+        &[
+            (b"m", 3, ValueKind::Put, b"vm"),
+            (b"z", 4, ValueKind::Delete, b""),
+        ],
+    );
+    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    set.log_and_apply(VersionEdit {
+        new_files: vec![f1, f2],
+        ..Default::default()
+    })
+    .unwrap();
+    let v = set.current();
+    let cache = cache_for(&dir);
+    let mut it = LevelIter::new(cache, v.levels[1].clone());
+    it.seek_to_first();
+    let mut got = Vec::new();
+    while it.valid() {
+        got.push((it.user_key().to_vec(), it.ts(), it.kind()));
+        it.next();
+    }
+    it.status().unwrap();
+    assert_eq!(
+        got,
+        vec![
+            (b"a".to_vec(), 1, ValueKind::Put),
+            (b"c".to_vec(), 2, ValueKind::Put),
+            (b"m".to_vec(), 3, ValueKind::Put),
+            (b"z".to_vec(), 4, ValueKind::Delete),
+        ]
+    );
+    // Seeks across file boundaries.
+    it.seek(b"d", u64::MAX >> 1);
+    assert_eq!(it.user_key(), b"m");
+    it.seek(b"m", 3);
+    assert_eq!((it.user_key(), it.ts()), (&b"m"[..], 3));
+    it.seek(b"m", 2);
+    assert_eq!(it.user_key(), b"z");
+    it.seek(b"zz", 1);
+    assert!(!it.valid());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compaction_claims_are_exclusive_and_released() {
+    let f = Arc::new(FileMeta {
+        number: 1,
+        file_size: 0,
+        smallest: vec![0; 8],
+        largest: vec![0; 8],
+        being_compacted: AtomicBool::new(false),
+    });
+    let g = Arc::new(FileMeta {
+        number: 2,
+        file_size: 0,
+        smallest: vec![0; 8],
+        largest: vec![0; 8],
+        being_compacted: AtomicBool::new(false),
+    });
+    let claim = CompactionClaim::try_claim(vec![f.clone(), g.clone()]).unwrap();
+    // Second claim on any overlapping file fails and rolls back.
+    assert!(CompactionClaim::try_claim(vec![g.clone()]).is_none());
+    drop(claim);
+    // Released: claimable again.
+    assert!(CompactionClaim::try_claim(vec![f, g]).is_some());
+}

@@ -1,0 +1,140 @@
+//! WAL reader with checksum validation and crash-tail tolerance.
+
+use std::fs::File;
+use std::io::Read;
+
+use clsm_util::crc;
+use clsm_util::error::Result;
+
+use super::{RecordType, BLOCK_SIZE, HEADER_SIZE};
+
+/// Reads records back from a log file.
+///
+/// Damage at the tail of the log (torn writes after a crash) is treated
+/// as end-of-log, which is the contract asynchronous logging provides
+/// ("a handful of writes may be lost due to a crash", §4). Corruption
+/// is never silently returned as data: every fragment is CRC-checked.
+#[derive(Debug)]
+pub struct LogReader {
+    file: File,
+    /// Current block, refilled BLOCK_SIZE at a time.
+    buffer: Vec<u8>,
+    /// Read offset within `buffer`.
+    pos: usize,
+    /// True once EOF was reached while refilling.
+    eof: bool,
+}
+
+impl LogReader {
+    /// Wraps an open log file positioned at the start.
+    pub fn new(file: File) -> Self {
+        LogReader {
+            file,
+            buffer: Vec::new(),
+            pos: 0,
+            eof: false,
+        }
+    }
+
+    /// Reads the next full record, or `None` at end-of-log.
+    ///
+    /// A fragment with a bad checksum, bad type, or impossible length
+    /// ends the log: replay stops at the last intact record.
+    pub fn read_record(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut assembled: Option<Vec<u8>> = None;
+        loop {
+            let Some((ty, payload)) = self.read_fragment()? else {
+                // A dangling FIRST/MIDDLE prefix without LAST is a torn
+                // tail; drop it.
+                return Ok(None);
+            };
+            match ty {
+                RecordType::Full => {
+                    if assembled.is_some() {
+                        // FIRST followed by FULL: torn record; the FULL
+                        // one is still intact — return it.
+                        return Ok(Some(payload));
+                    }
+                    return Ok(Some(payload));
+                }
+                RecordType::First => {
+                    assembled = Some(payload);
+                }
+                RecordType::Middle => match &mut assembled {
+                    Some(buf) => buf.extend_from_slice(&payload),
+                    // MIDDLE without FIRST: skip (torn head).
+                    None => continue,
+                },
+                RecordType::Last => match assembled.take() {
+                    Some(mut buf) => {
+                        buf.extend_from_slice(&payload);
+                        return Ok(Some(buf));
+                    }
+                    None => continue,
+                },
+            }
+        }
+    }
+
+    /// Reads the next fragment, or `None` at end-of-log / tail damage.
+    fn read_fragment(&mut self) -> Result<Option<(RecordType, Vec<u8>)>> {
+        loop {
+            // Skip block-trailer padding.
+            if self.buffer.len() - self.pos < HEADER_SIZE {
+                if !self.refill()? {
+                    return Ok(None);
+                }
+                continue;
+            }
+            let header = &self.buffer[self.pos..self.pos + HEADER_SIZE];
+            let expected_crc =
+                crc::unmask(u32::from_le_bytes(header[..4].try_into().expect("4 bytes")));
+            let len = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes")) as usize;
+            let ty_byte = header[6];
+
+            if ty_byte == 0 && len == 0 && expected_crc == crc::unmask(0) {
+                // Zero padding written by the writer at a block tail.
+                self.pos = self.buffer.len();
+                continue;
+            }
+            let Some(ty) = RecordType::from_u8(ty_byte) else {
+                return Ok(None);
+            };
+            if self.pos + HEADER_SIZE + len > self.buffer.len() {
+                // Length runs past the block: torn tail.
+                return Ok(None);
+            }
+            let payload = &self.buffer[self.pos + HEADER_SIZE..self.pos + HEADER_SIZE + len];
+            let mut actual = crc::extend(0, &[ty_byte]);
+            actual = crc::extend(actual, payload);
+            if actual != expected_crc {
+                return Ok(None);
+            }
+            let out = payload.to_vec();
+            self.pos += HEADER_SIZE + len;
+            return Ok(Some((ty, out)));
+        }
+    }
+
+    /// Loads the next block; returns `false` at EOF.
+    fn refill(&mut self) -> Result<bool> {
+        if self.eof {
+            return Ok(false);
+        }
+        self.buffer.clear();
+        self.pos = 0;
+        let mut chunk = vec![0u8; BLOCK_SIZE];
+        let mut filled = 0;
+        while filled < BLOCK_SIZE {
+            let n = self.file.read(&mut chunk[filled..])?;
+            if n == 0 {
+                self.eof = true;
+                break;
+            }
+            filled += n;
+        }
+        chunk.truncate(filled);
+        self.buffer = chunk;
+        Ok(!self.buffer.is_empty())
+    }
+}

@@ -1,0 +1,90 @@
+//! WAL writer emitting the LevelDB block/fragment format.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use clsm_util::crc;
+use clsm_util::error::Result;
+
+use super::{RecordType, BLOCK_SIZE, HEADER_SIZE};
+
+/// Appends records to a log file, fragmenting across 32 KiB blocks.
+#[derive(Debug)]
+pub struct LogWriter {
+    dest: BufWriter<File>,
+    /// Offset within the current block.
+    block_offset: usize,
+}
+
+impl LogWriter {
+    /// Wraps a freshly created (empty) log file.
+    pub fn new(file: File) -> Self {
+        LogWriter {
+            dest: BufWriter::new(file),
+            block_offset: 0,
+        }
+    }
+
+    /// Appends one record, splitting into fragments as needed.
+    pub fn add_record(&mut self, record: &[u8]) -> Result<()> {
+        let mut left = record;
+        let mut begin = true;
+        loop {
+            let leftover = BLOCK_SIZE - self.block_offset;
+            if leftover < HEADER_SIZE {
+                // Too small for a header: zero-pad to the block end.
+                if leftover > 0 {
+                    const ZEROES: [u8; HEADER_SIZE] = [0; HEADER_SIZE];
+                    self.dest.write_all(&ZEROES[..leftover])?;
+                }
+                self.block_offset = 0;
+            }
+            let avail = BLOCK_SIZE - self.block_offset - HEADER_SIZE;
+            let fragment_len = left.len().min(avail);
+            let end = fragment_len == left.len();
+            let ty = match (begin, end) {
+                (true, true) => RecordType::Full,
+                (true, false) => RecordType::First,
+                (false, true) => RecordType::Last,
+                (false, false) => RecordType::Middle,
+            };
+            self.emit_fragment(ty, &left[..fragment_len])?;
+            left = &left[fragment_len..];
+            begin = false;
+            if end {
+                return Ok(());
+            }
+        }
+    }
+
+    fn emit_fragment(&mut self, ty: RecordType, data: &[u8]) -> Result<()> {
+        debug_assert!(data.len() <= 0xffff);
+        debug_assert!(self.block_offset + HEADER_SIZE + data.len() <= BLOCK_SIZE);
+        // CRC covers the type byte and the payload, masked as in LevelDB.
+        let mut crc_val = crc::extend(0, &[ty as u8]);
+        crc_val = crc::extend(crc_val, data);
+        let masked = crc::mask(crc_val);
+
+        let mut header = [0u8; HEADER_SIZE];
+        header[..4].copy_from_slice(&masked.to_le_bytes());
+        header[4..6].copy_from_slice(&(data.len() as u16).to_le_bytes());
+        header[6] = ty as u8;
+        self.dest.write_all(&header)?;
+        self.dest.write_all(data)?;
+        self.block_offset += HEADER_SIZE + data.len();
+        Ok(())
+    }
+
+    /// Flushes buffered data to the OS.
+    pub fn flush(&mut self) -> Result<()> {
+        self.dest.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the file (durable write).
+    pub fn sync(&mut self) -> Result<()> {
+        self.dest.flush()?;
+        self.dest.get_ref().sync_data()?;
+        Ok(())
+    }
+}

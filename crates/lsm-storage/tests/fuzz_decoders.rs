@@ -1,0 +1,101 @@
+//! Robustness property tests: every on-disk decoder must reject
+//! arbitrary or mutated bytes with an error — never panic, hang, or
+//! return garbage that round-trips as valid.
+
+use lsm_storage::format::{split_internal_key, InternalKey, ValueKind, WriteRecord};
+use lsm_storage::sstable::{Block, BlockHandle, Footer};
+use lsm_storage::version::VersionEdit;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn write_record_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = WriteRecord::decode_batch(&bytes);
+    }
+
+    #[test]
+    fn version_edit_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = VersionEdit::decode(&bytes);
+    }
+
+    #[test]
+    fn footer_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Footer::decode(&bytes);
+    }
+
+    #[test]
+    fn block_handle_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..32)) {
+        let _ = BlockHandle::decode_from(&bytes);
+    }
+
+    #[test]
+    fn internal_key_split_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = split_internal_key(&bytes);
+    }
+
+    #[test]
+    fn block_parse_and_iterate_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(block) = Block::parse(bytes) {
+            use lsm_storage::iter::InternalIterator;
+            let block = std::sync::Arc::new(block);
+            let mut it = block.iter();
+            it.seek_to_first();
+            // Bound the walk: corrupted restart arrays must not loop
+            // forever, and raw accessors must stay in bounds.
+            for _ in 0..1000 {
+                if !it.is_valid() {
+                    break;
+                }
+                let _ = it.raw_key();
+                let _ = it.raw_value();
+                it.step();
+            }
+            // Status may be Ok (valid empty block) or a corruption error.
+            let _ = it.status();
+        }
+    }
+
+    #[test]
+    fn mutated_valid_record_roundtrip_is_detected_or_equal(
+        key in prop::collection::vec(any::<u8>(), 0..32),
+        value in prop::collection::vec(any::<u8>(), 0..64),
+        ts in 0u64..u64::MAX / 4,
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let record = WriteRecord::put(ts, key, value);
+        let mut buf = Vec::new();
+        record.encode_to(&mut buf);
+        // Flip one bit somewhere.
+        let pos = flip_at.index(buf.len());
+        buf[pos] ^= 1 << flip_bit;
+        match WriteRecord::decode_batch(&buf) {
+            // Either an error…
+            Err(_) => {}
+            // …or a structurally valid decode. It must never panic, and
+            // a same-length decode of the untouched buffer must equal
+            // the original (sanity that the encoder is deterministic).
+            Ok(_) => {
+                buf[pos] ^= 1 << flip_bit;
+                let restored = WriteRecord::decode_batch(&buf).unwrap();
+                prop_assert_eq!(restored, vec![record]);
+            }
+        }
+    }
+
+    #[test]
+    fn internal_key_roundtrip_for_arbitrary_user_keys(
+        user in prop::collection::vec(any::<u8>(), 0..64),
+        ts in 0u64..(1 << 62),
+    ) {
+        for kind in [ValueKind::Put, ValueKind::Delete] {
+            let k = InternalKey::new(&user, ts, kind);
+            let (u, t, kd) = split_internal_key(k.encoded()).unwrap();
+            prop_assert_eq!(u, user.as_slice());
+            prop_assert_eq!(t, ts);
+            prop_assert_eq!(kd, kind);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Stress and configuration-matrix tests of the disk substrate.
+
+use std::sync::Arc;
+
+use lsm_storage::format::ValueKind;
+use lsm_storage::iter::VecIterator;
+use lsm_storage::wal::SyncMode;
+use lsm_storage::{Store, StoreOptions, WriteRecord};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "store-stress-{}-{}-{}",
+            std::process::id(),
+            name,
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tiny_opts() -> StoreOptions {
+    StoreOptions {
+        table_file_size: 4096,
+        base_level_bytes: 16 * 1024,
+        level_multiplier: 4,
+        l0_compaction_trigger: 2,
+        ..Default::default()
+    }
+}
+
+fn entries(range: std::ops::Range<u64>, ts_base: u64) -> Vec<(Vec<u8>, u64, ValueKind, Vec<u8>)> {
+    range
+        .map(|i| {
+            (
+                format!("key{i:06}").into_bytes(),
+                ts_base + i,
+                ValueKind::Put,
+                vec![7u8; 32],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn works_without_a_block_cache() {
+    let dir = TempDir::new("nocache");
+    let mut opts = tiny_opts();
+    opts.block_cache_bytes = 0; // cache disabled entirely
+    let (store, _) = Store::open(&dir.0, opts).unwrap();
+    let wal = store.rotate_wal().unwrap();
+    let mut it = VecIterator::new(entries(0..500, 1));
+    store.flush_memtable(&mut it, 500, 500, wal).unwrap();
+    assert!(store.cache_stats().is_none());
+    for i in (0..500).step_by(71) {
+        let got = store
+            .get(format!("key{i:06}").as_bytes(), u64::MAX >> 1)
+            .unwrap();
+        assert!(got.is_some(), "key {i}");
+    }
+    assert!(store.verify_integrity().unwrap() >= 500);
+}
+
+#[test]
+fn tiny_table_cache_evicts_and_reopens() {
+    let dir = TempDir::new("tinycache");
+    let mut opts = tiny_opts();
+    opts.max_open_tables = 8; // clamp floor in TableCache
+    opts.table_file_size = 1024; // many small files
+    let (store, _) = Store::open(&dir.0, opts).unwrap();
+    // Create several flushes → many tables.
+    for round in 0..6u64 {
+        let wal = store.rotate_wal().unwrap();
+        let mut it = VecIterator::new(entries(round * 300..round * 300 + 300, round * 1000 + 1));
+        store
+            .flush_memtable(&mut it, u64::MAX >> 1, round * 1000 + 300, wal)
+            .unwrap();
+    }
+    // Random-ish reads across all files force evict/reopen cycles.
+    for i in (0..1800).step_by(37) {
+        let got = store
+            .get(format!("key{i:06}").as_bytes(), u64::MAX >> 1)
+            .unwrap();
+        assert!(got.is_some(), "key {i}");
+    }
+}
+
+#[test]
+fn concurrent_flush_and_compaction_stress() {
+    // Hammer the store with flushes from one thread while two others
+    // run compactions; the pending-outputs and claim machinery must
+    // keep every read valid throughout.
+    let dir = TempDir::new("concurrent");
+    let (store, _) = Store::open(&dir.0, tiny_opts()).unwrap();
+    let store = Arc::new(store);
+    let rounds = 20u64;
+
+    std::thread::scope(|scope| {
+        // Flusher.
+        {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    let wal = store.rotate_wal().unwrap();
+                    let base = (round % 4) * 100; // overlapping ranges
+                    let mut it = VecIterator::new(entries(base..base + 200, round * 1000 + 1));
+                    store
+                        .flush_memtable(&mut it, u64::MAX >> 1, round * 1000 + 200, wal)
+                        .unwrap();
+                }
+            });
+        }
+        // Compactors.
+        for _ in 0..2 {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    let _ = store.maybe_compact(u64::MAX >> 1).unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Reader: every key written by completed flushes must resolve.
+        {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for _ in 0..2000 {
+                    let key = format!("key{:06}", fastrand(0, 500));
+                    // Value may or may not exist yet; the call must
+                    // never error (no ENOENT from deleted files).
+                    store.get(key.as_bytes(), u64::MAX >> 1).unwrap();
+                }
+            });
+        }
+    });
+
+    while store.maybe_compact(u64::MAX >> 1).unwrap() {}
+    // All data from the last writer of each key is present.
+    assert!(store.verify_integrity().unwrap() > 0);
+    for i in 0..500u64 {
+        let written = (0..rounds).any(|r| {
+            let base = (r % 4) * 100;
+            i >= base && i < base + 200
+        });
+        let got = store
+            .get(format!("key{i:06}").as_bytes(), u64::MAX >> 1)
+            .unwrap();
+        assert_eq!(got.is_some(), written, "key {i}");
+    }
+}
+
+// Cheap deterministic pseudo-random for the reader thread.
+fn fastrand(lo: u64, hi: u64) -> u64 {
+    use std::cell::Cell;
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0x2545_f491_4f6c_dd1d) };
+    }
+    STATE.with(|s| {
+        let mut x = s.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        lo + x % (hi - lo)
+    })
+}
+
+#[test]
+fn recovery_across_many_wal_rotations() {
+    let dir = TempDir::new("rotations");
+    {
+        let (store, _) = Store::open(&dir.0, tiny_opts()).unwrap();
+        // Interleave logged-but-unflushed records with rotations; only
+        // records after the last retire boundary should replay.
+        for i in 0..10u64 {
+            store
+                .log(
+                    &[WriteRecord::put(
+                        i + 1,
+                        format!("k{i}").into_bytes(),
+                        b"v".to_vec(),
+                    )],
+                    SyncMode::Sync,
+                )
+                .unwrap();
+            if i % 3 == 2 {
+                // Rotate without flushing: older WALs remain live.
+                store.rotate_wal().unwrap();
+            }
+        }
+    }
+    let (_store, recovered) = Store::open(&dir.0, tiny_opts()).unwrap();
+    // Nothing was flushed, so all 10 records replay, in ts order.
+    let ts: Vec<u64> = recovered.records.iter().map(|r| r.ts).collect();
+    assert_eq!(ts, (1..=10).collect::<Vec<_>>());
+}
+
+#[test]
+fn minimum_level_configuration() {
+    let dir = TempDir::new("two-levels");
+    let mut opts = tiny_opts();
+    opts.num_levels = 2;
+    let (store, _) = Store::open(&dir.0, opts).unwrap();
+    for round in 0..5u64 {
+        let wal = store.rotate_wal().unwrap();
+        let mut it = VecIterator::new(entries(0..100, round * 1000 + 1));
+        store
+            .flush_memtable(&mut it, u64::MAX >> 1, round * 1000 + 100, wal)
+            .unwrap();
+        while store.maybe_compact(u64::MAX >> 1).unwrap() {}
+    }
+    // Everything ends in the bottom level (L1).
+    let counts = store.level_file_counts();
+    assert_eq!(counts.len(), 2);
+    assert_eq!(counts[0], 0, "L0 should drain: {counts:?}");
+    assert!(counts[1] > 0);
+    assert!(store.get(b"key000050", u64::MAX >> 1).unwrap().is_some());
+}

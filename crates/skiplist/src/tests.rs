@@ -1,0 +1,404 @@
+//! Unit and concurrency tests for the skip list.
+
+use super::*;
+
+fn collect(list: &SkipList) -> Vec<(Vec<u8>, u64, Option<Vec<u8>>)> {
+    list.iter()
+        .map(|e| (e.key.to_vec(), e.ts, e.value.map(|v| v.to_vec())))
+        .collect()
+}
+
+#[test]
+fn empty_list() {
+    let list = SkipList::new();
+    assert!(list.is_empty());
+    assert_eq!(list.len(), 0);
+    assert!(list.get_latest(b"x", u64::MAX).is_none());
+    assert!(list.iter().next().is_none());
+    let mut c = list.cursor();
+    c.seek_to_first();
+    assert!(!c.valid());
+}
+
+#[test]
+fn single_insert_get() {
+    let list = SkipList::new();
+    list.insert(b"hello", 1, Some(b"world"));
+    assert_eq!(list.len(), 1);
+    assert_eq!(
+        list.get_latest(b"hello", u64::MAX),
+        Some((1, Some(&b"world"[..])))
+    );
+    assert_eq!(list.get_latest(b"hello", 1), Some((1, Some(&b"world"[..]))));
+    // A snapshot below the write's time must not see it.
+    assert_eq!(list.get_latest(b"hello", 0), None);
+    assert!(list.get_latest(b"hell", u64::MAX).is_none());
+    assert!(list.get_latest(b"hello!", u64::MAX).is_none());
+}
+
+#[test]
+fn versions_sorted_newest_first() {
+    let list = SkipList::new();
+    list.insert(b"k", 2, Some(b"v2"));
+    list.insert(b"k", 1, Some(b"v1"));
+    list.insert(b"k", 3, Some(b"v3"));
+    let entries = collect(&list);
+    assert_eq!(
+        entries,
+        vec![
+            (b"k".to_vec(), 3, Some(b"v3".to_vec())),
+            (b"k".to_vec(), 2, Some(b"v2".to_vec())),
+            (b"k".to_vec(), 1, Some(b"v1".to_vec())),
+        ]
+    );
+    assert_eq!(list.get_latest(b"k", u64::MAX), Some((3, Some(&b"v3"[..]))));
+    assert_eq!(list.get_latest(b"k", 2), Some((2, Some(&b"v2"[..]))));
+    assert_eq!(list.get_latest(b"k", 1), Some((1, Some(&b"v1"[..]))));
+}
+
+#[test]
+fn keys_sorted_ascending() {
+    let list = SkipList::new();
+    let keys: Vec<&[u8]> = vec![b"pear", b"apple", b"zebra", b"mango", b"fig"];
+    for (i, k) in keys.iter().enumerate() {
+        list.insert(k, i as u64 + 1, Some(b"v"));
+    }
+    let got: Vec<Vec<u8>> = list.iter().map(|e| e.key.to_vec()).collect();
+    let mut want: Vec<Vec<u8>> = keys.iter().map(|k| k.to_vec()).collect();
+    want.sort();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn tombstones_are_versions() {
+    let list = SkipList::new();
+    list.insert(b"k", 1, Some(b"v"));
+    list.insert(b"k", 2, None);
+    assert_eq!(list.get_latest(b"k", u64::MAX), Some((2, None)));
+    assert_eq!(list.get_latest(b"k", 1), Some((1, Some(&b"v"[..]))));
+}
+
+#[test]
+fn seek_semantics() {
+    let list = SkipList::new();
+    list.insert(b"b", 5, Some(b"b5"));
+    list.insert(b"b", 3, Some(b"b3"));
+    list.insert(b"d", 4, Some(b"d4"));
+
+    let mut c = list.cursor();
+    // Seek to newest version of "b".
+    c.seek(b"b", u64::MAX);
+    assert!(c.valid());
+    assert_eq!((c.key(), c.ts()), (&b"b"[..], 5));
+    // Seek to version <= 4 of "b".
+    c.seek(b"b", 4);
+    assert_eq!((c.key(), c.ts()), (&b"b"[..], 3));
+    // Seek past all versions of "b" lands on "d".
+    c.seek(b"b", 2);
+    assert_eq!((c.key(), c.ts()), (&b"d"[..], 4));
+    // Seek to a key between existing keys.
+    c.seek(b"c", u64::MAX);
+    assert_eq!((c.key(), c.ts()), (&b"d"[..], 4));
+    // Seek past the end.
+    c.seek(b"e", u64::MAX);
+    assert!(!c.valid());
+}
+
+#[test]
+fn owned_cursor_outlives_borrow_scope() {
+    let list = Arc::new(SkipList::new());
+    list.insert(b"a", 1, Some(b"1"));
+    list.insert(b"b", 2, Some(b"2"));
+    let mut cur = list.owned_cursor();
+    drop(list); // the cursor's Arc keeps the list alive
+    cur.seek_to_first();
+    assert!(cur.valid());
+    assert_eq!(cur.key(), b"a");
+    cur.advance();
+    assert_eq!(cur.key(), b"b");
+    assert_eq!(cur.value(), Some(&b"2"[..]));
+    cur.advance();
+    assert!(!cur.valid());
+}
+
+#[test]
+fn insert_if_latest_success_and_conflict() {
+    let list = SkipList::new();
+    // Key absent: expected None succeeds.
+    list.insert_if_latest(b"k", 1, Some(b"v1"), None).unwrap();
+    // Expected None now fails (a version exists).
+    assert_eq!(
+        list.insert_if_latest(b"k", 2, Some(b"x"), None),
+        Err(Conflict)
+    );
+    // Correct expectation succeeds.
+    list.insert_if_latest(b"k", 2, Some(b"v2"), Some(1))
+        .unwrap();
+    // Stale expectation fails.
+    assert_eq!(
+        list.insert_if_latest(b"k", 3, Some(b"x"), Some(1)),
+        Err(Conflict)
+    );
+    assert_eq!(list.get_latest(b"k", u64::MAX), Some((2, Some(&b"v2"[..]))));
+    // Conflicting attempts must not have inserted anything.
+    assert_eq!(list.len(), 2);
+}
+
+#[test]
+fn insert_if_latest_other_keys_do_not_conflict() {
+    let list = SkipList::new();
+    list.insert(b"a", 1, Some(b"va"));
+    list.insert(b"c", 2, Some(b"vc"));
+    // "b" sits between two occupied slots; neighbors are not conflicts.
+    list.insert_if_latest(b"b", 3, Some(b"vb"), None).unwrap();
+    assert_eq!(list.get_latest(b"b", u64::MAX), Some((3, Some(&b"vb"[..]))));
+}
+
+#[test]
+fn large_volume_ordering_and_lookups() {
+    let list = SkipList::new();
+    let n = 10_000u64;
+    // Insert in pseudo-random order.
+    let mut order: Vec<u64> = (0..n).collect();
+    let mut state = 7u64;
+    for i in (1..n as usize).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        order.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    for &i in &order {
+        let key = format!("key{:08}", i);
+        list.insert(key.as_bytes(), i + 1, Some(format!("val{i}").as_bytes()));
+    }
+    assert_eq!(list.len(), n as usize);
+    // Full scan is sorted and complete.
+    let mut count = 0u64;
+    let mut last: Option<Vec<u8>> = None;
+    for e in list.iter() {
+        if let Some(l) = &last {
+            assert!(e.key > l.as_slice());
+        }
+        last = Some(e.key.to_vec());
+        count += 1;
+    }
+    assert_eq!(count, n);
+    // Point lookups.
+    for i in (0..n).step_by(997) {
+        let key = format!("key{:08}", i);
+        let (ts, v) = list.get_latest(key.as_bytes(), u64::MAX).unwrap();
+        assert_eq!(ts, i + 1);
+        assert_eq!(v.unwrap(), format!("val{i}").as_bytes());
+    }
+}
+
+#[test]
+fn concurrent_inserts_disjoint_keys() {
+    let list = Arc::new(SkipList::new());
+    let threads = 8;
+    let per_thread = 2_000u64;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let list = Arc::clone(&list);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_thread {
+                let key = format!("t{t:02}-{i:06}");
+                let ts = t as u64 * per_thread + i + 1;
+                list.insert(key.as_bytes(), ts, Some(key.as_bytes()));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(list.len(), threads * per_thread as usize);
+    // Every key is present with its own value, and the scan is sorted.
+    let mut last: Option<Vec<u8>> = None;
+    let mut seen = 0;
+    for e in list.iter() {
+        assert_eq!(e.key, e.value.unwrap());
+        if let Some(l) = &last {
+            assert!(e.key > l.as_slice());
+        }
+        last = Some(e.key.to_vec());
+        seen += 1;
+    }
+    assert_eq!(seen, threads * per_thread as usize);
+}
+
+#[test]
+fn concurrent_inserts_same_keys_different_versions() {
+    let list = Arc::new(SkipList::new());
+    let threads = 8u64;
+    let versions = 500u64;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let list = Arc::clone(&list);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..versions {
+                // All threads hammer the same 10 keys with globally
+                // unique timestamps.
+                let key = format!("shared{}", i % 10);
+                let ts = i * threads + t + 1;
+                list.insert(key.as_bytes(), ts, Some(ts.to_string().as_bytes()));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(list.len(), (threads * versions) as usize);
+    // Versions of each key are strictly descending in scan order.
+    let mut last: Option<(Vec<u8>, u64)> = None;
+    for e in list.iter() {
+        if let Some((lk, lts)) = &last {
+            if lk.as_slice() == e.key {
+                assert!(e.ts < *lts, "versions out of order for {:?}", e.key);
+            } else {
+                assert!(e.key > lk.as_slice());
+            }
+        }
+        // Value encodes its own timestamp.
+        assert_eq!(e.value.unwrap(), e.ts.to_string().as_bytes());
+        last = Some((e.key.to_vec(), e.ts));
+    }
+    // The latest version of each key is the maximum ts written to it:
+    // key j is written at i ∈ {j, j+10, ...}; the largest is
+    // versions-10+j, by the last thread (t = threads-1).
+    for j in 0..10u64 {
+        let key = format!("shared{j}");
+        let expect_max = (versions - 10 + j) * threads + threads;
+        let (ts, _) = list.get_latest(key.as_bytes(), u64::MAX).unwrap();
+        assert_eq!(ts, expect_max, "key {key}");
+    }
+}
+
+#[test]
+fn concurrent_readers_during_inserts() {
+    let list = Arc::new(SkipList::new());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    // Writers.
+    for t in 0..4u64 {
+        let list = Arc::clone(&list);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..3_000u64 {
+                let key = format!("k{:06}", (i * 37 + t) % 5_000);
+                list.insert(key.as_bytes(), i * 4 + t + 1, Some(b"v"));
+            }
+        }));
+    }
+    // Readers continuously validate sortedness (weak consistency allows
+    // missing in-flight inserts but never misordering).
+    for _ in 0..2 {
+        let list = Arc::clone(&list);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let mut last: Option<(Vec<u8>, u64)> = None;
+                for e in list.iter() {
+                    if let Some((lk, lts)) = &last {
+                        let ord = lk.as_slice().cmp(e.key);
+                        assert!(
+                            ord == std::cmp::Ordering::Less
+                                || (ord == std::cmp::Ordering::Equal && e.ts < *lts)
+                        );
+                    }
+                    last = Some((e.key.to_vec(), e.ts));
+                }
+            }
+        }));
+    }
+    // Join writers, then stop readers.
+    for h in handles.drain(..4) {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_rmw_put_if_absent_exactly_one_winner() {
+    // The Algorithm 3 guarantee: with N racing put-if-absent writers on
+    // the same key, exactly one wins.
+    for _round in 0..20 {
+        let list = Arc::new(SkipList::new());
+        let winners = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let list = Arc::clone(&list);
+            let winners = Arc::clone(&winners);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                if list
+                    .insert_if_latest(b"key", t + 1, Some(b"w"), None)
+                    .is_ok()
+                {
+                    winners.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(winners.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(list.len(), 1);
+    }
+}
+
+#[test]
+fn concurrent_rmw_counter_loses_no_increment() {
+    // Emulates the DB-level RMW retry loop: read latest, try conditional
+    // insert, retry on conflict. The final counter must equal the total
+    // number of increments.
+    let list = Arc::new(SkipList::new());
+    let next_ts = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let threads = 4;
+    let increments = 1_000u64;
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let list = Arc::clone(&list);
+        let next_ts = Arc::clone(&next_ts);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..increments {
+                loop {
+                    let latest = list.get_latest(b"ctr", u64::MAX);
+                    let (expected, cur) = match latest {
+                        Some((ts, Some(v))) => {
+                            let mut buf = [0u8; 8];
+                            buf.copy_from_slice(v);
+                            (Some(ts), u64::from_le_bytes(buf))
+                        }
+                        Some((ts, None)) => (Some(ts), 0),
+                        None => (None, 0),
+                    };
+                    let ts = next_ts.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+                    let new = (cur + 1).to_le_bytes();
+                    if list
+                        .insert_if_latest(b"ctr", ts, Some(&new), expected)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let (_, v) = list.get_latest(b"ctr", u64::MAX).unwrap();
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(v.unwrap());
+    assert_eq!(u64::from_le_bytes(buf), threads as u64 * increments);
+}
+
+#[test]
+fn memory_usage_grows() {
+    let list = SkipList::new();
+    let before = list.memory_usage();
+    list.insert(b"some key", 1, Some(&[0u8; 1000]));
+    assert!(list.memory_usage() >= before + 1000);
+}

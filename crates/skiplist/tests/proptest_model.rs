@@ -1,0 +1,132 @@
+//! Model-based property tests: the skip list must agree with a
+//! reference `BTreeMap<(key, Reverse(ts)), value>` on every lookup,
+//! snapshot read, and full scan.
+
+use std::cmp::Reverse;
+use std::collections::BTreeMap;
+
+use clsm_skiplist::SkipList;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: Vec<u8>, value: Vec<u8> },
+    Delete { key: Vec<u8> },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Small key space to force version chains.
+    let key = prop::sample::select(vec![
+        b"a".to_vec(),
+        b"ab".to_vec(),
+        b"b".to_vec(),
+        b"ba".to_vec(),
+        b"c".to_vec(),
+        b"".to_vec(),
+        b"zzzz".to_vec(),
+    ]);
+    prop_oneof![
+        (key.clone(), prop::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(key, value)| Op::Insert { key, value }),
+        key.prop_map(|key| Op::Delete { key }),
+    ]
+}
+
+type Model = BTreeMap<(Vec<u8>, Reverse<u64>), Option<Vec<u8>>>;
+
+fn model_get_latest(model: &Model, key: &[u8], max_ts: u64) -> Option<(u64, Option<Vec<u8>>)> {
+    model
+        .range((key.to_vec(), Reverse(max_ts))..)
+        .next()
+        .filter(|((k, _), _)| k == key)
+        .map(|((_, Reverse(ts)), v)| (*ts, v.clone()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn agrees_with_btreemap_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let list = SkipList::new();
+        let mut model: Model = BTreeMap::new();
+        let mut ts = 0u64;
+
+        for op in &ops {
+            ts += 1;
+            match op {
+                Op::Insert { key, value } => {
+                    list.insert(key, ts, Some(value));
+                    model.insert((key.clone(), Reverse(ts)), Some(value.clone()));
+                }
+                Op::Delete { key } => {
+                    list.insert(key, ts, None);
+                    model.insert((key.clone(), Reverse(ts)), None);
+                }
+            }
+        }
+
+        // Latest reads agree for every key ever touched (and one never
+        // touched).
+        let mut keys: Vec<Vec<u8>> = model.keys().map(|(k, _)| k.clone()).collect();
+        keys.push(b"never-written".to_vec());
+        keys.dedup();
+        for key in &keys {
+            let got = list.get_latest(key, u64::MAX).map(|(t, v)| (t, v.map(<[u8]>::to_vec)));
+            let want = model_get_latest(&model, key, u64::MAX);
+            prop_assert_eq!(got, want);
+        }
+
+        // Snapshot reads agree at several historical timestamps.
+        for snap in [0, 1, ts / 3, ts / 2, ts] {
+            for key in &keys {
+                let got = list.get_latest(key, snap).map(|(t, v)| (t, v.map(<[u8]>::to_vec)));
+                let want = model_get_latest(&model, key, snap);
+                prop_assert_eq!(got, want, "snap={}", snap);
+            }
+        }
+
+        // Full scans agree entry-for-entry.
+        let got: Vec<(Vec<u8>, u64, Option<Vec<u8>>)> = list
+            .iter()
+            .map(|e| (e.key.to_vec(), e.ts, e.value.map(<[u8]>::to_vec)))
+            .collect();
+        let want: Vec<(Vec<u8>, u64, Option<Vec<u8>>)> = model
+            .iter()
+            .map(|((k, Reverse(t)), v)| (k.clone(), *t, v.clone()))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn seek_matches_model_range(
+        ops in prop::collection::vec(op_strategy(), 1..100),
+        seek_key in prop::collection::vec(any::<u8>(), 0..4),
+        seek_ts in 0u64..120,
+    ) {
+        let list = SkipList::new();
+        let mut model: Model = BTreeMap::new();
+        let mut ts = 0u64;
+        for op in &ops {
+            ts += 1;
+            match op {
+                Op::Insert { key, value } => {
+                    list.insert(key, ts, Some(value));
+                    model.insert((key.clone(), Reverse(ts)), Some(value.clone()));
+                }
+                Op::Delete { key } => {
+                    list.insert(key, ts, None);
+                    model.insert((key.clone(), Reverse(ts)), None);
+                }
+            }
+        }
+
+        let mut cursor = list.cursor();
+        cursor.seek(&seek_key, seek_ts);
+        let got = cursor.valid().then(|| (cursor.key().to_vec(), cursor.ts()));
+        let want = model
+            .range((seek_key.clone(), Reverse(seek_ts))..)
+            .next()
+            .map(|((k, Reverse(t)), _)| (k.clone(), *t));
+        prop_assert_eq!(got, want);
+    }
+}

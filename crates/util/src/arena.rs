@@ -1,0 +1,248 @@
+//! Lock-free bump allocator backing in-memory components.
+//!
+//! The paper implements "a non-blocking memory allocator" (§4, citing
+//! Michael '04) for skip-list nodes. Ours is a chunked bump allocator:
+//! the hot path is a single `fetch_add` on the current chunk's offset;
+//! a mutex is taken only on the cold path that installs a new chunk.
+//!
+//! Allocations are never freed individually — the entire arena is
+//! reclaimed when the owning component (memtable) is dropped after its
+//! merge into the disk component, exactly matching the paper's component
+//! lifecycle ("old versions ... exist at least until the component is
+//! discarded following its merge into disk", §3.2.1).
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Default chunk size: 1 MiB of 8-byte words.
+const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
+
+/// One allocation chunk; `data` is 8-byte aligned storage.
+struct Chunk {
+    data: Box<[u64]>,
+    /// Next free byte offset within `data`. May transiently exceed the
+    /// capacity when concurrent allocations race past the end.
+    pos: AtomicUsize,
+}
+
+impl Chunk {
+    // Boxing is load-bearing: `Arena::current` stores a raw pointer to
+    // the chunk, so it needs a stable heap address.
+    #[allow(clippy::unnecessary_box_returns)]
+    fn new(bytes: usize) -> Box<Chunk> {
+        let words = bytes.div_ceil(8);
+        Box::new(Chunk {
+            data: vec![0u64; words].into_boxed_slice(),
+            pos: AtomicUsize::new(0),
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    fn base(&self) -> *mut u8 {
+        self.data.as_ptr() as *mut u8
+    }
+}
+
+/// A concurrent, grow-only bump allocator.
+///
+/// All returned pointers remain valid (and their contents stable unless
+/// the caller mutates them) until the arena is dropped.
+///
+/// # Examples
+///
+/// ```
+/// let arena = clsm_util::arena::Arena::new();
+/// let s = arena.alloc_bytes(b"hello");
+/// assert_eq!(s, b"hello");
+/// ```
+pub struct Arena {
+    /// Chunk allocations are served from; points into `chunks`.
+    current: AtomicPtr<Chunk>,
+    /// All chunks ever allocated; boxes give the chunks stable
+    /// addresses even as the vector reallocates.
+    #[allow(clippy::vec_box)]
+    chunks: Mutex<Vec<Box<Chunk>>>,
+    /// Total bytes handed out (for memtable size accounting).
+    allocated: AtomicUsize,
+    chunk_bytes: usize,
+}
+
+impl Arena {
+    /// Creates an arena with the default 1 MiB chunk size.
+    pub fn new() -> Self {
+        Self::with_chunk_size(DEFAULT_CHUNK_BYTES)
+    }
+
+    /// Creates an arena with a custom chunk size (rounded up to 8 bytes).
+    pub fn with_chunk_size(chunk_bytes: usize) -> Self {
+        let first = Chunk::new(chunk_bytes.max(64));
+        let ptr = &*first as *const Chunk as *mut Chunk;
+        Arena {
+            current: AtomicPtr::new(ptr),
+            chunks: Mutex::new(vec![first]),
+            allocated: AtomicUsize::new(0),
+            chunk_bytes: chunk_bytes.max(64),
+        }
+    }
+
+    /// Allocates `size` bytes aligned to 8, returning a pointer valid for
+    /// the arena's lifetime. The memory is zero-initialized.
+    ///
+    /// Never returns null; grows the arena as needed.
+    pub fn alloc(&self, size: usize) -> *mut u8 {
+        let aligned = size.div_ceil(8) * 8;
+        self.allocated.fetch_add(aligned, Ordering::Relaxed);
+        loop {
+            // SAFETY: `current` always points at a chunk owned by
+            // `self.chunks`, which only grows and is dropped with `self`.
+            let chunk = unsafe { &*self.current.load(Ordering::Acquire) };
+            let offset = chunk.pos.fetch_add(aligned, Ordering::Relaxed);
+            if offset + aligned <= chunk.capacity() {
+                // SAFETY: `[offset, offset + aligned)` is in bounds and,
+                // because the bump offset is claimed atomically, disjoint
+                // from every other allocation.
+                return unsafe { chunk.base().add(offset) };
+            }
+            self.grow(aligned);
+        }
+    }
+
+    /// Cold path: installs a new chunk big enough for `size` bytes.
+    fn grow(&self, size: usize) {
+        let mut chunks = self.chunks.lock();
+        // Another thread may have already grown while we waited.
+        // SAFETY: same invariant as in `alloc`.
+        let cur = unsafe { &*self.current.load(Ordering::Acquire) };
+        if cur.pos.load(Ordering::Relaxed) + size <= cur.capacity() {
+            return;
+        }
+        let new = Chunk::new(self.chunk_bytes.max(size));
+        let ptr = &*new as *const Chunk as *mut Chunk;
+        chunks.push(new);
+        self.current.store(ptr, Ordering::Release);
+    }
+
+    /// Copies `data` into the arena and returns the stable copy.
+    pub fn alloc_bytes(&self, data: &[u8]) -> &[u8] {
+        if data.is_empty() {
+            return &[];
+        }
+        let dst = self.alloc(data.len());
+        // SAFETY: `dst` is a fresh, disjoint allocation of `data.len()`
+        // bytes; the source and destination cannot overlap.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), dst, data.len());
+            std::slice::from_raw_parts(dst, data.len())
+        }
+    }
+
+    /// Approximate number of bytes handed out so far.
+    pub fn memory_usage(&self) -> usize {
+        self.allocated.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl std::fmt::Debug for Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena")
+            .field("allocated", &self.memory_usage())
+            .field("chunks", &self.chunks.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn alloc_returns_aligned_zeroed_memory() {
+        let arena = Arena::new();
+        for size in [1usize, 7, 8, 9, 63, 64, 1024] {
+            let p = arena.alloc(size);
+            assert_eq!(p as usize % 8, 0, "size={size}");
+            // SAFETY: freshly allocated `size` bytes, zeroed by the chunk.
+            let s = unsafe { std::slice::from_raw_parts(p, size) };
+            assert!(s.iter().all(|&b| b == 0));
+        }
+    }
+
+    #[test]
+    fn alloc_bytes_roundtrips() {
+        let arena = Arena::new();
+        let a = arena.alloc_bytes(b"foo");
+        let b = arena.alloc_bytes(b"barbaz");
+        let empty = arena.alloc_bytes(b"");
+        assert_eq!(a, b"foo");
+        assert_eq!(b, b"barbaz");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn grows_past_chunk_boundary() {
+        let arena = Arena::with_chunk_size(128);
+        let mut ptrs = Vec::new();
+        for i in 0..100u8 {
+            let data = vec![i; 40];
+            ptrs.push((arena.alloc_bytes(&data), i));
+        }
+        for (slice, i) in ptrs {
+            assert!(slice.iter().all(|&b| b == i));
+        }
+        assert!(arena.memory_usage() >= 100 * 40);
+    }
+
+    #[test]
+    fn oversized_allocation_gets_dedicated_chunk() {
+        let arena = Arena::with_chunk_size(64);
+        let big = vec![0xabu8; 10_000];
+        let copy = arena.alloc_bytes(&big);
+        assert_eq!(copy, big.as_slice());
+    }
+
+    #[test]
+    fn concurrent_allocations_are_disjoint() {
+        let arena = Arc::new(Arena::with_chunk_size(4096));
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let arena = Arc::clone(&arena);
+            handles.push(std::thread::spawn(move || {
+                let mut slices = Vec::new();
+                for i in 0..500usize {
+                    let val = t.wrapping_mul(31).wrapping_add(i as u8);
+                    let data = vec![val; 1 + (i % 57)];
+                    let s = arena.alloc_bytes(&data);
+                    slices.push((s.as_ptr() as usize, s.len(), val));
+                }
+                slices
+            }));
+        }
+        let mut all: Vec<(usize, usize, u8)> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        // No two allocations overlap.
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {:?} {:?}", w[0], w[1]);
+        }
+        // And every allocation still holds its pattern.
+        for (ptr, len, val) in all {
+            // SAFETY: pointers were produced by `alloc_bytes` on an arena
+            // that is still alive.
+            let s = unsafe { std::slice::from_raw_parts(ptr as *const u8, len) };
+            assert!(s.iter().all(|&b| b == val));
+        }
+    }
+}

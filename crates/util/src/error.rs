@@ -1,0 +1,94 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// Result alias used throughout the cLSM crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the data store and its substrates.
+///
+/// I/O errors are wrapped in an [`Arc`] so that `Error` stays `Clone`;
+/// a failed background flush must be reportable to every waiting writer.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// An operating-system I/O failure.
+    Io(Arc<io::Error>),
+    /// On-disk data failed a checksum or structural validation.
+    Corruption(String),
+    /// The caller passed an argument the store cannot honor.
+    InvalidArgument(String),
+    /// An internal invariant was violated; indicates a bug.
+    Internal(String),
+    /// The database is shutting down and cannot accept the operation.
+    ShuttingDown,
+}
+
+impl Error {
+    /// Builds a corruption error with the given human-readable detail.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Builds an invalid-argument error with the given detail.
+    pub fn invalid_argument(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+
+    /// Builds an internal error with the given detail.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::ShuttingDown => write!(f, "database is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(Arc::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::corruption("bad block");
+        assert_eq!(e.to_string(), "corruption: bad block");
+        let e = Error::invalid_argument("empty key");
+        assert_eq!(e.to_string(), "invalid argument: empty key");
+        let e = Error::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert_eq!(Error::ShuttingDown.to_string(), "database is shutting down");
+    }
+
+    #[test]
+    fn error_is_cloneable_and_sourced() {
+        let e = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        let e2 = e.clone();
+        assert!(std::error::Error::source(&e2).is_some());
+        assert!(std::error::Error::source(&Error::internal("x")).is_none());
+    }
+}

@@ -1,0 +1,252 @@
+//! Multi-threaded workload driver.
+//!
+//! Mirrors the paper's harness: N worker threads issue operations from
+//! a [`WorkloadSpec`] against one [`KvStore`] for a fixed duration,
+//! recording throughput and per-operation latency histograms (the 90th
+//! percentile is what Figures 5b/6b plot).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use clsm_baselines::KvStore;
+use clsm_util::error::Result;
+use clsm_util::histogram::Histogram;
+
+use crate::keygen::{value_for, KeyGen};
+use crate::spec::WorkloadSpec;
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// How long to run the measured phase.
+    pub duration: Duration,
+    /// RNG seed base (per-thread seeds derive from it).
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: 1,
+            duration: Duration::from_secs(2),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Completed operations (scans count once).
+    pub ops: u64,
+    /// Keys touched (scans count each returned key — Figure 7b's
+    /// metric).
+    pub keys: u64,
+    /// Wall-clock time of the measured phase.
+    pub elapsed: Duration,
+    /// Latency of all operations, in nanoseconds.
+    pub latency: Histogram,
+}
+
+impl RunResult {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Keys per second (scan-aware throughput).
+    pub fn keys_per_sec(&self) -> f64 {
+        self.keys as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// 90th-percentile latency in microseconds.
+    pub fn p90_latency_us(&self) -> f64 {
+        self.latency.percentile(90.0) as f64 / 1000.0
+    }
+}
+
+/// Prefill mode for building the initial dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prefill {
+    /// Insert `spec.prefill` keys sequentially (fast, §5.3's fill).
+    Sequential,
+    /// Skip prefilling (e.g. when reusing a store across sweeps).
+    Skip,
+}
+
+/// Loads the initial dataset described by `spec`.
+pub fn prefill_store(store: &dyn KvStore, spec: &WorkloadSpec) -> Result<()> {
+    if spec.prefill == 0 {
+        return Ok(());
+    }
+    let gen = KeyGen::new(
+        spec.key_space,
+        spec.key_len,
+        crate::KeyDistribution::Sequential,
+    );
+    for i in 0..spec.prefill {
+        let key = gen.format(i % spec.key_space);
+        store.put(&key, &value_for(i, spec.value_len))?;
+    }
+    store.quiesce()?;
+    Ok(())
+}
+
+/// Runs `spec` against `store` with `cfg.threads` workers.
+///
+/// Every thread gets an independent deterministic RNG, so runs are
+/// reproducible given `cfg.seed`.
+pub fn run_workload(
+    store: &Arc<dyn KvStore>,
+    spec: &WorkloadSpec,
+    cfg: &RunConfig,
+    prefill: Prefill,
+) -> Result<RunResult> {
+    if prefill == Prefill::Sequential {
+        prefill_store(store.as_ref(), spec)?;
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..cfg.threads {
+        let store = Arc::clone(store);
+        let stop = Arc::clone(&stop);
+        let spec = spec.clone();
+        let seed = cfg.seed ^ (t as u64).wrapping_mul(0x9e37_79b9);
+        handles.push(std::thread::spawn(move || {
+            worker(&*store, &spec, seed, &stop)
+        }));
+    }
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut ops = 0u64;
+    let mut keys = 0u64;
+    let mut latency = Histogram::new();
+    for h in handles {
+        let r = h.join().expect("worker panicked")?;
+        ops += r.0;
+        keys += r.1;
+        latency.merge(&r.2);
+    }
+    Ok(RunResult {
+        ops,
+        keys,
+        elapsed: start.elapsed(),
+        latency,
+    })
+}
+
+/// One worker loop; returns `(ops, keys, latency)`.
+fn worker(
+    store: &dyn KvStore,
+    spec: &WorkloadSpec,
+    seed: u64,
+    stop: &AtomicBool,
+) -> Result<(u64, u64, Histogram)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = KeyGen::new(spec.key_space, spec.key_len, spec.dist.clone());
+    let mut latency = Histogram::new();
+    let mut ops = 0u64;
+    let mut keys = 0u64;
+    let mut value_salt = seed;
+
+    while !stop.load(Ordering::Relaxed) {
+        let dice = rng.random_range(0..100u32);
+        let began = Instant::now();
+        let touched = if dice < spec.mix.read_pct {
+            let key = gen.next_key(&mut rng);
+            let _ = store.get(&key)?;
+            1
+        } else if dice < spec.mix.read_pct + spec.mix.write_pct {
+            let key = gen.next_key(&mut rng);
+            value_salt = value_salt.wrapping_add(1);
+            store.put(&key, &value_for(value_salt, spec.value_len))?;
+            1
+        } else if dice < spec.mix.read_pct + spec.mix.write_pct + spec.mix.scan_pct {
+            let key = gen.next_key(&mut rng);
+            let len = rng.random_range(spec.scan_len.0..=spec.scan_len.1);
+            let got = store.scan(&key, len)?;
+            got.len() as u64
+        } else {
+            let key = gen.next_key(&mut rng);
+            value_salt = value_salt.wrapping_add(1);
+            let _ = store.put_if_absent(&key, &value_for(value_salt, spec.value_len))?;
+            1
+        };
+        latency.record(began.elapsed().as_nanos() as u64);
+        ops += 1;
+        keys += touched;
+    }
+    Ok((ops, keys, latency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OpMix;
+    use crate::KeyDistribution;
+    use clsm::{Db, Options};
+
+    fn tempdir(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "runner-{}-{}-{}",
+            std::process::id(),
+            name,
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn driver_reports_progress_on_all_op_kinds() {
+        let dir = tempdir("mixed");
+        let db: Arc<dyn KvStore> = Arc::new(Db::open(&dir, Options::small_for_tests()).unwrap());
+        let mut spec = WorkloadSpec::synthetic(
+            "smoke",
+            OpMix {
+                read_pct: 40,
+                write_pct: 40,
+                scan_pct: 10,
+                rmw_pct: 10,
+            },
+            1000,
+            KeyDistribution::Uniform,
+        );
+        spec.prefill = 500;
+        let cfg = RunConfig {
+            threads: 2,
+            duration: Duration::from_millis(150),
+            seed: 1,
+        };
+        let r = run_workload(&db, &spec, &cfg, Prefill::Sequential).unwrap();
+        assert!(r.ops > 0);
+        assert!(r.keys >= r.ops);
+        assert!(r.ops_per_sec() > 0.0);
+        assert!(r.latency.count() == r.ops);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prefill_populates_the_store() {
+        let dir = tempdir("prefill");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let mut spec = WorkloadSpec::write_only(100);
+        spec.prefill = 100;
+        prefill_store(&db, &spec).unwrap();
+        let key = crate::keygen::format_key(42, spec.key_len);
+        assert!(db.get(&key).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

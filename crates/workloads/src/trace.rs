@@ -1,0 +1,381 @@
+//! Operation-trace record and replay.
+//!
+//! The paper's production evaluation (§5.2) replays "logs captured in a
+//! production key-value store … each log captures the history of
+//! operations applied to an individual partition server". This module
+//! provides the same capability: record a workload's operations to a
+//! compact binary trace file, then replay the trace — optionally with
+//! several threads — against any store. It also synthesizes traces
+//! with the §5.2 distribution so the Figure 10 experiments can run
+//! from files exactly the way the paper's did.
+//!
+//! Trace file format: a stream of records, each
+//! `[op: u8][key len: varint][key][value len: varint][value]`,
+//! preceded by the 8-byte magic `CLSMTRC1`.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use clsm_baselines::KvStore;
+use clsm_util::coding::{get_varint64, put_varint64};
+use clsm_util::error::{Error, Result};
+
+use crate::keygen::{value_for, KeyGen};
+use crate::spec::WorkloadSpec;
+
+const MAGIC: &[u8; 8] = b"CLSMTRC1";
+
+/// One traced operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A point read.
+    Get(Vec<u8>),
+    /// A put of key/value.
+    Put(Vec<u8>, Vec<u8>),
+    /// A delete.
+    Delete(Vec<u8>),
+    /// A range scan: start key + length (length stored in the value
+    /// field as 8 LE bytes).
+    Scan(Vec<u8>, u32),
+}
+
+impl TraceOp {
+    fn tag(&self) -> u8 {
+        match self {
+            TraceOp::Get(_) => 0,
+            TraceOp::Put(..) => 1,
+            TraceOp::Delete(_) => 2,
+            TraceOp::Scan(..) => 3,
+        }
+    }
+}
+
+/// Writes operations to a trace file.
+#[derive(Debug)]
+pub struct TraceWriter {
+    out: BufWriter<std::fs::File>,
+    count: u64,
+}
+
+impl TraceWriter {
+    /// Creates a trace file at `path` (overwrites).
+    pub fn create(path: &Path) -> Result<TraceWriter> {
+        let mut out = BufWriter::new(std::fs::File::create(path)?);
+        out.write_all(MAGIC)?;
+        Ok(TraceWriter { out, count: 0 })
+    }
+
+    /// Appends one operation.
+    pub fn record(&mut self, op: &TraceOp) -> Result<()> {
+        let mut buf = Vec::new();
+        buf.push(op.tag());
+        let key: &[u8] = match op {
+            TraceOp::Get(k) | TraceOp::Delete(k) | TraceOp::Put(k, _) | TraceOp::Scan(k, _) => k,
+        };
+        put_varint64(&mut buf, key.len() as u64);
+        buf.extend_from_slice(key);
+        match op {
+            TraceOp::Put(_, v) => {
+                put_varint64(&mut buf, v.len() as u64);
+                buf.extend_from_slice(v);
+            }
+            TraceOp::Scan(_, len) => {
+                put_varint64(&mut buf, 4);
+                buf.extend_from_slice(&len.to_le_bytes());
+            }
+            TraceOp::Get(_) | TraceOp::Delete(_) => put_varint64(&mut buf, 0),
+        }
+        self.out.write_all(&buf)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Flushes and finishes the trace; returns the operation count.
+    pub fn finish(mut self) -> Result<u64> {
+        self.out.flush()?;
+        Ok(self.count)
+    }
+}
+
+/// Reads a trace file back.
+#[derive(Debug)]
+pub struct TraceReader {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl TraceReader {
+    /// Opens and validates `path`.
+    pub fn open(path: &Path) -> Result<TraceReader> {
+        let mut data = Vec::new();
+        BufReader::new(std::fs::File::open(path)?).read_to_end(&mut data)?;
+        if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+            return Err(Error::corruption("not a cLSM trace file"));
+        }
+        Ok(TraceReader {
+            data,
+            pos: MAGIC.len(),
+        })
+    }
+
+    /// Reads the next operation, or `None` at end-of-trace.
+    pub fn next_op(&mut self) -> Result<Option<TraceOp>> {
+        if self.pos >= self.data.len() {
+            return Ok(None);
+        }
+        let tag = self.data[self.pos];
+        self.pos += 1;
+        let (klen, n) = get_varint64(&self.data[self.pos..])?;
+        self.pos += n;
+        let key = self
+            .data
+            .get(self.pos..self.pos + klen as usize)
+            .ok_or_else(|| Error::corruption("truncated trace key"))?
+            .to_vec();
+        self.pos += klen as usize;
+        let (vlen, n) = get_varint64(&self.data[self.pos..])?;
+        self.pos += n;
+        let value = self
+            .data
+            .get(self.pos..self.pos + vlen as usize)
+            .ok_or_else(|| Error::corruption("truncated trace value"))?
+            .to_vec();
+        self.pos += vlen as usize;
+        let op = match tag {
+            0 => TraceOp::Get(key),
+            1 => TraceOp::Put(key, value),
+            2 => TraceOp::Delete(key),
+            3 => {
+                let len = u32::from_le_bytes(
+                    value
+                        .as_slice()
+                        .try_into()
+                        .map_err(|_| Error::corruption("bad scan length"))?,
+                );
+                TraceOp::Scan(key, len)
+            }
+            t => return Err(Error::corruption(format!("unknown trace op {t}"))),
+        };
+        Ok(Some(op))
+    }
+
+    /// Reads the remaining operations into memory.
+    pub fn read_all(&mut self) -> Result<Vec<TraceOp>> {
+        let mut out = Vec::new();
+        while let Some(op) = self.next_op()? {
+            out.push(op);
+        }
+        Ok(out)
+    }
+}
+
+/// Synthesizes a §5.2-style trace file from a workload spec: `ops`
+/// operations drawn with the spec's distribution and mix.
+pub fn synthesize_trace(path: &Path, spec: &WorkloadSpec, ops: u64, seed: u64) -> Result<u64> {
+    let mut writer = TraceWriter::create(path)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = KeyGen::new(spec.key_space, spec.key_len, spec.dist.clone());
+    for i in 0..ops {
+        let dice = rng.random_range(0..100u32);
+        let key = gen.next_key(&mut rng);
+        let op = if dice < spec.mix.read_pct {
+            TraceOp::Get(key)
+        } else if dice < spec.mix.read_pct + spec.mix.write_pct {
+            TraceOp::Put(key, value_for(seed ^ i, spec.value_len))
+        } else if dice < spec.mix.read_pct + spec.mix.write_pct + spec.mix.scan_pct {
+            TraceOp::Scan(
+                key,
+                rng.random_range(spec.scan_len.0..=spec.scan_len.1) as u32,
+            )
+        } else {
+            // RMW is recorded as a put (replay has no decision logic).
+            TraceOp::Put(key, value_for(seed ^ i, spec.value_len))
+        };
+        writer.record(&op)?;
+    }
+    writer.finish()
+}
+
+/// Replay statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Operations applied.
+    pub ops: u64,
+    /// Gets that found a value.
+    pub hits: u64,
+    /// Keys returned by scans.
+    pub scanned_keys: u64,
+}
+
+/// Replays a trace against `store` with `threads` workers; operations
+/// are dealt round-robin (per-key order is preserved only with one
+/// thread, as with the paper's partition logs).
+pub fn replay_trace(store: &Arc<dyn KvStore>, path: &Path, threads: usize) -> Result<ReplayStats> {
+    let ops = TraceReader::open(path)?.read_all()?;
+    let ops = Arc::new(ops);
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let threads = threads.max(1);
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let store = Arc::clone(store);
+        let ops = Arc::clone(&ops);
+        let cursor = Arc::clone(&cursor);
+        handles.push(std::thread::spawn(move || -> Result<ReplayStats> {
+            let mut stats = ReplayStats::default();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(op) = ops.get(i) else { break };
+                match op {
+                    TraceOp::Get(k) => {
+                        if store.get(k)?.is_some() {
+                            stats.hits += 1;
+                        }
+                    }
+                    TraceOp::Put(k, v) => store.put(k, v)?,
+                    TraceOp::Delete(k) => store.delete(k)?,
+                    TraceOp::Scan(k, len) => {
+                        stats.scanned_keys += store.scan(k, *len as usize)?.len() as u64;
+                    }
+                }
+                stats.ops += 1;
+            }
+            Ok(stats)
+        }));
+    }
+    let mut total = ReplayStats::default();
+    for h in handles {
+        let s = h.join().expect("replay worker panicked")?;
+        total.ops += s.ops;
+        total.hits += s.hits;
+        total.scanned_keys += s.scanned_keys;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keygen::KeyDistribution;
+    use crate::spec::OpMix;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "trace-{}-{}-{}",
+            std::process::id(),
+            name,
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ))
+    }
+
+    #[test]
+    fn roundtrip_all_op_kinds() {
+        let path = temp_path("roundtrip");
+        let ops = vec![
+            TraceOp::Put(b"k1".to_vec(), b"v1".to_vec()),
+            TraceOp::Get(b"k1".to_vec()),
+            TraceOp::Scan(b"k".to_vec(), 17),
+            TraceOp::Delete(b"k1".to_vec()),
+            TraceOp::Put(b"".to_vec(), vec![0xff; 300]),
+        ];
+        let mut w = TraceWriter::create(&path).unwrap();
+        for op in &ops {
+            w.record(op).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 5);
+        let got = TraceReader::open(&path).unwrap().read_all().unwrap();
+        assert_eq!(got, ops);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"definitely not a trace").unwrap();
+        assert!(TraceReader::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_trace_errors_cleanly() {
+        let path = temp_path("trunc");
+        let mut w = TraceWriter::create(&path).unwrap();
+        w.record(&TraceOp::Put(b"key".to_vec(), vec![1; 100]))
+            .unwrap();
+        w.finish().unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 20]).unwrap();
+        let mut r = TraceReader::open(&path).unwrap();
+        assert!(r.read_all().is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn synthesized_trace_matches_spec_mix() {
+        let path = temp_path("synth");
+        let spec = WorkloadSpec::synthetic(
+            "t",
+            OpMix {
+                read_pct: 70,
+                write_pct: 20,
+                scan_pct: 10,
+                rmw_pct: 0,
+            },
+            500,
+            KeyDistribution::Uniform,
+        );
+        let n = synthesize_trace(&path, &spec, 5_000, 42).unwrap();
+        assert_eq!(n, 5_000);
+        let ops = TraceReader::open(&path).unwrap().read_all().unwrap();
+        let gets = ops.iter().filter(|o| matches!(o, TraceOp::Get(_))).count();
+        let puts = ops.iter().filter(|o| matches!(o, TraceOp::Put(..))).count();
+        let scans = ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Scan(..)))
+            .count();
+        assert!((3000..=4000).contains(&gets), "gets={gets}");
+        assert!((700..=1300).contains(&puts), "puts={puts}");
+        assert!((300..=700).contains(&scans), "scans={scans}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_applies_to_store() {
+        let path = temp_path("replay");
+        let mut w = TraceWriter::create(&path).unwrap();
+        for i in 0..200u32 {
+            w.record(&TraceOp::Put(
+                format!("key{i:04}").into_bytes(),
+                format!("v{i}").into_bytes(),
+            ))
+            .unwrap();
+        }
+        w.record(&TraceOp::Delete(b"key0000".to_vec())).unwrap();
+        w.record(&TraceOp::Get(b"key0001".to_vec())).unwrap();
+        w.record(&TraceOp::Scan(b"key".to_vec(), 10)).unwrap();
+        w.finish().unwrap();
+
+        let dir = temp_path("replay-db");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store: Arc<dyn KvStore> =
+            Arc::new(clsm::Db::open(&dir, clsm::Options::small_for_tests()).unwrap());
+        // Single-threaded replay preserves order: the delete lands after
+        // the puts.
+        let stats = replay_trace(&store, &path, 1).unwrap();
+        assert_eq!(stats.ops, 203);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.scanned_keys, 10);
+        assert_eq!(store.get(b"key0000").unwrap(), None);
+        assert!(store.get(b"key0199").unwrap().is_some());
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,153 @@
+//! Multisite update reconciliation with vector clocks via atomic RMW —
+//! the use case the paper cites for read-modify-write ("useful, e.g.,
+//! for multisite update reconciliation", §1; "conditional updates,
+//! namely atomic read-modify-write operations" for vector clocks,
+//! §2.1).
+//!
+//! Several "sites" concurrently push replicated updates for the same
+//! keys into one store. Each stored value carries a vector clock; an
+//! incoming update is applied only if its clock dominates (or is
+//! concurrent with, in which case a deterministic merge wins) the
+//! stored one. cLSM's RMW makes each reconcile atomic without locks.
+//!
+//! Run with: `cargo run --example geo_replication_rmw`
+
+use std::sync::Arc;
+
+use clsm_repro::clsm::{Db, Options, RmwDecision};
+
+const SITES: usize = 4;
+
+/// A vector clock over `SITES` sites plus a payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Versioned {
+    clock: [u64; SITES],
+    payload: Vec<u8>,
+}
+
+impl Versioned {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SITES * 8 + self.payload.len());
+        for c in self.clock {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Versioned {
+        let mut clock = [0u64; SITES];
+        for (i, c) in clock.iter_mut().enumerate() {
+            *c = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        Versioned {
+            clock,
+            payload: bytes[SITES * 8..].to_vec(),
+        }
+    }
+
+    /// `true` if `self`'s clock is ≥ other's in every component.
+    fn dominates(&self, other: &Versioned) -> bool {
+        self.clock.iter().zip(&other.clock).all(|(a, b)| a >= b)
+    }
+
+    /// Component-wise max of two clocks (used to merge concurrent
+    /// updates deterministically).
+    fn merged_clock(&self, other: &Versioned) -> [u64; SITES] {
+        let mut m = [0u64; SITES];
+        for (slot, (a, b)) in m.iter_mut().zip(self.clock.iter().zip(&other.clock)) {
+            *slot = (*a).max(*b);
+        }
+        m
+    }
+}
+
+/// Atomically reconciles `update` into `key`: last-dominating-write
+/// wins; concurrent updates merge clocks and keep the lexicographically
+/// larger payload (deterministic, site-order independent).
+fn reconcile(db: &Db, key: &[u8], update: &Versioned) -> clsm_repro::clsm::Result<()> {
+    db.read_modify_write(key, |current| match current {
+        None => RmwDecision::Update(update.encode()),
+        Some(stored_bytes) => {
+            let stored = Versioned::decode(stored_bytes);
+            if stored.dominates(update) {
+                RmwDecision::Abort // stale or duplicate delivery
+            } else if update.dominates(&stored) {
+                RmwDecision::Update(update.encode())
+            } else {
+                // Concurrent: merge clocks, deterministic payload pick.
+                let winner = if update.payload > stored.payload {
+                    update.payload.clone()
+                } else {
+                    stored.payload.clone()
+                };
+                RmwDecision::Update(
+                    Versioned {
+                        clock: update.merged_clock(&stored),
+                        payload: winner,
+                    }
+                    .encode(),
+                )
+            }
+        }
+    })?;
+    Ok(())
+}
+
+fn main() -> clsm_repro::clsm::Result<()> {
+    let dir = std::env::temp_dir().join(format!("clsm-geo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Arc::new(Db::open(&dir, Options::default())?);
+
+    const KEYS: u64 = 50;
+    const UPDATES_PER_SITE: u64 = 500;
+
+    // Each site applies updates with its own clock component advancing.
+    let mut handles = Vec::new();
+    for site in 0..SITES {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(
+            move || -> clsm_repro::clsm::Result<()> {
+                let mut clock = [0u64; SITES];
+                for i in 0..UPDATES_PER_SITE {
+                    clock[site] += 1;
+                    let key = format!("item:{:04}", (i * 13 + site as u64) % KEYS);
+                    let update = Versioned {
+                        clock,
+                        payload: format!("site{site}-update{i}").into_bytes(),
+                    };
+                    reconcile(&db, key.as_bytes(), &update)?;
+                }
+                Ok(())
+            },
+        ));
+    }
+    for h in handles {
+        h.join().expect("site thread panicked")?;
+    }
+
+    // Verify convergence properties: every item's clock must reflect
+    // monotone, non-lost per-site progress (component i ≤ the number of
+    // updates site i issued, and the store holds a merged state).
+    let snap = db.snapshot()?;
+    let mut items = 0;
+    for item in snap.range(b"item:", None)? {
+        let (_k, v) = item?;
+        let stored = Versioned::decode(&v);
+        for (site, &c) in stored.clock.iter().enumerate() {
+            assert!(c <= UPDATES_PER_SITE, "site {site} clock ran ahead");
+        }
+        assert!(!stored.payload.is_empty());
+        items += 1;
+    }
+    let conflicts = db.stats().rmw_conflicts;
+    println!(
+        "geo-replication OK: {items} items converged across {SITES} sites \
+         ({} reconciles, {conflicts} optimistic-retry conflicts resolved)",
+        SITES as u64 * UPDATES_PER_SITE
+    );
+    drop(snap);
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! A web-serving style workload: the production scenario of §5.2 in
+//! miniature — read-heavy traffic with a heavy-tail key popularity over
+//! one shared store, served by many worker threads.
+//!
+//! Prints a small throughput/latency report comparing cLSM against the
+//! LevelDB-style baseline on the same workload, so you can see the
+//! concurrency-control difference on your own machine.
+//!
+//! Run with: `cargo run --release --example web_serving`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use clsm_repro::baselines::{KvStore, LevelDbLike};
+use clsm_repro::clsm::{Db, Options};
+use clsm_repro::workloads::{production_dataset, run_workload, Prefill, RunConfig};
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let spec = production_dataset(0, 20_000); // 93% reads, heavy tail
+    let cfg = RunConfig {
+        threads,
+        duration: Duration::from_secs(1),
+        seed: 7,
+    };
+
+    println!("web-serving workload: {} / {} threads", spec.name, threads);
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "system", "ops/s", "p90 (µs)", "ops"
+    );
+
+    for which in ["cLSM", "LevelDB"] {
+        let dir =
+            std::env::temp_dir().join(format!("clsm-webserving-{}-{}", std::process::id(), which));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = Options::default();
+        let store: Arc<dyn KvStore> = match which {
+            "cLSM" => Arc::new(Db::open(&dir, opts).unwrap()),
+            _ => Arc::new(LevelDbLike::open(&dir, opts).unwrap()),
+        };
+        let result = run_workload(&store, &spec, &cfg, Prefill::Sequential).unwrap();
+        println!(
+            "{:<12} {:>12.0} {:>12.1} {:>10}",
+            which,
+            result.ops_per_sec(),
+            result.p90_latency_us(),
+            result.ops
+        );
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    println!("(run with --release and more threads to see scaling differences)");
+}

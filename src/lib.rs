@@ -1,0 +1,17 @@
+//! Umbrella crate for the cLSM reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so that examples and
+//! integration tests can reach the whole system through one dependency.
+//!
+//! The primary entry point is [`clsm::Db`], the concurrent log-structured
+//! data store described in *Scaling Concurrent Log-Structured Data Stores*
+//! (EuroSys 2015).
+
+#![warn(missing_docs)]
+
+pub use clsm;
+pub use clsm_baselines as baselines;
+pub use clsm_skiplist as skiplist;
+pub use clsm_util as util;
+pub use clsm_workloads as workloads;
+pub use lsm_storage as storage;

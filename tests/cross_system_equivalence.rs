@@ -1,0 +1,171 @@
+//! Cross-system equivalence: the same deterministic operation sequence
+//! applied to cLSM and to every baseline must produce the same
+//! observable state. This is what justifies attributing benchmark
+//! differences purely to concurrency control.
+
+use std::sync::Arc;
+
+use clsm_repro::baselines::{BlsmLike, HyperLike, KvStore, LevelDbLike, RocksLike, StripedRmw};
+use clsm_repro::clsm::{Db, Options};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "xsys-{}-{}-{}",
+            std::process::id(),
+            name,
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u32, u32),
+    Delete(u32),
+    PutIfAbsent(u32, u32),
+}
+
+fn deterministic_ops(seed: u64, count: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let key = rng.random_range(0..300u32);
+            match rng.random_range(0..10u32) {
+                0..=5 => Op::Put(key, rng.random()),
+                6..=7 => Op::Delete(key),
+                _ => Op::PutIfAbsent(key, rng.random()),
+            }
+        })
+        .collect()
+}
+
+fn key(k: u32) -> Vec<u8> {
+    format!("key{k:06}").into_bytes()
+}
+
+fn apply(store: &dyn KvStore, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Put(k, v) => store.put(&key(*k), &v.to_le_bytes()).unwrap(),
+            Op::Delete(k) => store.delete(&key(*k)).unwrap(),
+            Op::PutIfAbsent(k, v) => {
+                store.put_if_absent(&key(*k), &v.to_le_bytes()).unwrap();
+            }
+        }
+    }
+    store.quiesce().unwrap();
+}
+
+type Observation = (Vec<Option<Vec<u8>>>, Vec<(Vec<u8>, Vec<u8>)>);
+
+/// Full observable state: every key's value plus a complete scan.
+fn observe(store: &dyn KvStore) -> Observation {
+    let gets = (0..300u32).map(|k| store.get(&key(k)).unwrap()).collect();
+    let scan = store.scan(b"", usize::MAX).unwrap();
+    (gets, scan)
+}
+
+#[test]
+fn all_systems_agree_on_sequential_history() {
+    let ops = deterministic_ops(0xfeed, 4000);
+
+    let reference = {
+        let dir = TempDir::new("ref-clsm");
+        let store = Db::open(&dir.0, Options::small_for_tests()).unwrap();
+        apply(&store, &ops);
+        observe(&store)
+    };
+    // Scan and gets must agree internally.
+    let live: Vec<&Option<Vec<u8>>> = reference.0.iter().filter(|v| v.is_some()).collect();
+    assert_eq!(live.len(), reference.1.len());
+
+    let opts = Options::small_for_tests;
+    let systems: Vec<(&str, Arc<dyn KvStore>, TempDir)> = vec![
+        {
+            let d = TempDir::new("leveldb");
+            (
+                "LevelDB",
+                Arc::new(LevelDbLike::open(&d.0, opts()).unwrap()) as _,
+                d,
+            )
+        },
+        {
+            let d = TempDir::new("hyper");
+            (
+                "Hyper",
+                Arc::new(HyperLike::open(&d.0, opts()).unwrap()) as _,
+                d,
+            )
+        },
+        {
+            let d = TempDir::new("rocks");
+            (
+                "Rocks",
+                Arc::new(RocksLike::open(&d.0, opts()).unwrap()) as _,
+                d,
+            )
+        },
+        {
+            let d = TempDir::new("blsm");
+            (
+                "bLSM",
+                Arc::new(BlsmLike::open(&d.0, opts()).unwrap()) as _,
+                d,
+            )
+        },
+        {
+            let d = TempDir::new("striped");
+            (
+                "Striped",
+                Arc::new(StripedRmw::open(&d.0, opts()).unwrap()) as _,
+                d,
+            )
+        },
+    ];
+
+    for (name, store, _dir) in &systems {
+        apply(store.as_ref(), &ops);
+        let got = observe(store.as_ref());
+        assert_eq!(got.0, reference.0, "{name}: point reads diverge from cLSM");
+        assert_eq!(got.1, reference.1, "{name}: scans diverge from cLSM");
+    }
+}
+
+#[test]
+fn equivalence_survives_reopen() {
+    let ops = deterministic_ops(0xbeef, 1500);
+    let dir_a = TempDir::new("reopen-clsm");
+    let dir_b = TempDir::new("reopen-lvl");
+    let after_a = {
+        let store = Db::open(&dir_a.0, Options::small_for_tests()).unwrap();
+        apply(&store, &ops);
+        drop(store);
+        let store = Db::open(&dir_a.0, Options::small_for_tests()).unwrap();
+        observe(&store)
+    };
+    let after_b = {
+        let store = LevelDbLike::open(&dir_b.0, Options::small_for_tests()).unwrap();
+        apply(&store, &ops);
+        drop(store);
+        let store = LevelDbLike::open(&dir_b.0, Options::small_for_tests()).unwrap();
+        observe(&store)
+    };
+    assert_eq!(after_a.0, after_b.0);
+    assert_eq!(after_a.1, after_b.1);
+}

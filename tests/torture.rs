@@ -1,0 +1,179 @@
+//! Long-running randomized torture test: many threads of mixed
+//! operations against cLSM with aggressive flush/compaction settings
+//! and periodic invariant audits.
+//!
+//! The default run is sized for CI (a few seconds). For a real soak,
+//! run with `TORTURE_SECONDS=60 cargo test --release --test torture -- --ignored`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use clsm_repro::clsm::{Db, Options, RmwDecision};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "torture-{}-{}-{}",
+            std::process::id(),
+            name,
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn torture_duration() -> Duration {
+    std::env::var("TORTURE_SECONDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(3))
+}
+
+/// Invariants maintained by the workload:
+/// 1. `ctr:*` keys only ever grow (RMW increments), and the sum of the
+///    final values equals the global increment count.
+/// 2. `inv:a` and `inv:b` are updated in atomic batches with equal
+///    values — snapshots must never see them differ.
+/// 3. `own:<t>:*` keys are only written by thread `t` with
+///    value == key — any other value is corruption.
+#[test]
+fn randomized_torture_with_invariant_audits() {
+    let dir = TempDir::new("main");
+    let db = Arc::new(Db::open(&dir.0, Options::small_for_tests()).unwrap());
+    db.write_batch(&[
+        (b"inv:a".to_vec(), Some(0u64.to_le_bytes().to_vec())),
+        (b"inv:b".to_vec(), Some(0u64.to_le_bytes().to_vec())),
+    ])
+    .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let increments = Arc::new(AtomicU64::new(0));
+    let deadline = Instant::now() + torture_duration();
+    let mut handles = Vec::new();
+
+    // Mixed-op workers.
+    for t in 0..3u64 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        let increments = Arc::clone(&increments);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(t ^ 0xfeed);
+            let mut batch_n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                match rng.random_range(0..100u32) {
+                    0..=39 => {
+                        // Owned writes (torn-write detector).
+                        let key = format!("own:{t}:{:04}", rng.random_range(0..500u32));
+                        db.put(key.as_bytes(), key.as_bytes()).unwrap();
+                    }
+                    40..=59 => {
+                        let key = format!("own:{t}:{:04}", rng.random_range(0..500u32));
+                        if let Some(v) = db.get(key.as_bytes()).unwrap() {
+                            assert_eq!(v, key.into_bytes(), "torn value");
+                        }
+                    }
+                    60..=74 => {
+                        // RMW counters.
+                        let key = format!("ctr:{:02}", rng.random_range(0..8u32));
+                        db.read_modify_write(key.as_bytes(), |cur| {
+                            let n = cur.map_or(0u64, |v| {
+                                u64::from_le_bytes(v.try_into().expect("8 bytes"))
+                            });
+                            RmwDecision::Update((n + 1).to_le_bytes().to_vec())
+                        })
+                        .unwrap();
+                        increments.fetch_add(1, Ordering::Relaxed);
+                    }
+                    75..=84 => {
+                        // Atomic invariant batch.
+                        batch_n += 1;
+                        let v = (t << 48 | batch_n).to_le_bytes().to_vec();
+                        db.write_batch(&[
+                            (b"inv:a".to_vec(), Some(v.clone())),
+                            (b"inv:b".to_vec(), Some(v)),
+                        ])
+                        .unwrap();
+                    }
+                    85..=92 => {
+                        // Deletes of disposable keys.
+                        let key = format!("tmp:{:04}", rng.random_range(0..200u32));
+                        if rng.random_bool(0.5) {
+                            db.put(key.as_bytes(), b"x").unwrap();
+                        } else {
+                            db.delete(key.as_bytes()).unwrap();
+                        }
+                    }
+                    _ => {
+                        // Range scans (bounded).
+                        let start = format!("own:{}:", rng.random_range(0..3u32));
+                        let snap = db.snapshot().unwrap();
+                        for item in snap.range(start.as_bytes(), None).unwrap().take(50) {
+                            let (k, v) = item.unwrap();
+                            if k.starts_with(b"own:") {
+                                assert_eq!(k, v, "torn value in scan");
+                            }
+                        }
+                    }
+                }
+            }
+        }));
+    }
+
+    // Auditor: snapshot-level invariants while everything churns.
+    let mut audits = 0u64;
+    while Instant::now() < deadline {
+        let snap = db.snapshot().unwrap();
+        let a = snap.get(b"inv:a").unwrap().unwrap();
+        let b = snap.get(b"inv:b").unwrap().unwrap();
+        assert_eq!(a, b, "snapshot saw a torn invariant batch");
+        audits += 1;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Final accounting: counter sum equals global increments.
+    db.compact_to_quiescence().unwrap();
+    let mut sum = 0u64;
+    for i in 0..8u32 {
+        if let Some(v) = db.get(format!("ctr:{i:02}").as_bytes()).unwrap() {
+            sum += u64::from_le_bytes(v.try_into().expect("8 bytes"));
+        }
+    }
+    assert_eq!(
+        sum,
+        increments.load(Ordering::Relaxed),
+        "lost RMW increments"
+    );
+    assert!(audits > 0);
+    assert!(db.verify_integrity().unwrap() > 0);
+
+    // And it all survives a reopen.
+    drop(db);
+    let db = Db::open(&dir.0, Options::small_for_tests()).unwrap();
+    let mut sum2 = 0u64;
+    for i in 0..8u32 {
+        if let Some(v) = db.get(format!("ctr:{i:02}").as_bytes()).unwrap() {
+            sum2 += u64::from_le_bytes(v.try_into().expect("8 bytes"));
+        }
+    }
+    assert_eq!(sum2, sum, "recovery changed the counters");
+}

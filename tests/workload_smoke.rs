@@ -1,0 +1,184 @@
+//! End-to-end smoke of the evaluation pipeline: the workload driver
+//! must run every figure's workload against every system without
+//! errors and with sane results.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use clsm_repro::baselines::{BlsmLike, HyperLike, KvStore, LevelDbLike, RocksLike, StripedRmw};
+use clsm_repro::clsm::{Db, Options};
+use clsm_repro::workloads::{production_dataset, run_workload, Prefill, RunConfig, WorkloadSpec};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "wsmoke-{}-{}-{}",
+            std::process::id(),
+            name,
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn quick_cfg() -> RunConfig {
+    RunConfig {
+        threads: 2,
+        duration: Duration::from_millis(120),
+        seed: 42,
+    }
+}
+
+fn open_all(dirbase: &str) -> Vec<(Arc<dyn KvStore>, TempDir)> {
+    let o = Options::small_for_tests;
+    vec![
+        {
+            let d = TempDir::new(&format!("{dirbase}-clsm"));
+            (
+                Arc::new(Db::open(&d.0, o()).unwrap()) as Arc<dyn KvStore>,
+                d,
+            )
+        },
+        {
+            let d = TempDir::new(&format!("{dirbase}-lvl"));
+            (Arc::new(LevelDbLike::open(&d.0, o()).unwrap()) as _, d)
+        },
+        {
+            let d = TempDir::new(&format!("{dirbase}-hyp"));
+            (Arc::new(HyperLike::open(&d.0, o()).unwrap()) as _, d)
+        },
+        {
+            let d = TempDir::new(&format!("{dirbase}-rck"));
+            (Arc::new(RocksLike::open(&d.0, o()).unwrap()) as _, d)
+        },
+        {
+            let d = TempDir::new(&format!("{dirbase}-blm"));
+            (Arc::new(BlsmLike::open(&d.0, o()).unwrap()) as _, d)
+        },
+        {
+            let d = TempDir::new(&format!("{dirbase}-str"));
+            (Arc::new(StripedRmw::open(&d.0, o()).unwrap()) as _, d)
+        },
+    ]
+}
+
+#[test]
+fn write_only_workload_runs_everywhere() {
+    let spec = WorkloadSpec::write_only(2_000);
+    for (store, _d) in open_all("w") {
+        let r = run_workload(&store, &spec, &quick_cfg(), Prefill::Sequential).unwrap();
+        assert!(r.ops > 0, "{} made no progress", store.name());
+        assert_eq!(r.latency.count(), r.ops);
+    }
+}
+
+#[test]
+fn read_only_workload_runs_everywhere() {
+    let mut spec = WorkloadSpec::read_only(2_000);
+    spec.prefill = 2_000;
+    for (store, _d) in open_all("r") {
+        let r = run_workload(&store, &spec, &quick_cfg(), Prefill::Sequential).unwrap();
+        assert!(r.ops > 0, "{} made no progress", store.name());
+    }
+}
+
+#[test]
+fn scan_write_workload_counts_keys() {
+    let spec = WorkloadSpec::scan_write(2_000);
+    for (store, _d) in open_all("s") {
+        if store.name() == "bLSM" {
+            continue; // excluded from scans, as in the paper
+        }
+        let r = run_workload(&store, &spec, &quick_cfg(), Prefill::Sequential).unwrap();
+        assert!(r.ops > 0);
+        // Scans touch multiple keys, so keys ≥ ops with scans present.
+        assert!(
+            r.keys >= r.ops,
+            "{}: keys {} < ops {}",
+            store.name(),
+            r.keys,
+            r.ops
+        );
+    }
+}
+
+#[test]
+fn rmw_workload_runs_on_figure9_systems() {
+    let spec = WorkloadSpec::rmw(2_000);
+    let o = Options::small_for_tests;
+    let systems: Vec<(Arc<dyn KvStore>, TempDir)> = vec![
+        {
+            let d = TempDir::new("rmw-clsm");
+            (Arc::new(Db::open(&d.0, o()).unwrap()) as _, d)
+        },
+        {
+            let d = TempDir::new("rmw-striped");
+            (Arc::new(StripedRmw::open(&d.0, o()).unwrap()) as _, d)
+        },
+    ];
+    for (store, _d) in systems {
+        let r = run_workload(&store, &spec, &quick_cfg(), Prefill::Sequential).unwrap();
+        assert!(r.ops > 0, "{} made no progress", store.name());
+    }
+}
+
+#[test]
+fn production_workloads_have_correct_shape() {
+    for dataset in 0..4 {
+        let spec = production_dataset(dataset, 2_000);
+        assert!(spec.mix.read_pct >= 85 && spec.mix.read_pct <= 96);
+        let d = TempDir::new(&format!("prod-{dataset}"));
+        let store: Arc<dyn KvStore> = Arc::new(Db::open(&d.0, Options::small_for_tests()).unwrap());
+        let r = run_workload(&store, &spec, &quick_cfg(), Prefill::Sequential).unwrap();
+        assert!(r.ops > 0);
+    }
+}
+
+#[test]
+fn runs_are_deterministic_in_op_content() {
+    // Two runs with the same seed against fresh stores must leave
+    // equivalent states (the driver's RNGs are deterministic; timing
+    // only affects how MANY ops run, so compare a fixed prefix via
+    // checksums of the final state being a subset relationship is
+    // overkill — instead verify the driver reproduces identical key
+    // sequences by running with 1 thread and comparing small scans).
+    let spec = WorkloadSpec::write_only(500);
+    let cfg = RunConfig {
+        threads: 1,
+        duration: Duration::from_millis(80),
+        seed: 99,
+    };
+    let d1 = TempDir::new("det1");
+    let s1: Arc<dyn KvStore> = Arc::new(Db::open(&d1.0, Options::small_for_tests()).unwrap());
+    let r1 = run_workload(&s1, &spec, &cfg, Prefill::Skip).unwrap();
+    let d2 = TempDir::new("det2");
+    let s2: Arc<dyn KvStore> = Arc::new(Db::open(&d2.0, Options::small_for_tests()).unwrap());
+    let r2 = run_workload(&s2, &spec, &cfg, Prefill::Skip).unwrap();
+    // The shorter run's touched-key set must be a prefix of the longer
+    // run's sequence; with a single thread and same seed the first
+    // min(ops) keys are identical, so the smaller store's keys are a
+    // subset of the larger one's.
+    let (small, large) = if r1.ops <= r2.ops {
+        (s1.clone(), s2.clone())
+    } else {
+        (s2.clone(), s1.clone())
+    };
+    for (k, _) in small.scan(b"", usize::MAX).unwrap() {
+        assert!(
+            large.get(&k).unwrap().is_some(),
+            "non-deterministic key {k:?}"
+        );
+    }
+}
