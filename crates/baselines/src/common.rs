@@ -1,80 +1,8 @@
-//! The uniform store interface used by workloads and benchmarks.
+//! The uniform store interface, re-exported from [`clsm_kv`].
+//!
+//! The trait used to live here; it moved to its own crate so that
+//! `clsm` can implement it for `Db` without a dependency cycle. This
+//! module remains so existing `crate::common::KvStore` paths (and the
+//! public `clsm_baselines::KvStore` re-export) keep working.
 
-use clsm_util::error::Result;
-
-/// The operations every evaluated system supports.
-///
-/// `scan` corresponds to the paper's range queries (Figure 7b);
-/// `put_if_absent` to the RMW benchmark (Figure 9).
-pub trait KvStore: Send + Sync {
-    /// Stores `value` under `key`.
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
-
-    /// Returns the latest value of `key`.
-    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
-
-    /// Deletes `key`.
-    fn delete(&self, key: &[u8]) -> Result<()>;
-
-    /// Returns up to `limit` live pairs with keys `>= start`, in order,
-    /// from a consistent view.
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
-
-    /// Atomically stores `value` if `key` is absent; returns `true` if
-    /// stored.
-    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool>;
-
-    /// Blocks until pending flushes/compactions are done (benchmark
-    /// warm-up/teardown hook).
-    fn quiesce(&self) -> Result<()>;
-
-    /// Short system name for reports (e.g. `"cLSM"`, `"LevelDB"`).
-    fn name(&self) -> &'static str;
-
-    /// Write-amplification counters, when the system tracks them.
-    fn write_amp(&self) -> Option<lsm_storage::store::WriteAmp> {
-        None
-    }
-}
-
-impl KvStore for clsm::Db {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        clsm::Db::put(self, key, value)
-    }
-
-    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        clsm::Db::get(self, key)
-    }
-
-    fn delete(&self, key: &[u8]) -> Result<()> {
-        clsm::Db::delete(self, key)
-    }
-
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let snap = self.snapshot()?;
-        let mut out = Vec::with_capacity(limit.min(1024));
-        for item in snap.range(start, None)? {
-            out.push(item?);
-            if out.len() >= limit {
-                break;
-            }
-        }
-        Ok(out)
-    }
-
-    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
-        clsm::Db::put_if_absent(self, key, value)
-    }
-
-    fn quiesce(&self) -> Result<()> {
-        self.compact_to_quiescence()
-    }
-
-    fn name(&self) -> &'static str {
-        "cLSM"
-    }
-
-    fn write_amp(&self) -> Option<lsm_storage::store::WriteAmp> {
-        Some(clsm::Db::write_amp(self))
-    }
-}
+pub use clsm_kv::{KvSnapshot, KvStore};

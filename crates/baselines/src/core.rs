@@ -237,6 +237,15 @@ impl BaselineCore {
         self.store.write_amp()
     }
 
+    /// Boxes a [`CoreSnapshot`] at `seq` (front-ends pick the read
+    /// point according to their concurrency model).
+    pub(crate) fn snapshot_at(self: &Arc<Self>, seq: u64) -> Box<dyn clsm_kv::KvSnapshot> {
+        Box::new(CoreSnapshot {
+            core: Arc::clone(self),
+            seq,
+        })
+    }
+
     /// Stops maintenance threads (front-ends call from `Drop`).
     pub(crate) fn shutdown_and_join(&self, workers: &mut Vec<JoinHandle<()>>) {
         self.shutdown.store(true, Ordering::Release);
@@ -271,6 +280,29 @@ impl BaselineCore {
             .flush_memtable(&mut iter, watermark, imm.max_ts(), new_wal)?;
         self.imm.store(None);
         Ok(true)
+    }
+}
+
+/// A baseline snapshot: a visible sequence number captured at creation
+/// plus a handle on the core.
+///
+/// Reads through it see exactly the writes visible at capture time.
+/// Unlike cLSM's snapshots there is no version pinning — the baselines'
+/// GC watermark is the *current* visible sequence — so a long-lived
+/// handle may lose old versions to compaction, matching the modeled
+/// systems' short-read-point behavior.
+pub(crate) struct CoreSnapshot {
+    core: Arc<BaselineCore>,
+    seq: u64,
+}
+
+impl clsm_kv::KvSnapshot for CoreSnapshot {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.core.get_at(key, self.seq)
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.core.scan_at(start, limit, self.seq)
     }
 }
 

@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::KvStore;
+use crate::common::{KvSnapshot, KvStore};
 use crate::core::BaselineCore;
 
 /// A HyperLevelDB-style store: parallel inserts, ordered commit.
@@ -84,6 +84,12 @@ impl KvStore for HyperLike {
 
     fn delete(&self, key: &[u8]) -> Result<()> {
         self.write(key, None)
+    }
+
+    fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {
+        Ok(self
+            .core
+            .snapshot_at(self.committed.load(Ordering::Acquire)))
     }
 
     fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {

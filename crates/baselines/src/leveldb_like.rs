@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::KvStore;
+use crate::common::{KvSnapshot, KvStore};
 use crate::core::BaselineCore;
 
 /// A LevelDB-style store: globally locked writes, briefly locked reads.
@@ -76,6 +76,10 @@ impl KvStore for LevelDbLike {
 
     fn delete(&self, key: &[u8]) -> Result<()> {
         self.write(key, None)
+    }
+
+    fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {
+        Ok(self.core.snapshot_at(self.read_point()))
     }
 
     fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {

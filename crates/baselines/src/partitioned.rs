@@ -9,7 +9,7 @@
 
 use clsm_util::error::Result;
 
-use crate::common::KvStore;
+use crate::common::{KvSnapshot, KvStore};
 
 /// N stores, each owning a contiguous key range.
 pub struct Partitioned<S: KvStore> {
@@ -57,6 +57,22 @@ impl<S: KvStore> KvStore for Partitioned<S> {
         self.parts[self.partition_of(key)].delete(key)
     }
 
+    fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {
+        // One child snapshot per partition. Each partition is
+        // internally consistent; the union is not — "the data store's
+        // consistent snapshot scans do not span multiple partitions"
+        // (§2.2), which is exactly what Figure 1 demonstrates.
+        let parts = self
+            .parts
+            .iter()
+            .map(KvStore::snapshot)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Box::new(PartitionedSnapshot {
+            parts,
+            boundaries: self.boundaries.clone(),
+        }))
+    }
+
     fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         // Stitches per-partition scans; each partition is internally
         // consistent, the union is not (Figure 1's caveat).
@@ -87,5 +103,38 @@ impl<S: KvStore> KvStore for Partitioned<S> {
 
     fn name(&self) -> &'static str {
         "partitioned"
+    }
+}
+
+/// Per-partition child snapshots stitched behind one [`KvSnapshot`].
+struct PartitionedSnapshot {
+    parts: Vec<Box<dyn KvSnapshot>>,
+    boundaries: Vec<Vec<u8>>,
+}
+
+impl PartitionedSnapshot {
+    fn partition_of(&self, key: &[u8]) -> usize {
+        self.boundaries.partition_point(|b| b.as_slice() <= key)
+    }
+}
+
+impl KvSnapshot for PartitionedSnapshot {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.parts[self.partition_of(key)].get(key)
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::with_capacity(limit);
+        let mut part = self.partition_of(start);
+        let mut from = start.to_vec();
+        while out.len() < limit && part < self.parts.len() {
+            let got = self.parts[part].scan(&from, limit - out.len())?;
+            out.extend(got);
+            part += 1;
+            if part <= self.boundaries.len() && part > 0 {
+                from = self.boundaries[part - 1].clone();
+            }
+        }
+        Ok(out)
     }
 }

@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::KvStore;
+use crate::common::{KvSnapshot, KvStore};
 use crate::core::BaselineCore;
 
 /// A RocksDB-style store: serialized writes, lock-free reads.
@@ -69,6 +69,10 @@ impl KvStore for RocksLike {
 
     fn delete(&self, key: &[u8]) -> Result<()> {
         self.write(key, None)
+    }
+
+    fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {
+        Ok(self.core.snapshot_at(self.core.visible()))
     }
 
     fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {

@@ -15,7 +15,7 @@ use clsm::Options;
 use clsm_util::bloom::hash_seeded;
 use clsm_util::error::Result;
 
-use crate::common::KvStore;
+use crate::common::{KvSnapshot, KvStore};
 use crate::leveldb_like::LevelDbLike;
 
 /// Number of stripes (a power of two).
@@ -70,6 +70,10 @@ impl KvStore for StripedRmw {
     fn delete(&self, key: &[u8]) -> Result<()> {
         let _stripe = self.stripe(key).lock();
         self.db.delete(key)
+    }
+
+    fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {
+        self.db.snapshot()
     }
 
     fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {

@@ -85,6 +85,66 @@ fn exercise(store: &dyn KvStore) {
         store.name()
     );
 
+    // Batched writes: puts and deletes land; atomicity is only
+    // guaranteed by systems that override the default (cLSM).
+    store
+        .write_batch(&[
+            (b"batch-a".to_vec(), Some(b"1".to_vec())),
+            (b"batch-b".to_vec(), Some(b"2".to_vec())),
+            (b"batch-a".to_vec(), None),
+        ])
+        .unwrap();
+    assert_eq!(store.get(b"batch-a").unwrap(), None, "{}", store.name());
+    assert_eq!(
+        store.get(b"batch-b").unwrap(),
+        Some(b"2".to_vec()),
+        "{}",
+        store.name()
+    );
+
+    // Snapshots: a view taken now must not observe later writes.
+    let snap = store.snapshot().unwrap();
+    assert_eq!(snap.get(b"bulk000098").unwrap(), Some(b"val98".to_vec()));
+    store.put(b"bulk000098", b"overwritten").unwrap();
+    store.delete(b"bulk000099").unwrap();
+    assert_eq!(
+        snap.get(b"bulk000098").unwrap(),
+        Some(b"val98".to_vec()),
+        "{}: snapshot observed a later overwrite",
+        store.name()
+    );
+    assert_eq!(
+        snap.get(b"bulk000099").unwrap(),
+        Some(b"val99".to_vec()),
+        "{}: snapshot observed a later delete",
+        store.name()
+    );
+    let snap_scan = snap.scan(b"bulk000098", 2).unwrap();
+    assert_eq!(
+        snap_scan,
+        vec![
+            (b"bulk000098".to_vec(), b"val98".to_vec()),
+            (b"bulk000099".to_vec(), b"val99".to_vec()),
+        ],
+        "{}: snapshot scan not frozen at capture time",
+        store.name()
+    );
+    drop(snap);
+    // Restore the pre-snapshot state for the checks below.
+    store.put(b"bulk000098", b"val98").unwrap();
+    store.put(b"bulk000099", b"val99").unwrap();
+
+    // Stats: always well-formed; renderers never panic. Systems
+    // without a registry return an empty snapshot.
+    let stats = store.stats();
+    let json = stats.to_json();
+    assert!(
+        json.starts_with('{') && json.ends_with('}'),
+        "{}",
+        store.name()
+    );
+    let _ = stats.to_text();
+
     // Concurrency smoke: writers + readers.
     std::thread::scope(|scope| {
         for t in 0..3u32 {

@@ -8,7 +8,7 @@
 
 use bench::driver::{run_one, Metric};
 use bench::report::Table;
-use bench::systems::{open_system, SystemKind};
+use bench::systems::CLSM;
 use clsm_workloads::{RunConfig, WorkloadSpec};
 
 fn main() {
@@ -37,7 +37,7 @@ fn main() {
         let dir = args
             .scratch(&format!("ablate-compact-{compactors}"))
             .expect("scratch");
-        let store = open_system(SystemKind::Clsm, &dir, opts).expect("open");
+        let store = CLSM.open(&dir, opts).expect("open");
         clsm_workloads::runner::prefill_store(store.as_ref(), &spec).expect("prefill");
         let cfg = RunConfig {
             threads: worker_threads,

@@ -8,7 +8,7 @@
 
 use bench::driver::{emit, sweep_threads, Metric};
 use bench::report::Table;
-use bench::systems::{open_system, SystemKind};
+use bench::systems::CLSM;
 use clsm_workloads::{RunConfig, WorkloadSpec};
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
     let async_tables = sweep_threads(
         &args,
         "Ablation sync-logging (async)",
-        &[SystemKind::Clsm],
+        &[CLSM],
         &spec,
         &[(
             Metric::KopsPerSec,
@@ -39,7 +39,7 @@ fn main() {
     let mut opts = args.store_options();
     opts.sync_writes = true;
     let dir = args.scratch("ablate-sync").expect("scratch");
-    let store = open_system(SystemKind::Clsm, &dir, opts).expect("open");
+    let store = CLSM.open(&dir, opts).expect("open");
     for (col, &threads) in args.threads.iter().enumerate() {
         let cfg = RunConfig {
             threads,

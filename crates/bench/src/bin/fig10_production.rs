@@ -9,7 +9,7 @@
 //! because larger keys/values dilute synchronization overhead.
 
 use bench::driver::{emit, sweep_threads, Metric};
-use bench::systems::SystemKind;
+use bench::systems::no_blsm_systems;
 use clsm_workloads::production_dataset;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
         let tables = sweep_threads(
             &args,
             &format!("Figure 10 dataset {}", dataset + 1),
-            SystemKind::no_blsm(),
+            no_blsm_systems(),
             &spec,
             &[(Metric::KopsPerSec, &label)],
         )

@@ -13,7 +13,7 @@
 
 use bench::driver::{run_one, Metric};
 use bench::report::Table;
-use bench::systems::{open_system, SystemKind};
+use bench::systems::{CLSM, ROCKS};
 use clsm_workloads::{RunConfig, WorkloadSpec};
 
 fn main() {
@@ -30,18 +30,18 @@ fn main() {
         columns,
     );
 
-    for sys in [SystemKind::Rocks, SystemKind::Clsm] {
+    for sys in [ROCKS, CLSM] {
         let mut opts = args.store_options();
         opts.store.num_levels = 6; // §5.3: "total number of levels (6)"
                                    // Keep the budgets small so compaction genuinely saturates.
         opts.memtable_bytes = if args.quick { 1 << 20 } else { 128 << 20 };
         opts.store.base_level_bytes = if args.quick { 4 << 20 } else { 64 << 20 };
-        opts.compaction_threads = if sys == SystemKind::Rocks { 3 } else { 1 };
+        opts.compaction_threads = if std::ptr::eq(sys, ROCKS) { 3 } else { 1 };
 
         let dir = args
             .scratch(&format!("fig11-{}", sys.name()))
             .expect("scratch");
-        let store = open_system(sys, &dir, opts).expect("open store");
+        let store = sys.open(&dir, opts).expect("open store");
         eprintln!("[fig11] filling {} with {} items…", sys.name(), key_space);
         clsm_workloads::runner::prefill_store(store.as_ref(), &spec).expect("prefill");
 

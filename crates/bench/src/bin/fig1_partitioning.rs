@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use bench::report::Table;
-use bench::systems::{open_system, SystemKind};
+use bench::systems::{CLSM, HYPER, LEVELDB};
 use clsm_baselines::KvStore;
 use clsm_workloads::keygen::{format_key, value_for};
 use clsm_workloads::Zipf;
@@ -48,13 +48,13 @@ fn main() {
     );
 
     // Partitioned configurations: 4 stores, threads pinned per store.
-    for sys in [SystemKind::LevelDb, SystemKind::Hyper] {
+    for sys in [LEVELDB, HYPER] {
         let mut stores = Vec::new();
         for p in 0..PARTS {
             let dir = args
                 .scratch(&format!("fig1-{}-p{}", sys.name(), p))
                 .expect("scratch dir");
-            let store = open_system(sys, &dir, args.store_options()).expect("open");
+            let store = sys.open(&dir, args.store_options()).expect("open");
             prefill_range(&*store, p, key_space);
             stores.push(store);
         }
@@ -76,7 +76,7 @@ fn main() {
     // threads on the union workload.
     {
         let dir = args.scratch("fig1-clsm-big").expect("scratch dir");
-        let store = open_system(SystemKind::Clsm, &dir, args.store_options()).expect("open");
+        let store = CLSM.open(&dir, args.store_options()).expect("open");
         for p in 0..PARTS {
             prefill_range(&*store, p, key_space);
         }

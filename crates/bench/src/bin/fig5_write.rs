@@ -9,7 +9,7 @@
 //! furthest and highest (≈1.8× the best competitor at peak).
 
 use bench::driver::{emit, sweep_threads, Metric};
-use bench::systems::SystemKind;
+use bench::systems::all_systems;
 use clsm_workloads::WorkloadSpec;
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
     let tables = sweep_threads(
         &args,
         "Figure 5 (write-only)",
-        SystemKind::all(),
+        all_systems(),
         &spec,
         &[
             (Metric::KopsPerSec, "Write throughput (Kops/s) [Fig 5a]"),

@@ -10,7 +10,7 @@
 //! higher latency for its throughput (Fig 6b).
 
 use bench::driver::{emit, sweep_threads, Metric};
-use bench::systems::SystemKind;
+use bench::systems::all_systems;
 use clsm_workloads::WorkloadSpec;
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
     let tables = sweep_threads(
         &args,
         "Figure 6 (read-only)",
-        SystemKind::all(),
+        all_systems(),
         &spec,
         &[
             (Metric::KopsPerSec, "Read throughput (Kops/s) [Fig 6a]"),

@@ -8,7 +8,7 @@
 //! competitors trail by ≥60% in (b).
 
 use bench::driver::{emit, sweep_threads, Metric};
-use bench::systems::SystemKind;
+use bench::systems::{all_systems, no_blsm_systems};
 use clsm_workloads::WorkloadSpec;
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
     let tables_a = sweep_threads(
         &args,
         "Figure 7a (50r/50w)",
-        SystemKind::all(),
+        all_systems(),
         &spec_a,
         &[(
             Metric::KopsPerSec,
@@ -32,7 +32,7 @@ fn main() {
     let tables_b = sweep_threads(
         &args,
         "Figure 7b (scan/write)",
-        SystemKind::no_blsm(),
+        no_blsm_systems(),
         &spec_b,
         &[(
             Metric::KkeysPerSec,

@@ -11,7 +11,7 @@
 
 use bench::driver::{run_one, Metric};
 use bench::report::Table;
-use bench::systems::{open_system, SystemKind};
+use bench::systems::{CLSM, LEVELDB};
 use clsm_workloads::{RunConfig, WorkloadSpec};
 
 fn main() {
@@ -30,14 +30,14 @@ fn main() {
     );
 
     let spec = WorkloadSpec::mixed(args.key_space());
-    for sys in [SystemKind::LevelDb, SystemKind::Clsm] {
+    for sys in [LEVELDB, CLSM] {
         for (col, &mb) in sizes_mb.iter().enumerate() {
             let mut opts = args.store_options();
             opts.memtable_bytes = mb * 1024 * 1024 / scale;
             let dir = args
                 .scratch(&format!("fig8-{}-{}mb", sys.name(), mb))
                 .expect("scratch dir");
-            let store = open_system(sys, &dir, opts).expect("open store");
+            let store = sys.open(&dir, opts).expect("open store");
             clsm_workloads::runner::prefill_store(store.as_ref(), &spec).expect("prefill");
             let cfg = RunConfig {
                 threads,

@@ -5,7 +5,7 @@
 //! against the textbook lock-striped LevelDB baseline.
 
 use bench::driver::{emit, sweep_threads, Metric};
-use bench::systems::SystemKind;
+use bench::systems::{CLSM, STRIPED};
 use clsm_workloads::WorkloadSpec;
 
 fn main() {
@@ -14,7 +14,7 @@ fn main() {
     let tables = sweep_threads(
         &args,
         "Figure 9 (RMW put-if-absent)",
-        &[SystemKind::Striped, SystemKind::Clsm],
+        &[STRIPED, CLSM],
         &spec,
         &[(Metric::KopsPerSec, "RMW throughput (Kops/s) [Fig 9]")],
     )

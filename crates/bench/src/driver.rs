@@ -10,7 +10,7 @@ use clsm_util::error::Result;
 use clsm_workloads::{run_workload, Prefill, RunConfig, RunResult, WorkloadSpec};
 
 use crate::report::Table;
-use crate::systems::{open_system, SystemKind};
+use crate::systems::System;
 
 /// Command-line arguments shared by all figure binaries.
 #[derive(Debug, Clone)]
@@ -166,7 +166,7 @@ impl Metric {
 pub fn sweep_threads(
     args: &BenchArgs,
     figure: &str,
-    systems: &[SystemKind],
+    systems: &[&'static dyn System],
     spec: &WorkloadSpec,
     metrics: &[(Metric, &str)],
 ) -> Result<Vec<Table>> {
@@ -178,7 +178,7 @@ pub fn sweep_threads(
 
     for &sys in systems {
         let dir = args.scratch(&format!("{}-{}", figure_slug(figure), sys.name()))?;
-        let store = open_system(sys, &dir, args.store_options())?;
+        let store = sys.open(&dir, args.store_options())?;
         eprintln!(
             "[{}] prefilling {} ({} keys)…",
             figure,
@@ -206,10 +206,35 @@ pub fn sweep_threads(
             }
         }
         store.quiesce()?;
+        emit_metrics(args, figure, store.as_ref())?;
         drop(store);
         let _ = std::fs::remove_dir_all(&dir);
     }
     Ok(tables)
+}
+
+/// Prints a system's metrics snapshot and persists it as JSON next to
+/// the CSV artifacts. Systems without a metrics registry (the
+/// baselines) are skipped silently.
+pub fn emit_metrics(args: &BenchArgs, figure: &str, store: &dyn KvStore) -> Result<()> {
+    let snapshot = store.stats();
+    if snapshot.counters.is_empty() && snapshot.histograms.is_empty() {
+        return Ok(());
+    }
+    eprintln!(
+        "[{}] {} metrics:\n{}",
+        figure,
+        store.name(),
+        snapshot.to_text()
+    );
+    let path = crate::report::write_metrics_json(
+        &args.out_dir,
+        &format!("{}-{}", figure_slug(figure), figure_slug(store.name())),
+        &snapshot,
+    )?;
+    println!("{} metrics: {}", store.name(), snapshot.to_json());
+    eprintln!("wrote {}", path.display());
+    Ok(())
 }
 
 /// Runs one measured cell (no prefill — done by the sweep).

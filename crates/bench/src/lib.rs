@@ -18,4 +18,4 @@ pub mod systems;
 
 pub use driver::{parse_args, BenchArgs};
 pub use report::{write_csv, Table};
-pub use systems::{open_system, SystemKind};
+pub use systems::{all_systems, no_blsm_systems, registry, system_by_name, System};

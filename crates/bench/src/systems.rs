@@ -1,4 +1,10 @@
-//! Construction of the systems under test.
+//! The registry of systems under test.
+//!
+//! Each evaluated system is a [`System`] trait object pairing a display
+//! name with the recipe for opening an instance; benchmarks iterate
+//! over `&'static dyn System` slices instead of matching on an enum, so
+//! adding a system means adding one impl and one registry entry —
+//! no central dispatch to edit.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -7,68 +13,79 @@ use clsm::{Db, Options};
 use clsm_baselines::{BlsmLike, HyperLike, KvStore, LevelDbLike, RocksLike, StripedRmw};
 use clsm_util::error::Result;
 
-/// The systems the paper evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SystemKind {
-    /// This paper's contribution.
-    Clsm,
-    /// LevelDB model (global lock, single writer).
-    LevelDb,
-    /// HyperLevelDB model (fine-grained, ordered commit).
-    Hyper,
-    /// RocksDB model (single writer, lock-free reads).
-    Rocks,
-    /// bLSM model (single writer, gear-throttled merges).
-    Blsm,
-    /// Lock-striped RMW over the LevelDB model (Figure 9 baseline).
-    Striped,
-}
-
-impl SystemKind {
+/// One system under test: a stable display name plus an opener.
+pub trait System: Send + Sync {
     /// Display name used in tables (matches the paper's legends).
-    pub fn name(&self) -> &'static str {
-        match self {
-            SystemKind::Clsm => "cLSM",
-            SystemKind::LevelDb => "LevelDB",
-            SystemKind::Hyper => "HyperLevelDB",
-            SystemKind::Rocks => "rocksDB",
-            SystemKind::Blsm => "bLSM",
-            SystemKind::Striped => "LevelDB+striping",
-        }
-    }
+    fn name(&self) -> &'static str;
 
-    /// The standard five-way comparison set (Figures 5–7).
-    pub fn all() -> &'static [SystemKind] {
-        &[
-            SystemKind::Rocks,
-            SystemKind::Blsm,
-            SystemKind::LevelDb,
-            SystemKind::Hyper,
-            SystemKind::Clsm,
-        ]
-    }
-
-    /// The four-way set used where bLSM is excluded (scans, production).
-    pub fn no_blsm() -> &'static [SystemKind] {
-        &[
-            SystemKind::Rocks,
-            SystemKind::LevelDb,
-            SystemKind::Hyper,
-            SystemKind::Clsm,
-        ]
-    }
+    /// Opens an instance at `dir` with shared options.
+    fn open(&self, dir: &Path, opts: Options) -> Result<Arc<dyn KvStore>>;
 }
 
-/// Opens a system of `kind` at `dir` with shared options.
-pub fn open_system(kind: SystemKind, dir: &Path, opts: Options) -> Result<Arc<dyn KvStore>> {
-    Ok(match kind {
-        SystemKind::Clsm => Arc::new(Db::open(dir, opts)?),
-        SystemKind::LevelDb => Arc::new(LevelDbLike::open(dir, opts)?),
-        SystemKind::Hyper => Arc::new(HyperLike::open(dir, opts)?),
-        SystemKind::Rocks => Arc::new(RocksLike::open(dir, opts)?),
-        SystemKind::Blsm => Arc::new(BlsmLike::open(dir, opts)?),
-        SystemKind::Striped => Arc::new(StripedRmw::open(dir, opts)?),
-    })
+macro_rules! declare_system {
+    ($ty:ident, $static_name:ident, $label:literal, $store:ty) => {
+        struct $ty;
+
+        impl System for $ty {
+            fn name(&self) -> &'static str {
+                $label
+            }
+
+            fn open(&self, dir: &Path, opts: Options) -> Result<Arc<dyn KvStore>> {
+                Ok(Arc::new(<$store>::open(dir, opts)?))
+            }
+        }
+
+        /// The registry entry for this system.
+        pub static $static_name: &dyn System = &$ty;
+    };
+}
+
+declare_system!(ClsmSystem, CLSM, "cLSM", Db);
+declare_system!(LevelDbSystem, LEVELDB, "LevelDB", LevelDbLike);
+declare_system!(HyperSystem, HYPER, "HyperLevelDB", HyperLike);
+declare_system!(RocksSystem, ROCKS, "rocksDB", RocksLike);
+declare_system!(BlsmSystem, BLSM, "bLSM", BlsmLike);
+declare_system!(StripedSystem, STRIPED, "LevelDB+striping", StripedRmw);
+
+/// The standard five-way comparison set (Figures 5–7).
+pub fn all_systems() -> &'static [&'static dyn System] {
+    static ALL: [&dyn System; 5] = [
+        &RocksSystem,
+        &BlsmSystem,
+        &LevelDbSystem,
+        &HyperSystem,
+        &ClsmSystem,
+    ];
+    &ALL
+}
+
+/// The four-way set used where bLSM is excluded (scans, production).
+pub fn no_blsm_systems() -> &'static [&'static dyn System] {
+    static SET: [&dyn System; 4] = [&RocksSystem, &LevelDbSystem, &HyperSystem, &ClsmSystem];
+    &SET
+}
+
+/// Every registered system, including ones outside the standard
+/// comparison sets.
+pub fn registry() -> &'static [&'static dyn System] {
+    static ALL: [&dyn System; 6] = [
+        &RocksSystem,
+        &BlsmSystem,
+        &LevelDbSystem,
+        &HyperSystem,
+        &ClsmSystem,
+        &StripedSystem,
+    ];
+    &ALL
+}
+
+/// Looks a system up by its display name (case-insensitive).
+pub fn system_by_name(name: &str) -> Option<&'static dyn System> {
+    registry()
+        .iter()
+        .copied()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -77,29 +94,30 @@ mod tests {
 
     #[test]
     fn every_system_opens_and_serves() {
-        for kind in [
-            SystemKind::Clsm,
-            SystemKind::LevelDb,
-            SystemKind::Hyper,
-            SystemKind::Rocks,
-            SystemKind::Blsm,
-            SystemKind::Striped,
-        ] {
+        for sys in registry() {
             let dir = std::env::temp_dir().join(format!(
-                "bench-sys-{}-{}-{:?}",
+                "bench-sys-{}-{}-{}",
                 std::process::id(),
                 std::time::SystemTime::now()
                     .duration_since(std::time::UNIX_EPOCH)
                     .unwrap()
                     .as_nanos(),
-                kind
+                sys.name()
+                    .replace(|c: char| !c.is_ascii_alphanumeric(), "_")
             ));
             std::fs::create_dir_all(&dir).unwrap();
-            let store = open_system(kind, &dir, Options::small_for_tests()).unwrap();
+            let store = sys.open(&dir, Options::small_for_tests()).unwrap();
             store.put(b"k", b"v").unwrap();
             assert_eq!(store.get(b"k").unwrap(), Some(b"v".to_vec()));
             drop(store);
             std::fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert_eq!(system_by_name("clsm").unwrap().name(), "cLSM");
+        assert_eq!(system_by_name("LEVELDB").unwrap().name(), "LevelDB");
+        assert!(system_by_name("nonexistent").is_none());
     }
 }

@@ -4,10 +4,12 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
 use clsm_util::error::{Error, Result};
+use clsm_util::metrics::MetricsSnapshot;
 use clsm_util::oracle::{SnapshotRegistry, TimestampOracle};
 use clsm_util::rcu::RcuCell;
 use clsm_util::shared_lock::SharedExclusiveLock;
@@ -19,7 +21,7 @@ use lsm_storage::{Store, StoreOptions};
 use crate::mem_component::MemComponent;
 use crate::options::Options;
 use crate::snapshot::Snapshot;
-use crate::stats::{Stats, StatsSnapshot};
+use crate::stats::{DbMetrics, StatsSnapshot};
 
 /// Latest version of a key: `(ts, value-or-tombstone)`, plus whether
 /// it was found in the mutable memtable (the RMW conflict scope).
@@ -40,7 +42,8 @@ pub(crate) struct DbInner {
     pub(crate) pm: RcuCell<Arc<dyn MemComponent>>,
     /// `P'm`: the immutable memory component being merged, if any.
     pub(crate) pm_prev: RcuCell<Option<Arc<dyn MemComponent>>>,
-    pub(crate) stats: Stats,
+    /// Counters and latency histograms (see [`crate::stats`]).
+    pub(crate) metrics: DbMetrics,
 
     pub(crate) shutdown: AtomicBool,
     /// Set while a flush is scheduled or running.
@@ -64,7 +67,12 @@ impl Db {
     /// Opens (or creates) a database at `path`, replaying any WAL left
     /// by a previous incarnation (§4: out-of-order log records are
     /// sorted by timestamp on recovery).
-    pub fn open(path: &Path, opts: Options) -> Result<Db> {
+    ///
+    /// Accepts anything convertible into [`Options`] — a finished
+    /// `Options` value or an [`crate::OptionsBuilder`] directly; the
+    /// configuration is validated either way.
+    pub fn open(path: &Path, opts: impl Into<Options>) -> Result<Db> {
+        let opts: Options = opts.into();
         opts.validate()?;
         let store_opts = StoreOptions {
             ..opts.store.clone()
@@ -88,11 +96,38 @@ impl Db {
             snapshots: SnapshotRegistry::new(),
             pm: RcuCell::new(pm),
             pm_prev: RcuCell::new(None),
-            stats: Stats::default(),
+            metrics: DbMetrics::new(),
             shutdown: AtomicBool::new(false),
             flush_pending: AtomicBool::new(false),
             work_mutex: Mutex::new(()),
             work_cv: Condvar::new(),
+        });
+
+        // One registry for the whole stack: the storage layer records
+        // its flush/compaction/WAL metrics into the same registry the
+        // DB-level counters live in, and the oracle-pressure gauges
+        // read derived state on demand. `Weak` avoids a cycle — the
+        // registry is owned by `DbInner`.
+        inner.store.attach_metrics(&inner.metrics.registry);
+        let weak = Arc::downgrade(&inner);
+        inner.metrics.registry.gauge_fn("oracle.live_snapshots", {
+            let weak = weak.clone();
+            move || weak.upgrade().map_or(0, |i| i.snapshots.len() as i64)
+        });
+        inner.metrics.registry.gauge_fn("oracle.active_writes", {
+            let weak = weak.clone();
+            move || weak.upgrade().map_or(0, |i| i.oracle.active().len() as i64)
+        });
+        inner.metrics.registry.gauge_fn("oracle.snap_time", {
+            let weak = weak.clone();
+            move || weak.upgrade().map_or(0, |i| i.oracle.snap_time() as i64)
+        });
+        inner.metrics.registry.gauge_fn("db.memtable_bytes", {
+            let weak = weak.clone();
+            move || {
+                weak.upgrade()
+                    .map_or(0, |i| i.pm.load().memory_usage() as i64)
+            }
         });
 
         let mut workers = Vec::new();
@@ -138,6 +173,7 @@ impl Db {
         if key.is_empty() {
             return Err(Error::invalid_argument("empty keys are not supported"));
         }
+        let began = Instant::now();
         inner.stall_if_needed();
 
         {
@@ -159,9 +195,16 @@ impl Db {
             // critical section so it never blocks the merge hooks.
             inner.store.sync_wal()?;
         }
+        let elapsed = began.elapsed();
         match value {
-            Some(_) => Stats::bump(&inner.stats.puts),
-            None => Stats::bump(&inner.stats.deletes),
+            Some(_) => {
+                inner.metrics.puts.inc();
+                inner.metrics.put_latency.record_duration(elapsed);
+            }
+            None => {
+                inner.metrics.deletes.inc();
+                inner.metrics.delete_latency.record_duration(elapsed);
+            }
         }
         inner.maybe_schedule_flush();
         Ok(())
@@ -180,6 +223,7 @@ impl Db {
         if batch.is_empty() {
             return Ok(());
         }
+        let began = Instant::now();
         inner.stall_if_needed();
         {
             let _excl = inner.lock.lock_exclusive();
@@ -207,7 +251,12 @@ impl Db {
         if inner.opts.sync_writes {
             inner.store.sync_wal()?;
         }
-        Stats::bump(&inner.stats.puts);
+        // One bump per batch, matching the historical counter semantics.
+        inner.metrics.puts.inc();
+        inner
+            .metrics
+            .write_batch_latency
+            .record_duration(began.elapsed());
         inner.maybe_schedule_flush();
         Ok(())
     }
@@ -219,21 +268,71 @@ impl Db {
     /// order the merge hooks update them, so a concurrent swing is
     /// harmless.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        Stats::bump(&self.inner.stats.gets);
-        self.inner.get_at(key, lsm_storage::format::MAX_TS)
+        let began = Instant::now();
+        let result = self.inner.get_at(key, lsm_storage::format::MAX_TS);
+        self.inner.metrics.gets.inc();
+        self.inner
+            .metrics
+            .get_latency
+            .record_duration(began.elapsed());
+        result
     }
 
     /// Scans all live pairs from an implicit fresh snapshot
     /// (convenience over [`Db::snapshot`] + iterate). The snapshot
     /// handle lives inside the iterator.
     pub fn iter(&self) -> Result<crate::snapshot::SnapshotIter> {
-        self.snapshot()?.into_iter_owned()
+        let began = Instant::now();
+        let it = self.snapshot()?.into_iter_owned()?;
+        self.inner
+            .metrics
+            .scan_latency
+            .record_duration(began.elapsed());
+        Ok(it)
     }
 
-    /// Range query `[start, end)` over an implicit fresh snapshot. The
-    /// snapshot handle lives inside the iterator.
-    pub fn range(&self, start: &[u8], end: Option<&[u8]>) -> Result<crate::snapshot::SnapshotIter> {
-        self.snapshot()?.into_range_owned(start, end)
+    /// Range query over an implicit fresh snapshot, accepting any
+    /// standard range expression over byte-vector keys. The snapshot
+    /// handle lives inside the iterator.
+    ///
+    /// ```no_run
+    /// # use clsm::{Db, Options};
+    /// # let db = Db::open(std::path::Path::new("x"), Options::default()).unwrap();
+    /// let from_b = db.range(b"b".to_vec()..).unwrap();
+    /// let b_to_d = db.range(b"b".to_vec()..b"d".to_vec()).unwrap();
+    /// let everything = db.range(..).unwrap();
+    /// ```
+    pub fn range<R>(&self, range: R) -> Result<crate::snapshot::SnapshotIter>
+    where
+        R: std::ops::RangeBounds<Vec<u8>>,
+    {
+        let began = Instant::now();
+        let it = self.snapshot()?.into_range_bounds_owned(range)?;
+        self.inner
+            .metrics
+            .scan_latency
+            .record_duration(began.elapsed());
+        Ok(it)
+    }
+
+    /// The pre-`RangeBounds` range query: `[start, end)`, with `None`
+    /// for an unbounded upper end.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Db::range` with a range expression, e.g. `db.range(start.to_vec()..)`"
+    )]
+    pub fn range_start_end(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Result<crate::snapshot::SnapshotIter> {
+        let began = Instant::now();
+        let it = self.snapshot()?.into_range_owned(start, end)?;
+        self.inner
+            .metrics
+            .scan_latency
+            .record_duration(began.elapsed());
+        Ok(it)
     }
 
     /// Creates a consistent snapshot (Algorithm 2's `getSnap`).
@@ -242,6 +341,7 @@ impl Db {
         if inner.shutdown.load(Ordering::Acquire) {
             return Err(Error::ShuttingDown);
         }
+        let began = Instant::now();
         let ts = {
             // The registry is read by `beforeMerge` under the exclusive
             // lock; registering under shared mode closes the race
@@ -255,13 +355,26 @@ impl Db {
             inner.snapshots.register(ts);
             ts
         };
-        Stats::bump(&inner.stats.snapshots);
+        inner.metrics.snapshots.inc();
+        inner
+            .metrics
+            .snapshot_latency
+            .record_duration(began.elapsed());
         Ok(Snapshot::new(Arc::clone(inner), ts))
     }
 
     /// Current operation counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        self.inner.metrics.stats()
+    }
+
+    /// A point-in-time view of every registered metric: operation
+    /// counters (`db.*`), per-operation latency histograms (`op.*`),
+    /// storage-layer flush/compaction/WAL metrics (`storage.*`), and
+    /// oracle pressure gauges (`oracle.*`). Render with
+    /// [`MetricsSnapshot::to_text`] or [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.registry.snapshot()
     }
 
     /// Blocks until the memtable is flushed and no compaction is due
@@ -414,12 +527,16 @@ impl DbInner {
     /// Write stall (§5.3): when `Cm` is full while `C'm` is still being
     /// merged, client writes wait for the merge to finish.
     pub(crate) fn stall_if_needed(&self) {
+        let mut stalled_at: Option<Instant> = None;
         loop {
             let full = self.pm.load().memory_usage() >= self.opts.memtable_bytes;
             if !full || self.pm_prev.load().is_none() {
-                return;
+                break;
             }
-            Stats::bump(&self.stats.write_stalls);
+            if stalled_at.is_none() {
+                stalled_at = Some(Instant::now());
+                self.metrics.write_stalls.inc();
+            }
             let mut guard = self.work_mutex.lock();
             // Re-check under the lock to avoid missing the wakeup.
             if self.pm.load().memory_usage() >= self.opts.memtable_bytes
@@ -430,8 +547,13 @@ impl DbInner {
                     .wait_for(&mut guard, std::time::Duration::from_millis(100));
             }
             if self.shutdown.load(Ordering::Acquire) {
-                return;
+                break;
             }
+        }
+        if let Some(began) = stalled_at {
+            self.metrics
+                .write_stall_ns
+                .add(u64::try_from(began.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
     }
 
@@ -492,7 +614,7 @@ impl DbInner {
             let _excl = self.lock.lock_exclusive();
             self.pm_prev.store(None);
         }
-        Stats::bump(&self.stats.flushes);
+        self.metrics.flushes.inc();
         Ok(true)
     }
 }
@@ -541,7 +663,7 @@ fn compaction_worker(inner: Arc<DbInner>) {
             match inner.store.maybe_compact(inner.gc_watermark()) {
                 Ok(ran) => {
                     if ran {
-                        Stats::bump(&inner.stats.compactions);
+                        inner.metrics.compactions.inc();
                     }
                     ran
                 }

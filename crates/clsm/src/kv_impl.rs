@@ -1,0 +1,66 @@
+//! [`KvStore`] implementation for [`Db`], making cLSM a drop-in peer
+//! of the baseline systems in the workload driver and benchmarks.
+
+use clsm_kv::{KvSnapshot, KvStore};
+use clsm_util::error::Result;
+use clsm_util::metrics::MetricsSnapshot;
+
+use crate::db::Db;
+use crate::snapshot::Snapshot;
+
+impl KvStore for Db {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        Db::put(self, key, value)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Db::get(self, key)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        Db::delete(self, key)
+    }
+
+    fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
+        // Atomic, unlike the trait's default loop.
+        Db::write_batch(self, batch)
+    }
+
+    fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {
+        Ok(Box::new(Db::snapshot(self)?))
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Db::snapshot(self)?.scan(start, limit)
+    }
+
+    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
+        Db::put_if_absent(self, key, value)
+    }
+
+    fn quiesce(&self) -> Result<()> {
+        self.compact_to_quiescence()
+    }
+
+    fn name(&self) -> &'static str {
+        "cLSM"
+    }
+
+    fn stats(&self) -> MetricsSnapshot {
+        self.metrics()
+    }
+
+    fn write_amp(&self) -> Option<lsm_storage::store::WriteAmp> {
+        Some(Db::write_amp(self))
+    }
+}
+
+impl KvSnapshot for Snapshot {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Snapshot::get(self, key)
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Snapshot::scan(self, start, limit)
+    }
+}

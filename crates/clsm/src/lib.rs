@@ -42,6 +42,7 @@
 
 mod batch;
 mod db;
+mod kv_impl;
 mod mem_component;
 mod memtable;
 mod options;
@@ -53,9 +54,10 @@ pub use batch::WriteBatch;
 pub use db::Db;
 pub use mem_component::{LockedMemtable, MemComponent, MemtableKind, VersionedValue};
 pub use memtable::Memtable;
-pub use options::Options;
+pub use options::{Options, OptionsBuilder};
 pub use rmw::{RmwDecision, RmwResult};
 pub use snapshot::{Snapshot, SnapshotIter};
-pub use stats::Stats;
+pub use stats::StatsSnapshot;
 
 pub use clsm_util::error::{Error, Result};
+pub use clsm_util::metrics::{HistogramSummary, MetricsSnapshot};

@@ -100,4 +100,144 @@ impl Options {
             ..Options::default()
         }
     }
+
+    /// Starts a validating [`OptionsBuilder`] from the defaults.
+    ///
+    /// ```
+    /// use clsm::Options;
+    ///
+    /// let opts = Options::builder()
+    ///     .memtable_bytes(8 * 1024 * 1024)
+    ///     .sync_writes(true)
+    ///     .compaction_threads(2)
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(opts.sync_writes);
+    /// ```
+    pub fn builder() -> OptionsBuilder {
+        OptionsBuilder {
+            opts: Options::default(),
+        }
+    }
+}
+
+/// Fluent, validating constructor for [`Options`].
+///
+/// Every setter returns `self`; [`OptionsBuilder::build`] runs
+/// [`Options::validate`], so an invalid combination fails at
+/// construction rather than inside `Db::open`. The builder converts
+/// into `Options` wherever `impl Into<Options>` is accepted (e.g.
+/// `Db::open`), in which case validation is deferred to `open`.
+#[derive(Debug, Clone)]
+pub struct OptionsBuilder {
+    opts: Options,
+}
+
+impl OptionsBuilder {
+    /// Starts from an existing configuration instead of the defaults.
+    pub fn from_options(opts: Options) -> Self {
+        OptionsBuilder { opts }
+    }
+
+    /// Memtable size that triggers a flush.
+    pub fn memtable_bytes(mut self, bytes: usize) -> Self {
+        self.opts.memtable_bytes = bytes;
+        self
+    }
+
+    /// Whether every write waits for an fsync.
+    pub fn sync_writes(mut self, sync: bool) -> Self {
+        self.opts.sync_writes = sync;
+        self
+    }
+
+    /// Whether snapshots are linearizable rather than serializable.
+    pub fn linearizable_snapshots(mut self, linearizable: bool) -> Self {
+        self.opts.linearizable_snapshots = linearizable;
+        self
+    }
+
+    /// Number of background compaction threads.
+    pub fn compaction_threads(mut self, threads: usize) -> Self {
+        self.opts.compaction_threads = threads;
+        self
+    }
+
+    /// Slot count of the oracle's `Active` set.
+    pub fn active_slots(mut self, slots: usize) -> Self {
+        self.opts.active_slots = slots;
+        self
+    }
+
+    /// In-memory component implementation.
+    pub fn memtable_kind(mut self, kind: MemtableKind) -> Self {
+        self.opts.memtable_kind = kind;
+        self
+    }
+
+    /// Disk substrate tuning.
+    pub fn store(mut self, store: StoreOptions) -> Self {
+        self.opts.store = store;
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    pub fn build(self) -> clsm_util::error::Result<Options> {
+        self.opts.validate()?;
+        Ok(self.opts)
+    }
+}
+
+impl From<OptionsBuilder> for Options {
+    /// Unvalidated conversion, for passing a builder straight to
+    /// `Db::open` (which validates on entry).
+    fn from(b: OptionsBuilder) -> Options {
+        b.opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrips_every_field() {
+        let opts = Options::builder()
+            .memtable_bytes(1 << 20)
+            .sync_writes(true)
+            .linearizable_snapshots(true)
+            .compaction_threads(3)
+            .active_slots(64)
+            .memtable_kind(MemtableKind::LockFreeSkipList)
+            .store(StoreOptions {
+                block_size: 1024,
+                ..StoreOptions::default()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(opts.memtable_bytes, 1 << 20);
+        assert!(opts.sync_writes);
+        assert!(opts.linearizable_snapshots);
+        assert_eq!(opts.compaction_threads, 3);
+        assert_eq!(opts.active_slots, 64);
+        assert_eq!(opts.store.block_size, 1024);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configurations() {
+        assert!(Options::builder().memtable_bytes(16).build().is_err());
+        assert!(Options::builder().active_slots(0).build().is_err());
+        assert!(Options::builder().compaction_threads(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_from_options_preserves_base() {
+        let base = Options::small_for_tests();
+        let opts = OptionsBuilder::from_options(base.clone())
+            .sync_writes(true)
+            .build()
+            .unwrap();
+        assert_eq!(opts.memtable_bytes, base.memtable_bytes);
+        assert!(opts.sync_writes);
+    }
 }

@@ -7,6 +7,7 @@
 //! slips in between the read and the insert.
 
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 use clsm_util::error::{Error, Result};
 
@@ -14,7 +15,6 @@ use lsm_storage::format::WriteRecord;
 use lsm_storage::wal::SyncMode;
 
 use crate::db::Db;
-use crate::stats::Stats;
 
 /// What a read-modify-write function wants done with the key.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +74,7 @@ impl Db {
         if key.is_empty() {
             return Err(Error::invalid_argument("empty keys are not supported"));
         }
+        let began = Instant::now();
         inner.stall_if_needed();
 
         // Algorithm 3 line 2/16: the whole operation runs under the
@@ -132,7 +133,8 @@ impl Db {
                     if inner.opts.sync_writes {
                         inner.store.sync_wal()?;
                     }
-                    Stats::bump(&inner.stats.rmw_ops);
+                    inner.metrics.rmw_ops.inc();
+                    inner.metrics.rmw_latency.record_duration(began.elapsed());
                     inner.maybe_schedule_flush();
                     return Ok(RmwResult {
                         committed: true,
@@ -143,7 +145,7 @@ impl Db {
                     // Algorithm 3 line 13: roll the timestamp back and
                     // retry with a fresh read.
                     inner.oracle.publish(stamp);
-                    Stats::bump(&inner.stats.rmw_conflicts);
+                    inner.metrics.rmw_conflicts.inc();
                 }
             }
         }

@@ -48,6 +48,34 @@ impl Snapshot {
         self.scan_from(Some(start), end)
     }
 
+    /// Range query driven by any standard range expression over
+    /// byte-vector keys (`a..b`, `a..=b`, `a..`, `..b`, `..`).
+    ///
+    /// Bounds are normalized to the `[start, end)` form the merging
+    /// iterator understands: an excluded start and an included end both
+    /// shift by the key's immediate lexicographic successor (`key ++
+    /// 0x00`).
+    pub fn range_bounds<R>(&self, range: R) -> Result<SnapshotIter>
+    where
+        R: std::ops::RangeBounds<Vec<u8>>,
+    {
+        let (start, end) = bounds_to_keys(&range);
+        self.scan_from(start.as_deref(), end.as_deref())
+    }
+
+    /// Returns up to `limit` live pairs with keys `>= start`, in key
+    /// order (the evaluation harness's scan shape, Figure 7b).
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::with_capacity(limit.min(1024));
+        for item in self.range(start, None)? {
+            out.push(item?);
+            if out.len() >= limit {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
     fn scan_from(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Result<SnapshotIter> {
         // Gather component iterators newest-first: Pm, P'm, then the
         // disk levels. Each child holds its component alive (`Arc`s on
@@ -92,6 +120,46 @@ impl Snapshot {
         it._snapshot = Some(self);
         Ok(it)
     }
+
+    /// Consumes the snapshot into a [`Snapshot::range_bounds`] iterator
+    /// that keeps the handle alive for its duration (see
+    /// [`Snapshot::into_iter_owned`]).
+    pub fn into_range_bounds_owned<R>(self, range: R) -> Result<SnapshotIter>
+    where
+        R: std::ops::RangeBounds<Vec<u8>>,
+    {
+        let mut it = self.range_bounds(range)?;
+        it._snapshot = Some(self);
+        Ok(it)
+    }
+}
+
+/// Normalizes a `RangeBounds` expression to the internal
+/// `(inclusive start, exclusive end)` pair. Byte strings have an exact
+/// immediate successor under lexicographic order — `key ++ 0x00` — so
+/// excluded starts and included ends are representable without loss.
+fn bounds_to_keys<R>(range: &R) -> (Option<Vec<u8>>, Option<Vec<u8>>)
+where
+    R: std::ops::RangeBounds<Vec<u8>>,
+{
+    use std::ops::Bound;
+    fn successor(key: &[u8]) -> Vec<u8> {
+        let mut s = Vec::with_capacity(key.len() + 1);
+        s.extend_from_slice(key);
+        s.push(0);
+        s
+    }
+    let start = match range.start_bound() {
+        Bound::Included(k) => Some(k.clone()),
+        Bound::Excluded(k) => Some(successor(k)),
+        Bound::Unbounded => None,
+    };
+    let end = match range.end_bound() {
+        Bound::Included(k) => Some(successor(k)),
+        Bound::Excluded(k) => Some(k.clone()),
+        Bound::Unbounded => None,
+    };
+    (start, end)
 }
 
 impl Drop for Snapshot {
@@ -111,6 +179,27 @@ impl std::fmt::Debug for Snapshot {
 /// Implements the `next` filtering of §3.2.1: versions newer than the
 /// snapshot time are skipped, only the newest remaining version of each
 /// key is surfaced, and deletion markers hide their key.
+///
+/// # Semantics
+///
+/// - **Consistency**: every pair yielded is the newest version of its
+///   key at the snapshot's timestamp. Writes committed after the
+///   snapshot was taken are never visible, no matter how long the
+///   iteration runs or how much flushing/compaction happens meanwhile.
+/// - **Order**: keys come out in strictly increasing lexicographic
+///   byte order; each key appears at most once.
+/// - **Liveness**: the iterator never blocks writers — it reads the
+///   memory components through RCU pointers and pins the on-disk file
+///   set (a `Version`) for its whole lifetime. Holding an iterator
+///   therefore also holds disk space: dropped files are only reclaimed
+///   once the last iterator over them goes away.
+/// - **GC interaction**: when the iterator owns its snapshot handle
+///   (`Db::iter` / `Db::range`), the handle stays registered until the
+///   iterator is dropped, so the versions it may still need survive
+///   merges. An expired handle (see `Db::expire_snapshots`) voids this
+///   guarantee.
+/// - **Errors**: I/O or corruption surfaces as an `Err` item; after
+///   the first `Err` (or the end of the range) the iterator is fused.
 pub struct SnapshotIter {
     merged: MergingIterator,
     snap_ts: u64,

@@ -1,22 +1,101 @@
-//! Operation counters (diagnostics and the evaluation harness).
+//! The database's observability layer: counters and latency histograms
+//! registered in a [`MetricsRegistry`], plus the legacy
+//! [`StatsSnapshot`] counter view.
+//!
+//! Every handle here is pre-registered at `Db::open` and recorded
+//! through directly on the hot paths — no locks, no registry lookups,
+//! just relaxed atomics (see `clsm_util::metrics`). The full registry
+//! (including the storage layer's `storage.*` metrics and the oracle
+//! pressure gauges) is exposed via `Db::metrics()`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Monotone operation counters. All methods are wait-free.
-#[derive(Debug, Default)]
-pub struct Stats {
-    pub(crate) puts: AtomicU64,
-    pub(crate) gets: AtomicU64,
-    pub(crate) deletes: AtomicU64,
-    pub(crate) rmw_ops: AtomicU64,
-    pub(crate) rmw_conflicts: AtomicU64,
-    pub(crate) snapshots: AtomicU64,
-    pub(crate) flushes: AtomicU64,
-    pub(crate) compactions: AtomicU64,
-    pub(crate) write_stalls: AtomicU64,
+use clsm_util::metrics::{ConcurrentHistogram, Counter, MetricsRegistry};
+
+/// Pre-registered metrics handles of one open database.
+///
+/// Counter names carry the `db.` prefix, per-operation latency
+/// histograms the `op.` prefix, storage-layer metrics (registered by
+/// the store against the same registry) the `storage.` prefix, and
+/// oracle pressure gauges the `oracle.` prefix.
+#[derive(Debug)]
+pub(crate) struct DbMetrics {
+    /// The registry behind `Db::metrics()`; shared with the store.
+    pub registry: Arc<MetricsRegistry>,
+
+    // -- operation counters (the legacy `StatsSnapshot` view) --
+    pub puts: Arc<Counter>,
+    pub gets: Arc<Counter>,
+    pub deletes: Arc<Counter>,
+    pub rmw_ops: Arc<Counter>,
+    pub rmw_conflicts: Arc<Counter>,
+    pub snapshots: Arc<Counter>,
+    pub flushes: Arc<Counter>,
+    pub compactions: Arc<Counter>,
+    pub write_stalls: Arc<Counter>,
+
+    // -- per-operation latency histograms (nanoseconds) --
+    pub put_latency: Arc<ConcurrentHistogram>,
+    pub get_latency: Arc<ConcurrentHistogram>,
+    pub delete_latency: Arc<ConcurrentHistogram>,
+    pub write_batch_latency: Arc<ConcurrentHistogram>,
+    pub rmw_latency: Arc<ConcurrentHistogram>,
+    pub snapshot_latency: Arc<ConcurrentHistogram>,
+    pub scan_latency: Arc<ConcurrentHistogram>,
+
+    /// Total nanoseconds writers spent stalled on a full memtable.
+    pub write_stall_ns: Arc<Counter>,
 }
 
-/// A point-in-time copy of [`Stats`].
+impl DbMetrics {
+    /// Creates a fresh registry with every database metric registered.
+    pub fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        DbMetrics {
+            puts: registry.counter("db.puts"),
+            gets: registry.counter("db.gets"),
+            deletes: registry.counter("db.deletes"),
+            rmw_ops: registry.counter("db.rmw_ops"),
+            rmw_conflicts: registry.counter("db.rmw_conflicts"),
+            snapshots: registry.counter("db.snapshots"),
+            flushes: registry.counter("db.flushes"),
+            compactions: registry.counter("db.compactions"),
+            write_stalls: registry.counter("db.write_stalls"),
+            put_latency: registry.histogram("op.put.latency_ns"),
+            get_latency: registry.histogram("op.get.latency_ns"),
+            delete_latency: registry.histogram("op.delete.latency_ns"),
+            write_batch_latency: registry.histogram("op.write_batch.latency_ns"),
+            rmw_latency: registry.histogram("op.rmw.latency_ns"),
+            snapshot_latency: registry.histogram("op.snapshot.latency_ns"),
+            scan_latency: registry.histogram("op.scan.latency_ns"),
+            write_stall_ns: registry.counter("db.write_stall_ns"),
+            registry,
+        }
+    }
+
+    /// The legacy counter view (`Db::stats()`).
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            puts: self.puts.get(),
+            gets: self.gets.get(),
+            deletes: self.deletes.get(),
+            rmw_ops: self.rmw_ops.get(),
+            rmw_conflicts: self.rmw_conflicts.get(),
+            snapshots: self.snapshots.get(),
+            flushes: self.flushes.get(),
+            compactions: self.compactions.get(),
+            write_stalls: self.write_stalls.get(),
+        }
+    }
+}
+
+impl Default for DbMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of the operation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Completed put operations.
@@ -37,25 +116,4 @@ pub struct StatsSnapshot {
     pub compactions: u64,
     /// Puts that stalled waiting for a flush.
     pub write_stalls: u64,
-}
-
-impl Stats {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Reads all counters.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            puts: self.puts.load(Ordering::Relaxed),
-            gets: self.gets.load(Ordering::Relaxed),
-            deletes: self.deletes.load(Ordering::Relaxed),
-            rmw_ops: self.rmw_ops.load(Ordering::Relaxed),
-            rmw_conflicts: self.rmw_conflicts.load(Ordering::Relaxed),
-            snapshots: self.snapshots.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            compactions: self.compactions.load(Ordering::Relaxed),
-            write_stalls: self.write_stalls.load(Ordering::Relaxed),
-        }
-    }
 }

@@ -255,6 +255,12 @@ fn scans_race_with_writes_and_merges() {
     for h in handles {
         h.join().unwrap();
     }
+    // The churn volume guarantees a flush was *scheduled*; give the
+    // background worker bounded time to run it before asserting.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while db.stats().flushes == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
     assert!(db.stats().flushes > 0);
 }
 
@@ -267,19 +273,27 @@ fn gets_never_block_during_heavy_writing() {
     let db = Arc::new(Db::open(&dir.0, Options::small_for_tests()).unwrap());
     db.put(b"stable", b"fixture").unwrap();
     let stop = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let writer = {
         let db = Arc::clone(&db);
         let stop = Arc::clone(&stop);
+        let progress = Arc::clone(&progress);
         std::thread::spawn(move || {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 db.put(format!("noise{i:08}").as_bytes(), &vec![1u8; 256])
                     .unwrap();
                 i += 1;
+                progress.store(i, Ordering::Relaxed);
             }
             i
         })
     };
+    // Wait for the storm to actually start: optimized gets can finish
+    // all 20k iterations before the writer thread is even scheduled.
+    while progress.load(Ordering::Relaxed) == 0 {
+        std::thread::yield_now();
+    }
     for _ in 0..20_000 {
         assert_eq!(db.get(b"stable").unwrap(), Some(b"fixture".to_vec()));
     }

@@ -441,7 +441,7 @@ fn db_iter_and_range_sugar() {
     let all: Vec<_> = db.iter().unwrap().map(|r| r.unwrap().0).collect();
     assert_eq!(all.len(), 50);
     let some: Vec<_> = db
-        .range(b"k010", Some(b"k020"))
+        .range(b"k010".to_vec()..b"k020".to_vec())
         .unwrap()
         .map(|r| r.unwrap().0)
         .collect();

@@ -1,0 +1,97 @@
+//! The uniform key-value store interface of the cLSM evaluation.
+//!
+//! Every evaluated system — `clsm::Db` and each concurrency-control
+//! baseline — implements [`KvStore`], so the workload driver, trace
+//! replayer, and benchmark harness treat them as interchangeable trait
+//! objects. The trait lives in its own crate so that both the `clsm`
+//! crate (which implements it for `Db`) and the baselines crate can
+//! depend on it without a cycle.
+//!
+//! Design notes:
+//!
+//! - Point operations (`put`/`get`/`delete`) mirror the paper's API.
+//! - [`KvStore::write_batch`] defaults to a non-atomic loop; systems
+//!   with atomic batches (cLSM) override it.
+//! - [`KvStore::snapshot`] returns a boxed [`KvSnapshot`] — a
+//!   consistent read-only view. For cLSM this is a real multi-version
+//!   snapshot; baselines capture their visible sequence number, which
+//!   gives the same read-your-writes consistency their C++ models
+//!   provide.
+//! - [`KvStore::stats`] surfaces the system's metrics registry as a
+//!   [`MetricsSnapshot`]; systems without one return an empty snapshot.
+
+#![warn(missing_docs)]
+
+pub use clsm_util::error::{Error, Result};
+pub use clsm_util::metrics::MetricsSnapshot;
+
+/// A consistent read-only view of a store at one point in time.
+pub trait KvSnapshot: Send + Sync {
+    /// Reads `key` as of this snapshot.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+
+    /// Returns up to `limit` live pairs with keys `>= start`, in key
+    /// order, as of this snapshot.
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
+}
+
+/// The operations every evaluated system supports.
+///
+/// `scan` corresponds to the paper's range queries (Figure 7b);
+/// `put_if_absent` to the RMW benchmark (Figure 9).
+pub trait KvStore: Send + Sync {
+    /// Stores `value` under `key`.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+
+    /// Returns the latest value of `key`.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+
+    /// Deletes `key`.
+    fn delete(&self, key: &[u8]) -> Result<()>;
+
+    /// Applies a batch of puts (`Some`) and deletes (`None`).
+    ///
+    /// The default implementation applies the entries one by one and is
+    /// therefore **not atomic**; systems with atomic batch support
+    /// override it.
+    fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
+        for (key, value) in batch {
+            match value {
+                Some(v) => self.put(key, v)?,
+                None => self.delete(key)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a consistent read-only view of the store.
+    fn snapshot(&self) -> Result<Box<dyn KvSnapshot>>;
+
+    /// Returns up to `limit` live pairs with keys `>= start`, in order,
+    /// from a consistent view.
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.snapshot()?.scan(start, limit)
+    }
+
+    /// Atomically stores `value` if `key` is absent; returns `true` if
+    /// stored.
+    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool>;
+
+    /// Blocks until pending flushes/compactions are done (benchmark
+    /// warm-up/teardown hook).
+    fn quiesce(&self) -> Result<()>;
+
+    /// Short system name for reports (e.g. `"cLSM"`, `"LevelDB"`).
+    fn name(&self) -> &'static str;
+
+    /// The system's metrics, when it maintains a registry. Systems
+    /// without one return an empty snapshot.
+    fn stats(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Write-amplification counters, when the system tracks them.
+    fn write_amp(&self) -> Option<lsm_storage::store::WriteAmp> {
+        None
+    }
+}

@@ -11,11 +11,13 @@
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use clsm_util::error::Result;
+use clsm_util::metrics::{ConcurrentHistogram, Counter, MetricsRegistry};
 use clsm_util::rcu::RcuCell;
 
 use crate::cache::{BlockCache, TableCache};
@@ -95,6 +97,25 @@ pub struct Store {
     bytes_flushed: AtomicU64,
     /// Bytes written by compactions (rewrites).
     bytes_compacted: AtomicU64,
+    /// Observability hooks, attached at most once (see
+    /// [`Store::attach_metrics`]). Absent in standalone/test use; all
+    /// recording sites are no-ops then.
+    metrics: OnceLock<StoreMetrics>,
+}
+
+/// The store's registered metrics handles. Recording through these is
+/// lock-free; only registration (once, at attach time) takes a lock.
+struct StoreMetrics {
+    /// Duration of each group-committed WAL fsync wait.
+    wal_sync_ns: Arc<ConcurrentHistogram>,
+    /// Duration of each memtable flush (merge of `C'm` into L0).
+    flush_ns: Arc<ConcurrentHistogram>,
+    /// Duration of each compaction (background or manual).
+    compaction_ns: Arc<ConcurrentHistogram>,
+    /// Bytes written by flushes (mirror of the write-amp counter).
+    bytes_flushed: Arc<Counter>,
+    /// Bytes written by compactions.
+    bytes_compacted: Arc<Counter>,
 }
 
 /// Write-amplification accounting: bytes written by flushes vs. bytes
@@ -219,6 +240,7 @@ impl Store {
             pending_outputs: Mutex::new(HashSet::new()),
             bytes_flushed: AtomicU64::new(0),
             bytes_compacted: AtomicU64::new(0),
+            metrics: OnceLock::new(),
         };
         Ok((store, Recovered { records, last_ts }))
     }
@@ -248,9 +270,29 @@ impl Store {
         self.wal.append(payload, mode)
     }
 
+    /// Registers the store's metrics (WAL sync latency, flush and
+    /// compaction durations, bytes written) in `registry` under the
+    /// `storage.` prefix. Call at most once, before serving traffic;
+    /// later calls are ignored. Without an attached registry every
+    /// recording site is a no-op.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        let _ = self.metrics.set(StoreMetrics {
+            wal_sync_ns: registry.histogram("storage.wal_sync_ns"),
+            flush_ns: registry.histogram("storage.flush_ns"),
+            compaction_ns: registry.histogram("storage.compaction_ns"),
+            bytes_flushed: registry.counter("storage.bytes_flushed"),
+            bytes_compacted: registry.counter("storage.bytes_compacted"),
+        });
+    }
+
     /// Forces everything logged so far to disk.
     pub fn sync_wal(&self) -> Result<()> {
-        self.wal.sync()
+        let start = self.metrics.get().map(|_| Instant::now());
+        let result = self.wal.sync();
+        if let (Some(m), Some(start)) = (self.metrics.get(), start) {
+            m.wal_sync_ns.record_duration(start.elapsed());
+        }
+        result
     }
 
     /// Lock-free snapshot of the current disk component.
@@ -307,6 +349,7 @@ impl Store {
         retire_wals_below: u64,
     ) -> Result<()> {
         it.seek_to_first();
+        let start = Instant::now();
         let guard = PendingGuard::new(self);
         let new_files = {
             let mut alloc = guard.allocator();
@@ -314,10 +357,9 @@ impl Store {
                 it, &self.dir, &self.opts, 0, watermark, false, &mut alloc,
             )?
         };
-        self.bytes_flushed.fetch_add(
-            new_files.iter().map(|f| f.file_size).sum::<u64>(),
-            Ordering::Relaxed,
-        );
+        let flushed_bytes = new_files.iter().map(|f| f.file_size).sum::<u64>();
+        self.bytes_flushed
+            .fetch_add(flushed_bytes, Ordering::Relaxed);
         let edit = VersionEdit {
             log_number: Some(retire_wals_below),
             last_ts: Some(max_ts),
@@ -330,6 +372,10 @@ impl Store {
         self.delete_obsolete_locked(&mut versions)?;
         drop(versions);
         drop(guard);
+        if let Some(m) = self.metrics.get() {
+            m.bytes_flushed.add(flushed_bytes);
+            m.flush_ns.record_duration(start.elapsed());
+        }
         Ok(())
     }
 
@@ -349,6 +395,7 @@ impl Store {
         let Some(task) = compaction::pick(&version, &self.opts) else {
             return Ok(false);
         };
+        let start = Instant::now();
         let guard = PendingGuard::new(self);
         let edit = {
             let mut alloc = guard.allocator();
@@ -361,6 +408,8 @@ impl Store {
                 &mut alloc,
             )?
         };
+        let written = edit.new_files.iter().map(|f| f.file_size).sum::<u64>();
+        self.bytes_compacted.fetch_add(written, Ordering::Relaxed);
         let mut versions = self.versions.lock();
         let new_version = versions.log_and_apply(edit)?;
         self.current.store(new_version);
@@ -368,6 +417,10 @@ impl Store {
         drop(versions);
         drop(guard);
         drop(task);
+        if let Some(m) = self.metrics.get() {
+            m.bytes_compacted.add(written);
+            m.compaction_ns.record_duration(start.elapsed());
+        }
         Ok(true)
     }
 
@@ -418,6 +471,7 @@ impl Store {
                     std::thread::yield_now();
                     continue;
                 };
+                let start = Instant::now();
                 let guard = PendingGuard::new(self);
                 let edit = {
                     let mut alloc = guard.allocator();
@@ -430,6 +484,8 @@ impl Store {
                         &mut alloc,
                     )?
                 };
+                let written = edit.new_files.iter().map(|f| f.file_size).sum::<u64>();
+                self.bytes_compacted.fetch_add(written, Ordering::Relaxed);
                 let mut versions = self.versions.lock();
                 let new_version = versions.log_and_apply(edit)?;
                 self.current.store(new_version);
@@ -437,6 +493,10 @@ impl Store {
                 drop(versions);
                 drop(guard);
                 drop(task);
+                if let Some(m) = self.metrics.get() {
+                    m.bytes_compacted.add(written);
+                    m.compaction_ns.record_duration(start.elapsed());
+                }
                 break;
             }
         }

@@ -2,7 +2,8 @@
 //! logger thread.
 //!
 //! The paper implements the logging queue with a non-blocking queue
-//! from libcds (§4); we use a crossbeam MPSC channel. In asynchronous
+//! from libcds (§4); we use the MPMC channel from `clsm_util::channel`
+//! with a single consumer. In asynchronous
 //! mode (the LevelDB default) a put enqueues its serialized record and
 //! returns immediately — "a write only queues the request for logging
 //! and a handful of writes may be lost due to a crash". In synchronous
@@ -15,7 +16,7 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use clsm_util::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use clsm_util::error::{Error, Result};

@@ -1,0 +1,325 @@
+//! Homegrown MPMC channel, replacing `crossbeam-channel` for the WAL
+//! logging queue and test plumbing.
+//!
+//! Supports the subset this workspace uses: [`unbounded`] and
+//! [`bounded`] construction, cloneable [`Sender`]s and [`Receiver`]s,
+//! blocking [`Sender::send`] / [`Receiver::recv`], non-blocking
+//! [`Receiver::try_recv`], and queue introspection ([`Sender::len`],
+//! [`Receiver::is_empty`]). Disconnection matches crossbeam: dropping
+//! every sender makes `recv` drain the queue then fail; dropping every
+//! receiver makes `send` fail.
+//!
+//! Built on a mutex-protected `VecDeque` plus two condvars. The only
+//! hot consumer is the single WAL logger thread, where group commit
+//! amortizes the lock; this is not a general-purpose lock-free queue.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Error from sending on a channel with no receivers; returns the
+/// unsent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error from receiving on an empty channel with no senders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error from a non-blocking receive attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty but senders remain.
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Signals receivers that a message arrived or senders vanished.
+    not_empty: Condvar,
+    /// Signals bounded senders that space opened or receivers vanished.
+    not_full: Condvar,
+    /// `usize::MAX` means unbounded.
+    capacity: usize,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel with no capacity limit: sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(usize::MAX)
+}
+
+/// Creates a channel holding at most `cap` queued messages; sends block
+/// while full. `cap` must be at least 1 (no rendezvous channels).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap >= 1, "zero-capacity channels are not supported");
+    with_capacity(cap)
+}
+
+fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, blocking while a bounded channel is full. Fails
+    /// (returning the message) once every receiver is dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut queue = shared.lock();
+        loop {
+            if shared.receivers.load(SeqCst) == 0 {
+                return Err(SendError(msg));
+            }
+            if queue.len() < shared.capacity {
+                queue.push_back(msg);
+                drop(queue);
+                shared.not_empty.notify_one();
+                return Ok(());
+            }
+            queue = shared
+                .not_full
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, SeqCst);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, SeqCst) == 1 {
+            // Hold the lock so a receiver between its emptiness check
+            // and its wait cannot miss this wakeup.
+            let _queue = self.shared.lock();
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues a message, blocking while the channel is empty. Fails
+    /// once the channel is empty *and* every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let shared = &*self.shared;
+        let mut queue = shared.lock();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                drop(queue);
+                shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if shared.senders.load(SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            queue = shared
+                .not_empty
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeues a message if one is ready, without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let shared = &*self.shared;
+        let mut queue = shared.lock();
+        match queue.pop_front() {
+            Some(msg) => {
+                drop(queue);
+                shared.not_full.notify_one();
+                Ok(msg)
+            }
+            None if shared.senders.load(SeqCst) == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, SeqCst);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, SeqCst) == 1 {
+            let _queue = self.shared.lock();
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender")
+            .field("queued", &self.len())
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver")
+            .field("queued", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn roundtrip_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(tx.len(), 100);
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn try_recv_reports_state() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_drains_before_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(42u64).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the 1 is consumed
+            tx.len()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(h.join().unwrap() <= 1);
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let (tx, rx) = unbounded();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    tx.send(t * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got.len(), 8000);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[7999], 7999);
+    }
+}

@@ -12,8 +12,11 @@ const LINEAR_LIMIT: u64 = 16;
 const SUB_BUCKETS: usize = 16;
 /// Highest representable exponent (2^40 ns ≈ 18 minutes).
 const MAX_EXPONENT: u32 = 40;
-/// Total bucket count.
-const NUM_BUCKETS: usize = LINEAR_LIMIT as usize + (MAX_EXPONENT as usize - 4) * SUB_BUCKETS;
+/// Total bucket count. Shared with `metrics::ConcurrentHistogram`,
+/// whose stripes use the same bucket layout so they fold losslessly
+/// into a [`Histogram`].
+pub(crate) const NUM_BUCKETS: usize =
+    LINEAR_LIMIT as usize + (MAX_EXPONENT as usize - 4) * SUB_BUCKETS;
 
 /// A fixed-size logarithmic histogram of `u64` samples (typically
 /// nanoseconds).
@@ -55,7 +58,7 @@ impl Histogram {
         }
     }
 
-    fn bucket_index(value: u64) -> usize {
+    pub(crate) fn bucket_index(value: u64) -> usize {
         if value < LINEAR_LIMIT {
             return value as usize;
         }
@@ -77,6 +80,19 @@ impl Histogram {
         let sub = (rel % SUB_BUCKETS) as u64;
         let low = (1u64 << (g - 1)) + (sub << (g - 5));
         low + (1u64 << (g - 5)) - 1
+    }
+
+    /// Rebuilds a histogram from raw parts (a `ConcurrentHistogram`
+    /// stripe fold). `buckets` must use this type's bucket layout.
+    pub(crate) fn from_raw(buckets: Vec<u64>, count: u64, sum: u64, min: u64, max: u64) -> Self {
+        debug_assert_eq!(buckets.len(), NUM_BUCKETS);
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
     }
 
     /// Records one sample.

@@ -17,18 +17,27 @@
 //!   mechanism" plus per-component reference counts).
 //! - [`oracle`] — the `timeCounter` / `Active` set / `snapTime`
 //!   timestamp oracle of Algorithm 2.
+//! - [`epoch`] — the epoch-based reclamation scheme underneath [`rcu`]
+//!   (readers pin, writers defer destruction).
+//! - [`channel`] — the MPMC queue feeding the WAL logger thread (the
+//!   paper's non-blocking logging queue, §4).
 //! - [`bloom`], [`coding`], [`crc`] — encoding substrates for the disk
 //!   component (Bloom filters, varints, CRC32C).
 //! - [`histogram`] — latency histograms for the evaluation harness.
+//! - [`metrics`] — lock-free counters, gauges, and thread-striped
+//!   concurrent histograms behind the store's observability layer.
 
 #![warn(missing_docs)]
 
 pub mod arena;
 pub mod bloom;
+pub mod channel;
 pub mod coding;
 pub mod crc;
+pub mod epoch;
 pub mod error;
 pub mod histogram;
+pub mod metrics;
 pub mod oracle;
 pub mod rcu;
 pub mod shared_lock;

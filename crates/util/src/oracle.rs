@@ -96,6 +96,15 @@ impl ActiveSet {
     pub fn is_empty(&self) -> bool {
         self.find_min().is_none()
     }
+
+    /// Number of currently registered timestamps (occupied slots) —
+    /// a write-pressure gauge, not a synchronization primitive.
+    pub fn len(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) != 0)
+            .count()
+    }
 }
 
 /// A write timestamp together with its active-set ticket.

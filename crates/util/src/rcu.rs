@@ -6,16 +6,16 @@
 //! critical section in which the pointer is read and its reference
 //! counter is increased".
 //!
-//! [`RcuCell`] is that mechanism: readers pin an epoch, dereference the
-//! current value and clone it (for `Arc` payloads, the clone *is* the
-//! reference-count increment); writers swap in a new value and defer
-//! destruction of the old one until all readers have moved past it.
-//! Loads never block and never take a lock, which is what makes cLSM's
-//! `get` entirely non-blocking.
+//! [`RcuCell`] is that mechanism: readers pin an epoch (see
+//! [`crate::epoch`]), dereference the current value and clone it (for
+//! `Arc` payloads, the clone *is* the reference-count increment);
+//! writers swap in a new value and defer destruction of the old one
+//! until all readers have moved past it. Loads never block and never
+//! take a lock, which is what makes cLSM's `get` entirely non-blocking.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicPtr, Ordering::SeqCst};
 
-use crossbeam_epoch::{self as epoch, Atomic, Owned};
+use crate::epoch;
 
 /// A read-copy-update cell holding a cheaply cloneable value
 /// (typically `Arc<T>` or `Option<Arc<T>>`).
@@ -32,14 +32,16 @@ use crossbeam_epoch::{self as epoch, Atomic, Owned};
 /// assert_eq!(*cell.load(), 2);
 /// ```
 pub struct RcuCell<V> {
-    inner: Atomic<V>,
+    /// Always non-null: set in `new`, swapped (never nulled) in `store`
+    /// and `update`, nulled only in `drop`.
+    inner: AtomicPtr<V>,
 }
 
 impl<V: Clone + Send + Sync + 'static> RcuCell<V> {
     /// Creates a cell holding `value`.
     pub fn new(value: V) -> Self {
         RcuCell {
-            inner: Atomic::new(value),
+            inner: AtomicPtr::new(Box::into_raw(Box::new(value))),
         }
     }
 
@@ -47,22 +49,23 @@ impl<V: Clone + Send + Sync + 'static> RcuCell<V> {
     ///
     /// Wait-free apart from the epoch pin; never blocks on writers.
     pub fn load(&self) -> V {
-        let guard = epoch::pin();
-        let shared = self.inner.load(Ordering::Acquire, &guard);
-        // SAFETY: the cell is never null (initialized in `new`, and
-        // `store` swaps in an always-valid pointer), and `shared` cannot
-        // be freed while `guard` pins the epoch.
-        unsafe { shared.deref() }.clone()
+        let _guard = epoch::pin();
+        let ptr = self.inner.load(SeqCst);
+        // SAFETY: the cell is never null while the cell is alive, and
+        // the pointee cannot be freed while `_guard` pins the epoch —
+        // writers defer destruction past all pinned readers.
+        unsafe { &*ptr }.clone()
     }
 
     /// Replaces the current value, deferring destruction of the old one
     /// until all in-flight readers have finished.
     pub fn store(&self, value: V) {
-        let guard = epoch::pin();
-        let old = self.inner.swap(Owned::new(value), Ordering::AcqRel, &guard);
+        let _guard = epoch::pin();
+        let old = self.inner.swap(Box::into_raw(Box::new(value)), SeqCst);
         // SAFETY: `old` was just unlinked and can no longer be reached
         // by new readers; epoch reclamation waits out existing ones.
-        unsafe { guard.defer_destroy(old) };
+        let boxed = unsafe { Box::from_raw(old) };
+        epoch::defer(move || drop(boxed));
     }
 
     /// Applies `f` to the current value and swaps in the result,
@@ -72,24 +75,26 @@ impl<V: Clone + Send + Sync + 'static> RcuCell<V> {
     /// exclusive lock (the merge hooks), where contention is impossible;
     /// the CAS loop is belt-and-braces.
     pub fn update(&self, mut f: impl FnMut(&V) -> V) -> V {
-        let guard = epoch::pin();
+        let _guard = epoch::pin();
         loop {
-            let current = self.inner.load(Ordering::Acquire, &guard);
+            let current = self.inner.load(SeqCst);
             // SAFETY: non-null and epoch-protected as in `load`.
-            let new = f(unsafe { current.deref() });
-            match self.inner.compare_exchange(
-                current,
-                Owned::new(new.clone()),
-                Ordering::AcqRel,
-                Ordering::Acquire,
-                &guard,
-            ) {
+            let new = f(unsafe { &*current });
+            let new_ptr = Box::into_raw(Box::new(new.clone()));
+            match self
+                .inner
+                .compare_exchange(current, new_ptr, SeqCst, SeqCst)
+            {
                 Ok(old) => {
                     // SAFETY: `old` equals `current`, now unlinked.
-                    unsafe { guard.defer_destroy(old) };
+                    let boxed = unsafe { Box::from_raw(old) };
+                    epoch::defer(move || drop(boxed));
                     return new;
                 }
-                Err(e) => drop(e.new),
+                Err(_) => {
+                    // SAFETY: `new_ptr` was never published.
+                    drop(unsafe { Box::from_raw(new_ptr) });
+                }
             }
         }
     }
@@ -97,11 +102,11 @@ impl<V: Clone + Send + Sync + 'static> RcuCell<V> {
 
 impl<V> Drop for RcuCell<V> {
     fn drop(&mut self) {
-        // SAFETY: `&mut self` proves no concurrent readers exist, so the
-        // current value can be reclaimed immediately.
-        unsafe {
-            let ptr = std::mem::replace(&mut self.inner, Atomic::null());
-            drop(ptr.into_owned());
+        let ptr = self.inner.swap(std::ptr::null_mut(), SeqCst);
+        if !ptr.is_null() {
+            // SAFETY: `&mut self` proves no concurrent readers exist, so
+            // the current value can be reclaimed immediately.
+            drop(unsafe { Box::from_raw(ptr) });
         }
     }
 }

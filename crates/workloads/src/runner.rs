@@ -235,6 +235,9 @@ mod tests {
         assert!(r.keys >= r.ops);
         assert!(r.ops_per_sec() > 0.0);
         assert!(r.latency.count() == r.ops);
+        // Shut the store down before deleting its directory: background
+        // flush/WAL threads may still be creating files inside it.
+        drop(db);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -247,6 +250,7 @@ mod tests {
         prefill_store(&db, &spec).unwrap();
         let key = crate::keygen::format_key(42, spec.key_len);
         assert!(db.get(&key).unwrap().is_some());
+        drop(db);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

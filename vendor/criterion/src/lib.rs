@@ -1,0 +1,322 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset this workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, `BatchSize`, `BenchmarkId` — backed by plain
+//! wall-clock timing instead of criterion's statistical machinery.
+//!
+//! Each benchmark is warmed up briefly, then timed over a fixed number
+//! of samples; the mean per-iteration time (and derived throughput, if
+//! set) is printed. `cargo bench -- --test` runs every benchmark body
+//! exactly once, as upstream criterion does, so CI smoke runs stay
+//! fast.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How much work one pass of the benchmark body represents.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The body processes this many logical elements.
+    Elements(u64),
+    /// The body processes this many bytes.
+    Bytes(u64),
+}
+
+/// How batches are sized for [`Bencher::iter_batched`]. The stub runs
+/// one setup per timed call regardless, so variants only document
+/// intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Setup output is small; batch freely.
+    SmallInput,
+    /// Setup output is large; keep batches small.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark's display name, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form (grouped benches).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs benchmark bodies and records timing.
+pub struct Bencher<'a> {
+    mode: Mode,
+    samples: u64,
+    result: &'a mut Option<Duration>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// `--test`: run the body once, skip timing.
+    TestOnce,
+    /// Normal: warm up then time.
+    Measure,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::TestOnce {
+            black_box(routine());
+            return;
+        }
+        // Warm-up also sizes the batch so cheap bodies aren't dominated
+        // by clock reads.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_micros(200) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        *self.result = Some(total / iters.max(1) as u32);
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time
+    /// excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.mode == Mode::TestOnce {
+            black_box(routine(setup()));
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        *self.result = Some(total / iters.max(1) as u32);
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample config.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    samples: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per body pass, for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) {
+        self.samples = n.max(1) as u64;
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut result = None;
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            samples: self.samples,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        self.criterion
+            .report(&self.name, &id.id, self.throughput, result);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, P: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher<'_>, &P),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub reports
+    /// eagerly).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` asks for a single correctness pass;
+        // cargo itself also appends `--bench`, which we ignore.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if test_mode {
+                Mode::TestOnce
+            } else {
+                Mode::Measure
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            throughput: None,
+            samples: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group(name).bench_function("default", f);
+    }
+
+    fn report(
+        &self,
+        group: &str,
+        bench: &str,
+        throughput: Option<Throughput>,
+        mean: Option<Duration>,
+    ) {
+        match (self.mode, mean) {
+            (Mode::TestOnce, _) => println!("test {group}/{bench} ... ok"),
+            (Mode::Measure, Some(mean)) => {
+                let ns = mean.as_nanos().max(1);
+                let rate = match throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  {:.2} Melem/s", n as f64 * 1e3 / ns as f64)
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  {:.2} MiB/s", n as f64 * 1e9 / (ns as f64 * 1048576.0))
+                    }
+                    None => String::new(),
+                };
+                println!("{group}/{bench}: {ns} ns/iter{rate}");
+            }
+            (Mode::Measure, None) => println!("{group}/{bench}: no measurement"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_measure_and_report() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+        };
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            mode: Mode::TestOnce,
+        };
+        let mut runs = 0u64;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}
