@@ -1,0 +1,216 @@
+//! `clsm-doctor` — database and trace introspection CLI.
+//!
+//! Two modes:
+//!
+//! - `clsm-doctor <db-dir> [--populate N]` opens (or creates) a
+//!   database and prints a [`clsm::DoctorReport`]: memtable fill,
+//!   immutable-queue state, level geometry, live snapshots, oracle
+//!   timestamps, and stall-watchdog verdicts. `--populate` writes N
+//!   keys first (through the normal put path, so flushes and
+//!   compactions run), which makes the tool usable as a smoke test on
+//!   an empty directory.
+//! - `clsm-doctor --replay <trace.json>` parses a flight-recorder
+//!   artifact (the Chrome trace-format JSON written by the bench
+//!   binaries' `--trace` flag) and prints per-span duration
+//!   statistics, no running database required.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use clsm::{Db, Options};
+use clsm_util::error::Result;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("clsm-doctor: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> Result<()> {
+    let mut dir: Option<PathBuf> = None;
+    let mut populate: u64 = 0;
+    let mut replay: Option<PathBuf> = None;
+
+    let mut iter = argv.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--replay" => {
+                replay = Some(PathBuf::from(
+                    iter.next()
+                        .map(String::as_str)
+                        .unwrap_or_else(|| usage("--replay needs a trace file")),
+                ));
+            }
+            "--populate" => {
+                populate = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--populate needs a count"));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            path => {
+                if dir.is_some() {
+                    usage("only one db directory");
+                }
+                dir = Some(PathBuf::from(path));
+            }
+        }
+    }
+
+    match (dir, replay) {
+        (None, Some(trace)) => replay_trace(&trace),
+        (Some(dir), None) => examine_db(&dir, populate),
+        _ => usage("pass exactly one of <db-dir> or --replay FILE"),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: clsm-doctor <db-dir> [--populate N]");
+    eprintln!("       clsm-doctor --replay <trace.json>");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Opens the database and prints the doctor report. Small tables and
+/// memtable so `--populate` on an empty directory exercises flushes
+/// and compactions rather than parking everything in memory.
+fn examine_db(dir: &std::path::Path, populate: u64) -> Result<()> {
+    let db = Db::open(dir, Options::small_for_tests())?;
+    if populate > 0 {
+        eprintln!("populating {populate} keys…");
+        let value = vec![0xabu8; 100];
+        for i in 0..populate {
+            db.put(format!("doctor.{i:012}").as_bytes(), &value)?;
+        }
+        db.compact_to_quiescence()?;
+    }
+    print_all(&db.doctor().render())
+}
+
+/// Statistics accumulated per span name while replaying a trace file.
+#[derive(Default)]
+struct ReplayStat {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+    instants: u64,
+}
+
+/// Parses the one-event-per-line Chrome trace JSON and prints span
+/// statistics. The writer (`TraceSnapshot::to_chrome_json`) guarantees
+/// one self-contained object per line, so a field-scraping parser is
+/// enough — no JSON library in the workspace, none needed.
+fn replay_trace(path: &std::path::Path) -> Result<()> {
+    let text = std::fs::read_to_string(path)?;
+    // (tid, name) -> stack of open begin timestamps (ns).
+    let mut open: HashMap<(u64, String), Vec<u64>> = HashMap::new();
+    let mut stats: HashMap<String, ReplayStat> = HashMap::new();
+    let mut events = 0u64;
+    let mut threads = std::collections::HashSet::new();
+
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let Some(ph) = str_field(line, "ph") else {
+            continue;
+        };
+        if ph == "M" {
+            continue; // metadata (process/thread names)
+        }
+        let Some(name) = str_field(line, "name") else {
+            continue;
+        };
+        let tid = num_field(line, "tid").unwrap_or(0.0) as u64;
+        let ts_ns = (num_field(line, "ts").unwrap_or(0.0) * 1000.0) as u64;
+        events += 1;
+        threads.insert(tid);
+        match ph.as_str() {
+            "B" => open.entry((tid, name)).or_default().push(ts_ns),
+            "E" => {
+                if let Some(begin) = open
+                    .get_mut(&(tid, name.clone()))
+                    .and_then(std::vec::Vec::pop)
+                {
+                    let d = ts_ns.saturating_sub(begin);
+                    let s = stats.entry(name).or_default();
+                    s.count += 1;
+                    s.total_ns += d;
+                    s.max_ns = s.max_ns.max(d);
+                }
+            }
+            "i" => stats.entry(name).or_default().instants += 1,
+            _ => {}
+        }
+    }
+
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== clsm-doctor replay ==");
+    let _ = writeln!(
+        out,
+        "trace: {} ({} events, {} threads)",
+        path.display(),
+        events,
+        threads.len()
+    );
+    let mut rows: Vec<(String, ReplayStat)> = stats.into_iter().collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1.total_ns));
+    let _ = writeln!(
+        out,
+        "{:<36} {:>8} {:>12} {:>12} {:>9}",
+        "span", "count", "total", "max", "instants"
+    );
+    for (name, s) in rows {
+        let _ = writeln!(
+            out,
+            "{:<36} {:>8} {:>12} {:>12} {:>9}",
+            name,
+            s.count,
+            format!("{:.3?}", Duration::from_nanos(s.total_ns)),
+            format!("{:.3?}", Duration::from_nanos(s.max_ns)),
+            s.instants
+        );
+    }
+    print_all(&out)
+}
+
+/// Writes the report to stdout; a closed pipe (`clsm-doctor … | head`)
+/// is a normal way to consume the output, not an error.
+fn print_all(out: &str) -> Result<()> {
+    use std::io::Write as _;
+    match std::io::stdout().write_all(out.as_bytes()) {
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        other => Ok(other?),
+    }
+}
+
+/// Extracts `"key":"value"` from a single-line JSON object.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extracts `"key":<number>` from a single-line JSON object.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

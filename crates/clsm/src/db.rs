@@ -13,6 +13,7 @@ use clsm_util::metrics::MetricsSnapshot;
 use clsm_util::oracle::{SnapshotRegistry, TimestampOracle};
 use clsm_util::rcu::RcuCell;
 use clsm_util::shared_lock::SharedExclusiveLock;
+use clsm_util::trace::TraceId;
 
 use lsm_storage::format::{ValueKind, WriteRecord};
 use lsm_storage::wal::SyncMode;
@@ -22,6 +23,20 @@ use crate::mem_component::MemComponent;
 use crate::options::Options;
 use crate::snapshot::Snapshot;
 use crate::stats::{DbMetrics, StatsSnapshot};
+use crate::watchdog::Watchdog;
+
+/// Flight-recorder spans for the layers Algorithm 1/2 say matter: the
+/// put critical section (shared lock → getTS → log → insert →
+/// publish), the lock-free get, snapshot creation, the write stall,
+/// and the merge hooks' exclusive-lock holds.
+static T_PUT: TraceId = TraceId::new("clsm.put.critical");
+static T_WRITE_BATCH: TraceId = TraceId::new("clsm.write_batch.exclusive");
+static T_GET: TraceId = TraceId::new("clsm.get");
+static T_GET_SNAP: TraceId = TraceId::new("clsm.getSnap");
+static T_WRITE_STALL: TraceId = TraceId::new("clsm.write_stall");
+static T_BEFORE_MERGE: TraceId = TraceId::new("clsm.beforeMerge.exclusive");
+static T_AFTER_MERGE: TraceId = TraceId::new("clsm.afterMerge.exclusive");
+static T_MEMTABLE_ROTATE: TraceId = TraceId::new("clsm.memtable_rotate");
 
 /// Latest version of a key: `(ts, value-or-tombstone)`, plus whether
 /// it was found in the mutable memtable (the RMW conflict scope).
@@ -44,6 +59,9 @@ pub(crate) struct DbInner {
     pub(crate) pm_prev: RcuCell<Option<Arc<dyn MemComponent>>>,
     /// Counters and latency histograms (see [`crate::stats`]).
     pub(crate) metrics: DbMetrics,
+    /// Stall-event sink fed by the watchdog sampler (see
+    /// [`crate::watchdog`]).
+    pub(crate) watchdog: Watchdog,
 
     pub(crate) shutdown: AtomicBool,
     /// Set while a flush is scheduled or running.
@@ -88,6 +106,8 @@ impl Db {
             pm.insert(&rec.key, rec.ts, value);
         }
 
+        let metrics = DbMetrics::new();
+        let watchdog = Watchdog::new(opts.watchdog.clone(), &metrics.registry);
         let inner = Arc::new(DbInner {
             oracle: TimestampOracle::recovered_at(recovered.last_ts, opts.active_slots),
             opts,
@@ -96,7 +116,8 @@ impl Db {
             snapshots: SnapshotRegistry::new(),
             pm: RcuCell::new(pm),
             pm_prev: RcuCell::new(None),
-            metrics: DbMetrics::new(),
+            metrics,
+            watchdog,
             shutdown: AtomicBool::new(false),
             flush_pending: AtomicBool::new(false),
             work_mutex: Mutex::new(()),
@@ -151,6 +172,15 @@ impl Db {
                     .expect("spawn compaction worker"),
             );
         }
+        if inner.opts.watchdog.enabled {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("clsm-watchdog".into())
+                    .spawn(move || crate::watchdog::watchdog_worker(inner))
+                    .expect("spawn watchdog"),
+            );
+        }
 
         Ok(Db { inner, workers })
     }
@@ -180,6 +210,7 @@ impl Db {
             // Algorithm 2, put: shared lock → getTS → log → insert →
             // Active.remove. The WAL enqueue is non-blocking (logging
             // queue); the insert is lock-free.
+            let _span = T_PUT.span_with(key.len() as u64);
             let _shared = inner.lock.lock_shared();
             let stamp = inner.oracle.get_ts();
             let record = match value {
@@ -226,6 +257,7 @@ impl Db {
         let began = Instant::now();
         inner.stall_if_needed();
         {
+            let _span = T_WRITE_BATCH.span_with(batch.len() as u64);
             let _excl = inner.lock.lock_exclusive();
             let mut records = Vec::with_capacity(batch.len());
             let mut stamps = Vec::with_capacity(batch.len());
@@ -269,6 +301,7 @@ impl Db {
     /// harmless.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let began = Instant::now();
+        let _span = T_GET.span();
         let result = self.inner.get_at(key, lsm_storage::format::MAX_TS);
         self.inner.metrics.gets.inc();
         self.inner
@@ -315,26 +348,6 @@ impl Db {
         Ok(it)
     }
 
-    /// The pre-`RangeBounds` range query: `[start, end)`, with `None`
-    /// for an unbounded upper end.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Db::range` with a range expression, e.g. `db.range(start.to_vec()..)`"
-    )]
-    pub fn range_start_end(
-        &self,
-        start: &[u8],
-        end: Option<&[u8]>,
-    ) -> Result<crate::snapshot::SnapshotIter> {
-        let began = Instant::now();
-        let it = self.snapshot()?.into_range_owned(start, end)?;
-        self.inner
-            .metrics
-            .scan_latency
-            .record_duration(began.elapsed());
-        Ok(it)
-    }
-
     /// Creates a consistent snapshot (Algorithm 2's `getSnap`).
     pub fn snapshot(&self) -> Result<Snapshot> {
         let inner = &self.inner;
@@ -346,6 +359,10 @@ impl Db {
             // The registry is read by `beforeMerge` under the exclusive
             // lock; registering under shared mode closes the race
             // between installing a handle and the merge observing it.
+            // The span covers the `Active`-min wait inside `get_snap`
+            // (which also records its own `oracle.getSnap.active_wait`
+            // sub-span when it actually waits).
+            let _span = T_GET_SNAP.span();
             let _shared = inner.lock.lock_shared();
             let ts = if inner.opts.linearizable_snapshots {
                 inner.oracle.get_snap_linearizable()
@@ -528,6 +545,7 @@ impl DbInner {
     /// merged, client writes wait for the merge to finish.
     pub(crate) fn stall_if_needed(&self) {
         let mut stalled_at: Option<Instant> = None;
+        let mut stall_span = None;
         loop {
             let full = self.pm.load().memory_usage() >= self.opts.memtable_bytes;
             if !full || self.pm_prev.load().is_none() {
@@ -535,6 +553,7 @@ impl DbInner {
             }
             if stalled_at.is_none() {
                 stalled_at = Some(Instant::now());
+                stall_span = Some(T_WRITE_STALL.span());
                 self.metrics.write_stalls.inc();
             }
             let mut guard = self.work_mutex.lock();
@@ -550,6 +569,7 @@ impl DbInner {
                 break;
             }
         }
+        drop(stall_span);
         if let Some(began) = stalled_at {
             self.metrics
                 .write_stall_ns
@@ -586,11 +606,16 @@ impl DbInner {
         // exclusive lock. Order matters for lock-free readers:
         // P'm must point at the old data before Pm stops doing so.
         let (imm, new_wal, watermark) = {
+            // The span brackets both the wait for readers to drain and
+            // the hold itself — together they are the merge's write-path
+            // interference, the quantity §3.1 argues must stay tiny.
+            let _span = T_BEFORE_MERGE.span();
             let _excl = self.lock.lock_exclusive();
             let old = self.pm.load();
             if old.is_empty() {
                 return Ok(false);
             }
+            let _rotate = T_MEMTABLE_ROTATE.span_with(old.memory_usage() as u64);
             self.pm_prev.store(Some(Arc::clone(&old)));
             self.pm.store(self.opts.memtable_kind.create());
             // New WAL: records of the immutable memtable live only in
@@ -611,6 +636,7 @@ impl DbInner {
         // is reachable via the disk pointer); dropping P'm last keeps
         // the read order `Pm → P'm → Pd` gap-free throughout.
         {
+            let _span = T_AFTER_MERGE.span();
             let _excl = self.lock.lock_exclusive();
             self.pm_prev.store(None);
         }

@@ -1,0 +1,186 @@
+//! Database introspection: one structured snapshot of everything an
+//! operator asks first ("is the memtable full? how deep is L0? who is
+//! holding snapshots open?"), renderable as a text report.
+//!
+//! [`Db::doctor`] gathers the state; [`DoctorReport::render`] prints
+//! it. The `clsm-doctor` binary (in the bench crate) is a thin CLI
+//! over this.
+
+use std::time::Duration;
+
+use crate::db::Db;
+use crate::watchdog::{StallEvent, StallKind};
+
+/// One level's shape in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelGeometry {
+    /// Level index (0 = freshest).
+    pub level: usize,
+    /// Number of table files in the level.
+    pub files: usize,
+    /// Total bytes across those files.
+    pub bytes: u64,
+}
+
+/// A point-in-time health snapshot of an open database.
+///
+/// Everything here is sampled racily (the database keeps running), so
+/// treat it as a diagnostic picture, not a consistent cut.
+#[derive(Debug, Clone)]
+pub struct DoctorReport {
+    /// Approximate bytes in the mutable memtable `Pm`.
+    pub memtable_bytes: usize,
+    /// Flush threshold ([`crate::Options::memtable_bytes`]).
+    pub memtable_capacity: usize,
+    /// `true` while an immutable memtable `P'm` awaits/undergoes merge.
+    pub immutable_pending: bool,
+    /// Per-level file counts and byte totals.
+    pub levels: Vec<LevelGeometry>,
+    /// Live snapshot handles (each pins versions from GC).
+    pub live_snapshots: usize,
+    /// Timestamp of the oldest live snapshot — the version-GC
+    /// watermark — if any snapshot is open.
+    pub oldest_snapshot_ts: Option<u64>,
+    /// The oracle's `timeCounter`.
+    pub time_counter: u64,
+    /// The oracle's `snapTime` (highest snapshot time handed out).
+    pub snap_time: u64,
+    /// In-flight writes currently in the oracle's `Active` set.
+    pub active_writes: usize,
+    /// Slot capacity of the `Active` set.
+    pub active_slots: usize,
+    /// Flush vs. compaction byte counters.
+    pub write_amp: lsm_storage::store::WriteAmp,
+    /// Block-cache `(hits, misses)`, when a cache is configured.
+    pub cache: Option<(u64, u64)>,
+    /// Current WAL file number.
+    pub wal_number: u64,
+    /// Recent watchdog verdicts, oldest first.
+    pub stall_events: Vec<StallEvent>,
+}
+
+impl Db {
+    /// Gathers a [`DoctorReport`] from the running database.
+    pub fn doctor(&self) -> DoctorReport {
+        let inner = self.inner();
+        let files = inner.store.level_file_counts();
+        let bytes = inner.store.level_byte_sizes();
+        let levels = files
+            .iter()
+            .zip(&bytes)
+            .enumerate()
+            .map(|(level, (&files, &bytes))| LevelGeometry {
+                level,
+                files,
+                bytes,
+            })
+            .collect();
+        DoctorReport {
+            memtable_bytes: inner.pm.load().memory_usage(),
+            memtable_capacity: inner.opts.memtable_bytes,
+            immutable_pending: inner.pm_prev.load().is_some(),
+            levels,
+            live_snapshots: inner.snapshots.len(),
+            oldest_snapshot_ts: inner.snapshots.oldest(),
+            time_counter: inner.oracle.current_time(),
+            snap_time: inner.oracle.snap_time(),
+            active_writes: inner.oracle.active().len(),
+            active_slots: inner.opts.active_slots,
+            write_amp: inner.store.write_amp(),
+            cache: inner.store.cache_stats(),
+            wal_number: inner.store.current_wal_number(),
+            stall_events: self.stall_events(),
+        }
+    }
+}
+
+impl DoctorReport {
+    /// Renders the report as the text `clsm-doctor` prints.
+    ///
+    /// Line formats are stable enough to grep: level lines match
+    /// `L<n>: <files> files, <bytes> bytes`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let pct = if self.memtable_capacity == 0 {
+            0.0
+        } else {
+            100.0 * self.memtable_bytes as f64 / self.memtable_capacity as f64
+        };
+        let _ = writeln!(out, "== clsm-doctor ==");
+        let _ = writeln!(
+            out,
+            "memtable: {} / {} bytes ({:.1}% full), immutable pending: {}",
+            self.memtable_bytes,
+            self.memtable_capacity,
+            pct,
+            if self.immutable_pending { "yes" } else { "no" }
+        );
+        let _ = writeln!(out, "level geometry (wal #{}):", self.wal_number);
+        for l in &self.levels {
+            let _ = writeln!(out, "  L{}: {} files, {} bytes", l.level, l.files, l.bytes);
+        }
+        match self.oldest_snapshot_ts {
+            Some(ts) => {
+                let _ = writeln!(
+                    out,
+                    "snapshots: {} live, oldest ts {} (GC watermark)",
+                    self.live_snapshots, ts
+                );
+            }
+            None => {
+                let _ = writeln!(out, "snapshots: 0 live (GC unconstrained)");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "oracle: timeCounter={} snapTime={} activeWrites={}/{}",
+            self.time_counter, self.snap_time, self.active_writes, self.active_slots
+        );
+        let _ = writeln!(
+            out,
+            "write amp: flushed={} compacted={} factor={:.2}",
+            self.write_amp.flushed,
+            self.write_amp.compacted,
+            self.write_amp.factor()
+        );
+        if let Some((hits, misses)) = self.cache {
+            let total = hits + misses;
+            let rate = if total == 0 {
+                0.0
+            } else {
+                100.0 * hits as f64 / total as f64
+            };
+            let _ = writeln!(
+                out,
+                "block cache: {hits} hits / {misses} misses ({rate:.1}% hit rate)"
+            );
+        }
+        if self.stall_events.is_empty() {
+            let _ = writeln!(out, "watchdog: no stall events");
+        } else {
+            let _ = writeln!(out, "watchdog: {} stall event(s)", self.stall_events.len());
+            for e in &self.stall_events {
+                let _ = writeln!(
+                    out,
+                    "  [{:>10.3?}] {}: {}",
+                    Duration::from_nanos(e.at_ns),
+                    e.kind,
+                    e.detail
+                );
+            }
+        }
+        out
+    }
+
+    /// `true` when the watchdog flagged anything — the doctor's
+    /// one-bit verdict.
+    pub fn unhealthy(&self) -> bool {
+        !self.stall_events.is_empty()
+    }
+
+    /// Convenience: events of one kind, for tests and tools.
+    pub fn events_of(&self, kind: StallKind) -> usize {
+        self.stall_events.iter().filter(|e| e.kind == kind).count()
+    }
+}

@@ -42,6 +42,7 @@
 
 mod batch;
 mod db;
+mod doctor;
 mod kv_impl;
 mod mem_component;
 mod memtable;
@@ -49,15 +50,18 @@ mod options;
 mod rmw;
 mod snapshot;
 mod stats;
+mod watchdog;
 
 pub use batch::WriteBatch;
 pub use db::Db;
+pub use doctor::{DoctorReport, LevelGeometry};
 pub use mem_component::{LockedMemtable, MemComponent, MemtableKind, VersionedValue};
 pub use memtable::Memtable;
 pub use options::{Options, OptionsBuilder};
 pub use rmw::{RmwDecision, RmwResult};
 pub use snapshot::{Snapshot, SnapshotIter};
 pub use stats::StatsSnapshot;
+pub use watchdog::{StallEvent, StallKind, WatchdogOptions};
 
 pub use clsm_util::error::{Error, Result};
 pub use clsm_util::metrics::{HistogramSummary, MetricsSnapshot};

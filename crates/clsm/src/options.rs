@@ -3,6 +3,7 @@
 use lsm_storage::StoreOptions;
 
 use crate::mem_component::MemtableKind;
+use crate::watchdog::WatchdogOptions;
 
 /// Configuration of a [`crate::Db`].
 #[derive(Debug, Clone)]
@@ -29,6 +30,9 @@ pub struct Options {
     /// algorithm: any thread-safe sorted map works for puts/gets/scans;
     /// RMW requires the skip list).
     pub memtable_kind: MemtableKind,
+    /// Stall-watchdog configuration (sampling thread flagging write
+    /// stalls, long exclusive-lock holds, and Active-set pressure).
+    pub watchdog: WatchdogOptions,
     /// Disk substrate tuning.
     pub store: StoreOptions,
 }
@@ -42,6 +46,7 @@ impl Default for Options {
             compaction_threads: 1,
             active_slots: 256,
             memtable_kind: MemtableKind::default(),
+            watchdog: WatchdogOptions::default(),
             store: StoreOptions::default(),
         }
     }
@@ -78,6 +83,16 @@ impl Options {
         if self.store.block_size < 64 {
             return Err(Error::invalid_argument(
                 "block_size must be at least 64 bytes",
+            ));
+        }
+        if self.watchdog.enabled && self.watchdog.interval.is_zero() {
+            return Err(Error::invalid_argument(
+                "watchdog.interval must be nonzero when the watchdog is enabled",
+            ));
+        }
+        if self.watchdog.enabled && self.watchdog.history == 0 {
+            return Err(Error::invalid_argument(
+                "watchdog.history must be nonzero when the watchdog is enabled",
             ));
         }
         Ok(())
@@ -172,6 +187,12 @@ impl OptionsBuilder {
     /// In-memory component implementation.
     pub fn memtable_kind(mut self, kind: MemtableKind) -> Self {
         self.opts.memtable_kind = kind;
+        self
+    }
+
+    /// Stall-watchdog configuration.
+    pub fn watchdog(mut self, watchdog: WatchdogOptions) -> Self {
+        self.opts.watchdog = watchdog;
         self
     }
 

@@ -113,14 +113,6 @@ impl Snapshot {
         Ok(it)
     }
 
-    /// Consumes the snapshot into a range iterator (see
-    /// [`Snapshot::into_iter_owned`]).
-    pub fn into_range_owned(self, start: &[u8], end: Option<&[u8]>) -> Result<SnapshotIter> {
-        let mut it = self.range(start, end)?;
-        it._snapshot = Some(self);
-        Ok(it)
-    }
-
     /// Consumes the snapshot into a [`Snapshot::range_bounds`] iterator
     /// that keeps the handle alive for its duration (see
     /// [`Snapshot::into_iter_owned`]).

@@ -19,6 +19,16 @@ use parking_lot::Mutex;
 use clsm_util::error::Result;
 use clsm_util::metrics::{ConcurrentHistogram, Counter, MetricsRegistry};
 use clsm_util::rcu::RcuCell;
+use clsm_util::trace::TraceId;
+
+/// Flight-recorder spans of the disk substrate. The flush span and the
+/// per-stage compaction spans (argument = input level) are what makes
+/// a flush→compaction causal chain visible in a merged trace; the WAL
+/// spans time the logging queue from the writer's side.
+static T_FLUSH: TraceId = TraceId::new("storage.flush");
+static T_COMPACTION: TraceId = TraceId::new("storage.compaction");
+static T_WAL_APPEND: TraceId = TraceId::new("storage.wal.append");
+static T_WAL_SYNC: TraceId = TraceId::new("storage.wal.sync");
 
 use crate::cache::{BlockCache, TableCache};
 use crate::compaction;
@@ -267,6 +277,7 @@ impl Store {
         for r in batch {
             r.encode_to(&mut payload);
         }
+        let _span = T_WAL_APPEND.span_with(payload.len() as u64);
         self.wal.append(payload, mode)
     }
 
@@ -287,6 +298,7 @@ impl Store {
 
     /// Forces everything logged so far to disk.
     pub fn sync_wal(&self) -> Result<()> {
+        let _span = T_WAL_SYNC.span();
         let start = self.metrics.get().map(|_| Instant::now());
         let result = self.wal.sync();
         if let (Some(m), Some(start)) = (self.metrics.get(), start) {
@@ -349,6 +361,7 @@ impl Store {
         retire_wals_below: u64,
     ) -> Result<()> {
         it.seek_to_first();
+        let _span = T_FLUSH.span_with(max_ts);
         let start = Instant::now();
         let guard = PendingGuard::new(self);
         let new_files = {
@@ -395,6 +408,7 @@ impl Store {
         let Some(task) = compaction::pick(&version, &self.opts) else {
             return Ok(false);
         };
+        let _span = T_COMPACTION.span_with(task.level as u64);
         let start = Instant::now();
         let guard = PendingGuard::new(self);
         let edit = {
@@ -471,6 +485,7 @@ impl Store {
                     std::thread::yield_now();
                     continue;
                 };
+                let _span = T_COMPACTION.span_with(task.level as u64);
                 let start = Instant::now();
                 let guard = PendingGuard::new(self);
                 let edit = {

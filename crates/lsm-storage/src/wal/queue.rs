@@ -20,8 +20,14 @@ use clsm_util::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use clsm_util::error::{Error, Result};
+use clsm_util::trace::TraceId;
 
 use super::LogWriter;
+
+/// Flight-recorder span on the logger thread: one group-committed
+/// fsync covering every waiter that joined the group (argument =
+/// number of acks released).
+static T_GROUP_COMMIT: TraceId = TraceId::new("storage.wal.group_commit");
 
 /// Durability mode for an append.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -232,6 +238,7 @@ fn logger_loop(mut writer: LogWriter, rx: Receiver<Msg>, error: Arc<ErrorSlot>) 
         }
 
         if need_sync {
+            let _span = T_GROUP_COMMIT.span_with(pending_acks.len() as u64);
             let res = writer.sync().inspect_err(|e| {
                 fail(&error, e);
             });

@@ -26,6 +26,9 @@
 //! - [`histogram`] — latency histograms for the evaluation harness.
 //! - [`metrics`] — lock-free counters, gauges, and thread-striped
 //!   concurrent histograms behind the store's observability layer.
+//! - [`trace`] — the flight recorder: per-thread lock-free event rings
+//!   merged into a globally ordered stream, exportable as Chrome trace
+//!   JSON for `chrome://tracing` / Perfetto.
 
 #![warn(missing_docs)]
 
@@ -41,5 +44,6 @@ pub mod metrics;
 pub mod oracle;
 pub mod rcu;
 pub mod shared_lock;
+pub mod trace;
 
 pub use error::{Error, Result};

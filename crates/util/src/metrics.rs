@@ -533,12 +533,54 @@ mod tests {
         let text = snap.to_text();
         assert!(text.contains("db.ops"));
         assert!(text.contains("count=2"));
+        assert!(text.contains("p999="));
+        assert!(text.contains("max=200"));
 
         let json = snap.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"db.ops\":7"));
         assert!(json.contains("\"answer\":42"));
         assert!(json.contains("\"count\":2"));
+        assert!(json.contains("\"p999\":"));
+        assert!(json.contains("\"max\":200"));
+    }
+
+    #[test]
+    fn tail_columns_capture_outliers() {
+        // A skewed distribution: p99 must miss the single huge outlier,
+        // p999 and max must see it — that separation is the whole point
+        // of the extra tail columns.
+        let reg = MetricsRegistry::new();
+        let lat = reg.histogram("op.tail.latency");
+        for _ in 0..998 {
+            lat.record(100);
+        }
+        lat.record(1_000_000);
+        lat.record(1_000_000);
+
+        let snap = reg.snapshot();
+        let h = &snap.histograms["op.tail.latency"];
+        assert_eq!(h.count, 1_000);
+        assert!(h.p99 < h.p999, "p99 {} should miss the outlier", h.p99);
+        assert!(h.p999 >= 1_000_000 / 2, "p999 should see the outlier");
+        assert!(h.max >= h.p999);
+
+        let text = snap.to_text();
+        let line = text
+            .lines()
+            .find(|l| l.contains("op.tail.latency"))
+            .expect("histogram line");
+        assert!(line.contains("p999="), "missing p999 column: {line}");
+        assert!(line.contains("max="), "missing max column: {line}");
+        // Columns render in tail order on one line: p99 ≤ p999 ≤ max.
+        let p99_at = line.find("p99=").unwrap();
+        let p999_at = line.find("p999=").unwrap();
+        let max_at = line.find("max=").unwrap();
+        assert!(p99_at < p999_at && p999_at < max_at);
+
+        let json = snap.to_json();
+        assert!(json.contains(&format!("\"max\":{}", h.max)));
+        assert!(json.contains(&format!("\"p999\":{}", h.p999)));
     }
 
     #[test]

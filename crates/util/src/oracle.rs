@@ -23,6 +23,15 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+use crate::trace::TraceId;
+
+/// Flight-recorder event: one `getTS` rollback retry (Figure 4's race
+/// taken). The argument carries the rolled-back timestamp.
+static T_GETTS_ROLLBACK: TraceId = TraceId::new("oracle.getTS.rollback");
+/// Flight-recorder span: `getSnap` waiting out in-flight writes at or
+/// below its chosen time (the `Active`-min wait).
+static T_SNAP_WAIT: TraceId = TraceId::new("oracle.getSnap.active_wait");
+
 /// Default number of slots in the active set; must comfortably exceed
 /// the number of concurrently writing threads.
 const DEFAULT_ACTIVE_SLOTS: usize = 256;
@@ -166,6 +175,7 @@ impl TimestampOracle {
                 // A snapshot has already been promised that no write at
                 // or below its time is in flight; roll back and retry.
                 self.active.remove(ticket);
+                T_GETTS_ROLLBACK.instant(ts);
             } else {
                 return WriteStamp { ts, ticket };
             }
@@ -211,6 +221,9 @@ impl TimestampOracle {
     /// returns the validated `snapTime`.
     fn wait_for_stragglers(&self) -> u64 {
         let mut spins = 0u32;
+        // Span only the waiting case: the common no-wait path records
+        // nothing.
+        let mut wait_span = None;
         loop {
             let snap = self.snap_time.load(Ordering::SeqCst);
             match self.active.find_min() {
@@ -218,6 +231,9 @@ impl TimestampOracle {
                     // An in-flight put at or below our snapshot time: it
                     // will either publish (making its write visible) or
                     // roll back. Either way we wait it out.
+                    if wait_span.is_none() {
+                        wait_span = Some(T_SNAP_WAIT.span_with(min));
+                    }
                     if spins < 64 {
                         spins += 1;
                         std::hint::spin_loop();

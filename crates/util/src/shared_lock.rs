@@ -41,6 +41,11 @@ const SPINS_BEFORE_YIELD: u32 = 64;
 #[derive(Debug, Default)]
 pub struct SharedExclusiveLock {
     state: AtomicU64,
+    /// Trace-clock nanoseconds at which the current exclusive hold
+    /// began, or 0 while not exclusively held. Read by the stall
+    /// watchdog; written only by exclusive lockers, so two relaxed
+    /// stores per (rare) exclusive acquisition.
+    excl_since_ns: AtomicU64,
 }
 
 /// RAII guard for shared mode; releases on drop.
@@ -62,6 +67,7 @@ impl SharedExclusiveLock {
     pub const fn new() -> Self {
         SharedExclusiveLock {
             state: AtomicU64::new(0),
+            excl_since_ns: AtomicU64::new(0),
         }
     }
 
@@ -118,7 +124,39 @@ impl SharedExclusiveLock {
         while self.state.load(Ordering::Acquire) & COUNT != 0 {
             backoff(&mut spins);
         }
+        self.excl_since_ns
+            .store(crate::trace::now_ns(), Ordering::Relaxed);
         ExclusiveGuard { lock: self }
+    }
+
+    /// How long the current exclusive hold has lasted, or `None` when
+    /// the lock is not exclusively held. Racy by design: a concurrent
+    /// release may make the result momentarily stale, which is fine for
+    /// its consumer (the stall watchdog's threshold check).
+    pub fn exclusive_held_for(&self) -> Option<std::time::Duration> {
+        self.exclusive_held_since_ns().map(|since| {
+            std::time::Duration::from_nanos(crate::trace::now_ns().saturating_sub(since))
+        })
+    }
+
+    /// Trace-clock nanoseconds at which the current exclusive hold
+    /// began, or `None` when not exclusively held. The value is stable
+    /// for the duration of one hold, so a sampling observer can use it
+    /// to tell "same long hold" from "many short holds".
+    pub fn exclusive_held_since_ns(&self) -> Option<u64> {
+        match self.excl_since_ns.load(Ordering::Relaxed) {
+            0 => None,
+            since => Some(since),
+        }
+    }
+
+    /// Test-only fault injection: takes the lock exclusively and holds
+    /// it for `hold`, so stall-detection machinery (the watchdog) can be
+    /// exercised deterministically. Never call this on a production
+    /// path.
+    pub fn hold_exclusive_for(&self, hold: std::time::Duration) {
+        let _g = self.lock_exclusive();
+        std::thread::sleep(hold);
     }
 
     /// Returns `true` if any holder (shared or exclusive) is present.
@@ -147,6 +185,7 @@ impl Drop for SharedGuard<'_> {
 
 impl Drop for ExclusiveGuard<'_> {
     fn drop(&mut self) {
+        self.lock.excl_since_ns.store(0, Ordering::Relaxed);
         self.lock.state.fetch_and(!EXCL, Ordering::Release);
     }
 }
@@ -240,6 +279,22 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(shared_value.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn exclusive_hold_duration_is_tracked() {
+        let lock = SharedExclusiveLock::new();
+        assert!(lock.exclusive_held_for().is_none());
+        {
+            let _g = lock.lock_exclusive();
+            std::thread::sleep(Duration::from_millis(5));
+            let held = lock.exclusive_held_for().expect("exclusively held");
+            assert!(held >= Duration::from_millis(4));
+        }
+        assert!(lock.exclusive_held_for().is_none());
+        // Shared holds are not exclusive holds.
+        let _s = lock.lock_shared();
+        assert!(lock.exclusive_held_for().is_none());
     }
 
     #[test]
