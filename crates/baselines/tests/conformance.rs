@@ -221,6 +221,47 @@ fn clsm_conforms_to_the_same_contract() {
 }
 
 #[test]
+fn sharded_clsm_single_shard_conforms() {
+    let dir = TempDir::new("sharded1");
+    let store = clsm::ShardedDb::open(&dir.0, Options::small_for_tests()).unwrap();
+    assert_eq!(store.num_shards(), 1);
+    exercise(&store);
+}
+
+#[test]
+fn sharded_clsm_four_shards_conforms() {
+    // Letter boundaries scatter the suite's key families across all
+    // four shards: "batch-"/"bulk" → 0, "conc-"/"k" → 1, "pia" → 2,
+    // and the suite's scans cross the bulk/conc boundary.
+    let dir = TempDir::new("sharded4");
+    let store = clsm::ShardedDb::open_with_boundaries(
+        &dir.0,
+        Options::small_for_tests(),
+        vec![b"c".to_vec(), b"m".to_vec(), b"t".to_vec()],
+    )
+    .unwrap();
+    assert_eq!(store.num_shards(), 4);
+    exercise(&store);
+}
+
+#[test]
+fn partitioned_composition_conforms() {
+    // The full checklist against the Figure-1 partitioned composition;
+    // boundaries split the bulk range itself so stitched scans cross a
+    // partition edge mid-family.
+    let dirs: Vec<TempDir> = (0..4).map(|i| TempDir::new(&format!("pconf{i}"))).collect();
+    let parts: Vec<LevelDbLike> = dirs
+        .iter()
+        .map(|d| LevelDbLike::open(&d.0, Options::small_for_tests()).unwrap())
+        .collect();
+    let store = Partitioned::new(
+        parts,
+        vec![b"bulk000500".to_vec(), b"conc-1".to_vec(), b"k".to_vec()],
+    );
+    exercise(&store);
+}
+
+#[test]
 fn striped_rmw_increments_are_atomic() {
     let dir = TempDir::new("striped-inc");
     let store = Arc::new(StripedRmw::open(&dir.0, Options::small_for_tests()).unwrap());

@@ -2,13 +2,17 @@
 //!
 //! Two modes:
 //!
-//! - `clsm-doctor <db-dir> [--populate N]` opens (or creates) a
-//!   database and prints a [`clsm::DoctorReport`]: memtable fill,
-//!   immutable-queue state, level geometry, live snapshots, oracle
-//!   timestamps, and stall-watchdog verdicts. `--populate` writes N
-//!   keys first (through the normal put path, so flushes and
+//! - `clsm-doctor <db-dir> [--populate N] [--shards N]` opens (or
+//!   creates) a database and prints a [`clsm::DoctorReport`]: memtable
+//!   fill, immutable-queue state, level geometry, live snapshots,
+//!   oracle timestamps, and stall-watchdog verdicts. `--populate`
+//!   writes N keys first (through the normal put path, so flushes and
 //!   compactions run), which makes the tool usable as a smoke test on
-//!   an empty directory.
+//!   an empty directory. Range-sharded directories (those containing a
+//!   `SHARDS` manifest) are detected automatically and reported as a
+//!   [`clsm::ShardedDoctorReport`] — shared-oracle state up top, one
+//!   full per-shard report below; `--shards N` creates a fresh sharded
+//!   database when the directory is empty.
 //! - `clsm-doctor --replay <trace.json>` parses a flight-recorder
 //!   artifact (the Chrome trace-format JSON written by the bench
 //!   binaries' `--trace` flag) and prints per-span duration
@@ -18,7 +22,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use clsm::{Db, Options};
+use clsm::{Db, Options, ShardedDb};
 use clsm_util::error::Result;
 
 fn main() {
@@ -36,6 +40,7 @@ fn main() {
 fn run(argv: &[String]) -> Result<()> {
     let mut dir: Option<PathBuf> = None;
     let mut populate: u64 = 0;
+    let mut shards: usize = 1;
     let mut replay: Option<PathBuf> = None;
 
     let mut iter = argv.iter();
@@ -54,6 +59,13 @@ fn run(argv: &[String]) -> Result<()> {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--populate needs a count"));
             }
+            "--shards" => {
+                shards = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--shards needs a count >= 1"));
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             path => {
@@ -67,7 +79,7 @@ fn run(argv: &[String]) -> Result<()> {
 
     match (dir, replay) {
         (None, Some(trace)) => replay_trace(&trace),
-        (Some(dir), None) => examine_db(&dir, populate),
+        (Some(dir), None) => examine_db(&dir, populate, shards),
         _ => usage("pass exactly one of <db-dir> or --replay FILE"),
     }
 }
@@ -76,25 +88,48 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: clsm-doctor <db-dir> [--populate N]");
+    eprintln!("usage: clsm-doctor <db-dir> [--populate N] [--shards N]");
     eprintln!("       clsm-doctor --replay <trace.json>");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
 /// Opens the database and prints the doctor report. Small tables and
 /// memtable so `--populate` on an empty directory exercises flushes
-/// and compactions rather than parking everything in memory.
-fn examine_db(dir: &std::path::Path, populate: u64) -> Result<()> {
-    let db = Db::open(dir, Options::small_for_tests())?;
-    if populate > 0 {
-        eprintln!("populating {populate} keys…");
-        let value = vec![0xabu8; 100];
-        for i in 0..populate {
-            db.put(format!("doctor.{i:012}").as_bytes(), &value)?;
+/// and compactions rather than parking everything in memory. A
+/// directory holding a `SHARDS` manifest (or a `--shards N` request on
+/// a fresh one) is opened as a [`ShardedDb`] instead; the manifest is
+/// authoritative on reopen, so no flag is needed to inspect an
+/// existing sharded database.
+fn examine_db(dir: &std::path::Path, populate: u64, shards: usize) -> Result<()> {
+    if shards > 1 || dir.join("SHARDS").exists() {
+        let mut opts = Options::small_for_tests();
+        opts.shards = shards;
+        let db = ShardedDb::open(dir, opts)?;
+        populate_keys(populate, |k, v| db.put(k, v))?;
+        if populate > 0 {
+            db.compact_to_quiescence()?;
         }
+        return print_all(&db.doctor().render());
+    }
+    let db = Db::open(dir, Options::small_for_tests())?;
+    populate_keys(populate, |k, v| db.put(k, v))?;
+    if populate > 0 {
         db.compact_to_quiescence()?;
     }
     print_all(&db.doctor().render())
+}
+
+/// Writes `populate` fixed-size keys through the given put closure.
+fn populate_keys(populate: u64, mut put: impl FnMut(&[u8], &[u8]) -> Result<()>) -> Result<()> {
+    if populate == 0 {
+        return Ok(());
+    }
+    eprintln!("populating {populate} keys…");
+    let value = vec![0xabu8; 100];
+    for i in 0..populate {
+        put(format!("doctor.{i:012}").as_bytes(), &value)?;
+    }
+    Ok(())
 }
 
 /// Statistics accumulated per span name while replaying a trace file.

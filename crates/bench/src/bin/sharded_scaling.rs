@@ -1,0 +1,39 @@
+//! Sharded-cLSM scaling sweep (Figure-1-style, resource-shared).
+//!
+//! Runs the `cLSM-sharded` system — N range shards behind one shared
+//! timestamp oracle — on the mixed 50/50 workload for the configured
+//! `--shards` count. Unlike Figure 1's resource-*isolated* partitioned
+//! baselines, every worker thread serves the whole key space and any
+//! shard; cross-shard batches and scans stay serializable because all
+//! shards draw timestamps from the same oracle.
+//!
+//! Repeat with `--shards 1,2,4,8` (one invocation each) to reproduce
+//! the horizontal-scaling comparison; each run writes the aggregated
+//! metrics JSON plus one `…-shard-NNN.metrics.json` per shard so range
+//! load imbalance is visible.
+
+use bench::driver::{emit, sweep_threads, Metric};
+use bench::systems::CLSM_SHARDED;
+use clsm_workloads::WorkloadSpec;
+
+fn main() {
+    let args = bench::parse_args();
+
+    let spec = WorkloadSpec::mixed(args.key_space());
+    let figure = format!("Sharded scaling ({} shards)", args.shards);
+    let tables = sweep_threads(
+        &args,
+        &figure,
+        &[CLSM_SHARDED],
+        &spec,
+        &[
+            (
+                Metric::KopsPerSec,
+                "Mixed read/write throughput (Kops/s) [sharded]",
+            ),
+            (Metric::P90LatencyUs, "p90 latency (µs) [sharded]"),
+        ],
+    )
+    .expect("sharded sweep failed");
+    emit(&args, &tables).expect("emit failed");
+}

@@ -9,7 +9,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use clsm::{Db, Options};
+use clsm::{Db, Options, ShardedDb};
 use clsm_baselines::{BlsmLike, HyperLike, KvStore, LevelDbLike, RocksLike, StripedRmw};
 use clsm_util::error::Result;
 
@@ -42,6 +42,7 @@ macro_rules! declare_system {
 }
 
 declare_system!(ClsmSystem, CLSM, "cLSM", Db);
+declare_system!(ClsmShardedSystem, CLSM_SHARDED, "cLSM-sharded", ShardedDb);
 declare_system!(LevelDbSystem, LEVELDB, "LevelDB", LevelDbLike);
 declare_system!(HyperSystem, HYPER, "HyperLevelDB", HyperLike);
 declare_system!(RocksSystem, ROCKS, "rocksDB", RocksLike);
@@ -69,12 +70,13 @@ pub fn no_blsm_systems() -> &'static [&'static dyn System] {
 /// Every registered system, including ones outside the standard
 /// comparison sets.
 pub fn registry() -> &'static [&'static dyn System] {
-    static ALL: [&dyn System; 6] = [
+    static ALL: [&dyn System; 7] = [
         &RocksSystem,
         &BlsmSystem,
         &LevelDbSystem,
         &HyperSystem,
         &ClsmSystem,
+        &ClsmShardedSystem,
         &StripedSystem,
     ];
     &ALL

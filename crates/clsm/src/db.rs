@@ -49,10 +49,20 @@ pub(crate) struct DbInner {
     /// Algorithm 1's shared-exclusive lock: shared by puts/RMW/getSnap,
     /// exclusive in the merge hooks and for atomic write batches.
     pub(crate) lock: SharedExclusiveLock,
-    /// Algorithm 2's timestamp oracle.
-    pub(crate) oracle: TimestampOracle,
-    /// Live snapshot handles (version-GC watermark).
-    pub(crate) snapshots: SnapshotRegistry,
+    /// Algorithm 2's timestamp oracle. `Arc` so a sharded composition
+    /// can hand the *same* oracle to every shard (see
+    /// [`crate::sharded`]); a standalone [`Db`] owns its own.
+    pub(crate) oracle: Arc<TimestampOracle>,
+    /// Live snapshot handles (version-GC watermark). Shared alongside
+    /// the oracle: a cross-shard snapshot registers once and every
+    /// shard's merge consults the same watermark.
+    pub(crate) snapshots: Arc<SnapshotRegistry>,
+    /// Whether this instance is responsible for oracle-wide reporting.
+    /// Exactly one store per oracle is primary: it registers the
+    /// `oracle.*` gauges and runs the watchdog's Active-set-pressure
+    /// detector, so N shards sharing an oracle don't report the same
+    /// state N times. A standalone `Db` is always primary.
+    pub(crate) oracle_primary: bool,
     /// `Pm`: the mutable memory component.
     pub(crate) pm: RcuCell<Arc<dyn MemComponent>>,
     /// `P'm`: the immutable memory component being merged, if any.
@@ -90,7 +100,34 @@ impl Db {
     /// `Options` value or an [`crate::OptionsBuilder`] directly; the
     /// configuration is validated either way.
     pub fn open(path: &Path, opts: impl Into<Options>) -> Result<Db> {
-        let opts: Options = opts.into();
+        Self::open_inner(path, opts.into(), None)
+    }
+
+    /// Opens a database whose timestamp oracle and snapshot registry
+    /// are owned elsewhere and shared with sibling stores — the shard
+    /// constructor used by [`crate::ShardedDb`].
+    ///
+    /// `oracle_primary` must be `true` for exactly one store per shared
+    /// oracle: that store registers the `oracle.*` gauges and runs the
+    /// watchdog's Active-set-pressure detector (see
+    /// [`DbInner::oracle_primary`]). Recovery advances the shared
+    /// counter with [`TimestampOracle::advance_to`], so shards may be
+    /// opened in any order.
+    pub(crate) fn open_shared(
+        path: &Path,
+        opts: impl Into<Options>,
+        oracle: Arc<TimestampOracle>,
+        snapshots: Arc<SnapshotRegistry>,
+        oracle_primary: bool,
+    ) -> Result<Db> {
+        Self::open_inner(path, opts.into(), Some((oracle, snapshots, oracle_primary)))
+    }
+
+    fn open_inner(
+        path: &Path,
+        opts: Options,
+        shared: Option<(Arc<TimestampOracle>, Arc<SnapshotRegistry>, bool)>,
+    ) -> Result<Db> {
         opts.validate()?;
         let store_opts = StoreOptions {
             ..opts.store.clone()
@@ -106,14 +143,32 @@ impl Db {
             pm.insert(&rec.key, rec.ts, value);
         }
 
+        let (oracle, snapshots, oracle_primary) = match shared {
+            Some((oracle, snapshots, primary)) => {
+                // Shards recover in arbitrary order; `fetch_max` puts
+                // the shared counter above every shard's last stamp.
+                oracle.advance_to(recovered.last_ts);
+                (oracle, snapshots, primary)
+            }
+            None => (
+                Arc::new(TimestampOracle::recovered_at(
+                    recovered.last_ts,
+                    opts.active_slots,
+                )),
+                Arc::new(SnapshotRegistry::new()),
+                true,
+            ),
+        };
+
         let metrics = DbMetrics::new();
         let watchdog = Watchdog::new(opts.watchdog.clone(), &metrics.registry);
         let inner = Arc::new(DbInner {
-            oracle: TimestampOracle::recovered_at(recovered.last_ts, opts.active_slots),
+            oracle,
             opts,
             store,
             lock: SharedExclusiveLock::new(),
-            snapshots: SnapshotRegistry::new(),
+            snapshots,
+            oracle_primary,
             pm: RcuCell::new(pm),
             pm_prev: RcuCell::new(None),
             metrics,
@@ -131,18 +186,23 @@ impl Db {
         // registry is owned by `DbInner`.
         inner.store.attach_metrics(&inner.metrics.registry);
         let weak = Arc::downgrade(&inner);
-        inner.metrics.registry.gauge_fn("oracle.live_snapshots", {
-            let weak = weak.clone();
-            move || weak.upgrade().map_or(0, |i| i.snapshots.len() as i64)
-        });
-        inner.metrics.registry.gauge_fn("oracle.active_writes", {
-            let weak = weak.clone();
-            move || weak.upgrade().map_or(0, |i| i.oracle.active().len() as i64)
-        });
-        inner.metrics.registry.gauge_fn("oracle.snap_time", {
-            let weak = weak.clone();
-            move || weak.upgrade().map_or(0, |i| i.oracle.snap_time() as i64)
-        });
+        // The oracle gauges describe *shared* state when the oracle is
+        // injected; only the primary registers them, so a merged
+        // snapshot over N shard registries reports each value once.
+        if inner.oracle_primary {
+            inner.metrics.registry.gauge_fn("oracle.live_snapshots", {
+                let weak = weak.clone();
+                move || weak.upgrade().map_or(0, |i| i.snapshots.len() as i64)
+            });
+            inner.metrics.registry.gauge_fn("oracle.active_writes", {
+                let weak = weak.clone();
+                move || weak.upgrade().map_or(0, |i| i.oracle.active().len() as i64)
+            });
+            inner.metrics.registry.gauge_fn("oracle.snap_time", {
+                let weak = weak.clone();
+                move || weak.upgrade().map_or(0, |i| i.oracle.snap_time() as i64)
+            });
+        }
         inner.metrics.registry.gauge_fn("db.memtable_bytes", {
             let weak = weak.clone();
             move || {
@@ -396,20 +456,29 @@ impl Db {
 
     /// Blocks until the memtable is flushed and no compaction is due
     /// (test/benchmark hook; not part of the paper's API).
+    ///
+    /// Waits on the workers' condvar — flush and compaction workers
+    /// signal it whenever they finish a unit of work — so the caller
+    /// wakes as soon as progress happens rather than on a poll tick.
+    /// The timed wait is only a backstop against a missed edge.
     pub fn compact_to_quiescence(&self) -> Result<()> {
+        let inner = &self.inner;
         loop {
-            self.inner.maybe_schedule_flush_force();
-            let busy = self.inner.flush_pending.load(Ordering::Acquire)
-                || !self.inner.pm.load().is_empty()
-                || self.inner.pm_prev.load().is_some()
-                || self.inner.store.needs_compaction();
-            if let Some(e) = self.inner.store.wal_poisoned() {
+            inner.maybe_schedule_flush_force();
+            if let Some(e) = inner.store.wal_poisoned() {
                 return Err(e);
             }
-            if !busy {
+            if !inner.is_busy() {
                 return Ok(());
             }
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            let mut guard = inner.work_mutex.lock();
+            // Re-check under the lock so a completion signalled between
+            // the check above and this wait is not missed.
+            if inner.is_busy() {
+                inner
+                    .work_cv
+                    .wait_for(&mut guard, std::time::Duration::from_millis(25));
+            }
         }
     }
 
@@ -577,6 +646,15 @@ impl DbInner {
         }
     }
 
+    /// Whether any background work is pending or in flight (the
+    /// quiescence condition, inverted).
+    fn is_busy(&self) -> bool {
+        self.flush_pending.load(Ordering::Acquire)
+            || !self.pm.load().is_empty()
+            || self.pm_prev.load().is_some()
+            || self.store.needs_compaction()
+    }
+
     pub(crate) fn maybe_schedule_flush(&self) {
         if self.pm.load().memory_usage() >= self.opts.memtable_bytes {
             self.maybe_schedule_flush_force();
@@ -698,7 +776,12 @@ fn compaction_worker(inner: Arc<DbInner>) {
         } else {
             false
         };
-        if !did_work {
+        if did_work {
+            // Quiescence waiters watch `needs_compaction`; tell them a
+            // compaction just retired.
+            let _g = inner.work_mutex.lock();
+            inner.work_cv.notify_all();
+        } else {
             let mut guard = inner.work_mutex.lock();
             if !inner.shutdown.load(Ordering::Acquire) {
                 inner

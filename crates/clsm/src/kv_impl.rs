@@ -6,6 +6,7 @@ use clsm_util::error::Result;
 use clsm_util::metrics::MetricsSnapshot;
 
 use crate::db::Db;
+use crate::sharded::{ShardedDb, ShardedSnapshot};
 use crate::snapshot::Snapshot;
 
 impl KvStore for Db {
@@ -62,5 +63,66 @@ impl KvSnapshot for Snapshot {
 
     fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         Snapshot::scan(self, start, limit)
+    }
+}
+
+impl KvStore for ShardedDb {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        ShardedDb::put(self, key, value)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        ShardedDb::get(self, key)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        ShardedDb::delete(self, key)
+    }
+
+    fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
+        // Atomic even across shards: one shared write timestamp.
+        ShardedDb::write_batch(self, batch)
+    }
+
+    fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {
+        Ok(Box::new(ShardedDb::snapshot(self)?))
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        ShardedDb::snapshot(self)?.scan(start, limit)
+    }
+
+    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
+        ShardedDb::put_if_absent(self, key, value)
+    }
+
+    fn quiesce(&self) -> Result<()> {
+        self.compact_to_quiescence()
+    }
+
+    fn name(&self) -> &'static str {
+        "cLSM-sharded"
+    }
+
+    fn stats(&self) -> MetricsSnapshot {
+        self.metrics()
+    }
+
+    fn shard_stats(&self) -> Vec<(String, MetricsSnapshot)> {
+        self.shard_metrics()
+    }
+
+    fn write_amp(&self) -> Option<lsm_storage::store::WriteAmp> {
+        Some(ShardedDb::write_amp(self))
+    }
+}
+
+impl KvSnapshot for ShardedSnapshot {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        ShardedSnapshot::get(self, key)
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        ShardedSnapshot::scan(self, start, limit)
     }
 }

@@ -48,6 +48,7 @@ mod mem_component;
 mod memtable;
 mod options;
 mod rmw;
+mod sharded;
 mod snapshot;
 mod stats;
 mod watchdog;
@@ -59,6 +60,7 @@ pub use mem_component::{LockedMemtable, MemComponent, MemtableKind, VersionedVal
 pub use memtable::Memtable;
 pub use options::{Options, OptionsBuilder};
 pub use rmw::{RmwDecision, RmwResult};
+pub use sharded::{partition_of, ShardedDb, ShardedDoctorReport, ShardedIter, ShardedSnapshot};
 pub use snapshot::{Snapshot, SnapshotIter};
 pub use stats::StatsSnapshot;
 pub use watchdog::{StallEvent, StallKind, WatchdogOptions};

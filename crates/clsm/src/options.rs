@@ -26,6 +26,12 @@ pub struct Options {
     /// Slot count of the oracle's `Active` set; must exceed the number
     /// of concurrent writer threads.
     pub active_slots: usize,
+    /// Number of range shards for [`crate::ShardedDb`] (1..=256). A
+    /// plain [`crate::Db`] ignores this; the sharded composition splits
+    /// the keyspace into this many cLSM instances sharing one
+    /// timestamp oracle. On reopen of an existing sharded directory
+    /// the persisted shard layout is authoritative.
+    pub shards: usize,
     /// Which in-memory component implementation to use (§3's generic
     /// algorithm: any thread-safe sorted map works for puts/gets/scans;
     /// RMW requires the skip list).
@@ -45,6 +51,7 @@ impl Default for Options {
             linearizable_snapshots: false,
             compaction_threads: 1,
             active_slots: 256,
+            shards: 1,
             memtable_kind: MemtableKind::default(),
             watchdog: WatchdogOptions::default(),
             store: StoreOptions::default(),
@@ -68,6 +75,9 @@ impl Options {
             return Err(Error::invalid_argument(
                 "compaction_threads must be at least 1 (the paper's maintenance thread)",
             ));
+        }
+        if self.shards == 0 || self.shards > 256 {
+            return Err(Error::invalid_argument("shards must be within 1..=256"));
         }
         if self.store.num_levels < 2 || self.store.num_levels > lsm_storage::NUM_LEVELS {
             return Err(Error::invalid_argument(format!(
@@ -100,9 +110,20 @@ impl Options {
 
     /// A configuration scaled down for unit tests and examples: tiny
     /// memtable and tables so flushes and compactions happen quickly.
+    ///
+    /// The `CLSM_TEST_COMPACTION_THREADS` environment variable, when
+    /// set to a positive integer, overrides the compaction thread
+    /// count — CI uses it to run the whole test suite against the
+    /// multi-threaded compaction path without a code change.
     pub fn small_for_tests() -> Self {
+        let compaction_threads = std::env::var("CLSM_TEST_COMPACTION_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n >= 1)
+            .unwrap_or(1);
         Options {
             memtable_bytes: 64 * 1024,
+            compaction_threads,
             store: StoreOptions {
                 table_file_size: 64 * 1024,
                 base_level_bytes: 256 * 1024,
@@ -181,6 +202,12 @@ impl OptionsBuilder {
     /// Slot count of the oracle's `Active` set.
     pub fn active_slots(mut self, slots: usize) -> Self {
         self.opts.active_slots = slots;
+        self
+    }
+
+    /// Number of range shards for [`crate::ShardedDb`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.opts.shards = shards;
         self
     }
 

@@ -1,0 +1,798 @@
+//! Range-sharded composition of cLSM stores sharing one timestamp
+//! oracle — partitioned throughput *with* cross-shard consistent scans.
+//!
+//! Figure 1 of the paper shows that splitting a store into independent
+//! partitions buys throughput but costs consistency: "the data store's
+//! consistent snapshot scans do not span multiple partitions" (§2.2).
+//! That limitation is not fundamental — it is an artifact of each
+//! partition running its own clock. cLSM derives snapshot consistency
+//! entirely from Algorithm 2's oracle (`timeCounter`, the `Active`
+//! set, `snapTime`), so N shards that share **one** oracle hand out
+//! globally ordered write timestamps, and a single `getSnap` timestamp
+//! is a serializable cut across *every* shard at once.
+//!
+//! [`ShardedDb`] composes N full [`Db`] instances (each with its own
+//! directory, WAL, memtables, levels, and background workers) behind
+//! one shared [`TimestampOracle`] and [`SnapshotRegistry`]:
+//!
+//! - **Point operations** route by range ([`partition_of`]) and run at
+//!   full per-shard concurrency — the Figure 1 throughput win.
+//! - **Cross-shard batches** ([`ShardedDb::write_batch`]) take *one*
+//!   write timestamp for every entry. While that stamp sits in the
+//!   shared `Active` set, no snapshot can be granted a time at or
+//!   above it, so scanners observe either the whole batch or none of
+//!   it — never one shard's half.
+//! - **Snapshots** ([`ShardedDb::snapshot`]) publish one `getSnap`
+//!   timestamp that is simultaneously valid on every shard; scans
+//!   stitch per-shard iterators in range order into one serializable
+//!   cross-shard view.
+//!
+//! # Locking protocol (deadlock freedom)
+//!
+//! Both multi-shard operations acquire per-shard shared locks in
+//! **ascending shard order** and do only non-blocking work while
+//! holding them:
+//!
+//! - `write_batch`: lock touched shards (shared, ascending) → `getTS`
+//!   (one stamp) → log + insert on each shard → `publish` → unlock.
+//! - `snapshot`: lock all shards (shared, ascending) →
+//!   [`TimestampOracle::get_snap_publish`] (non-blocking half) →
+//!   register → unlock → [`TimestampOracle::wait_snap_visible`].
+//!
+//! Waiting for in-flight writers happens strictly *after* the locks
+//! are released; a flush's exclusive acquisition on one shard never
+//! waits, directly or transitively, on a thread that is waiting for
+//! that same flush. Combined with the ascending acquisition order this
+//! rules out cycles. Registering the snapshot *before* waiting is
+//! GC-safe: the registry only ever protects more versions than needed.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use clsm_util::error::{Error, Result};
+use clsm_util::metrics::{MetricsRegistry, MetricsSnapshot};
+use clsm_util::oracle::{SnapshotRegistry, TimestampOracle};
+
+use lsm_storage::format::WriteRecord;
+use lsm_storage::wal::SyncMode;
+
+use crate::db::Db;
+use crate::doctor::DoctorReport;
+use crate::options::Options;
+use crate::snapshot::{bounds_to_keys, Snapshot, SnapshotIter};
+use crate::stats::StatsSnapshot;
+
+/// Name of the shard-layout manifest inside a sharded directory.
+const MANIFEST: &str = "SHARDS";
+/// First line of the manifest (format version guard).
+const MANIFEST_HEADER: &str = "clsm-sharded-manifest v1";
+
+/// Index of the shard owning `key`, given the exclusive upper
+/// boundaries of all shards but the last (`boundaries` sorted strictly
+/// ascending). Shard `i` owns `[boundaries[i-1], boundaries[i])`, with
+/// the first shard unbounded below and the last unbounded above.
+pub fn partition_of(boundaries: &[Vec<u8>], key: &[u8]) -> usize {
+    boundaries.partition_point(|b| b.as_slice() <= key)
+}
+
+/// Evenly spaced single-byte boundaries for `shards` ranges: shard `i`
+/// gets first bytes `[256*i/N, 256*(i+1)/N)`.
+fn default_boundaries(shards: usize) -> Vec<Vec<u8>> {
+    (1..shards)
+        .map(|i| vec![(256 * i / shards) as u8])
+        .collect()
+}
+
+fn shard_dir(root: &Path, index: usize) -> PathBuf {
+    root.join(format!("shard-{index:03}"))
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>> {
+    if !s.len().is_multiple_of(2) || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(Error::corruption(format!("bad hex key in manifest: {s:?}")));
+    }
+    Ok((0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("checked hex"))
+        .collect())
+}
+
+/// Persists the shard layout (count + boundaries) so reopening uses
+/// the same ranges regardless of the options passed later.
+fn write_manifest(root: &Path, boundaries: &[Vec<u8>]) -> Result<()> {
+    let mut text = String::new();
+    text.push_str(MANIFEST_HEADER);
+    text.push('\n');
+    text.push_str(&format!("shards {}\n", boundaries.len() + 1));
+    for b in boundaries {
+        text.push_str(&format!("boundary {}\n", hex_encode(b)));
+    }
+    let tmp = root.join(format!("{MANIFEST}.tmp"));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, root.join(MANIFEST))?;
+    Ok(())
+}
+
+/// Reads the persisted shard layout, or `None` when the directory has
+/// no manifest (fresh directory, or a plain `Db` directory).
+fn read_manifest(root: &Path) -> Result<Option<Vec<Vec<u8>>>> {
+    let path = root.join(MANIFEST);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err(Error::corruption(format!(
+            "unrecognized shard manifest header in {}",
+            path.display()
+        )));
+    }
+    let shards: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("shards "))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| Error::corruption("shard manifest missing `shards N` line"))?;
+    let mut boundaries = Vec::with_capacity(shards.saturating_sub(1));
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let hex = line
+            .strip_prefix("boundary ")
+            .ok_or_else(|| Error::corruption(format!("unexpected manifest line: {line:?}")))?;
+        boundaries.push(hex_decode(hex)?);
+    }
+    if boundaries.len() + 1 != shards || !boundaries.windows(2).all(|w| w[0] < w[1]) {
+        return Err(Error::corruption(
+            "shard manifest boundaries inconsistent with shard count",
+        ));
+    }
+    Ok(Some(boundaries))
+}
+
+/// A range-sharded cLSM: N full [`Db`] instances sharing one timestamp
+/// oracle, with serializable cross-shard snapshots.
+///
+/// Cheap operations (`put`/`get`/`delete`) touch exactly one shard;
+/// [`ShardedDb::snapshot`] and [`ShardedDb::write_batch`] coordinate
+/// through the shared oracle as described in the [module docs]
+/// (crate::sharded).
+///
+/// # Examples
+///
+/// ```
+/// use clsm::{Options, ShardedDb};
+///
+/// let dir = std::env::temp_dir().join(format!("clsm-sharded-doc-{}", std::process::id()));
+/// let mut opts = Options::small_for_tests();
+/// opts.shards = 4;
+/// let db = ShardedDb::open(&dir, opts).unwrap();
+/// db.put(b"apple", b"1").unwrap();
+/// db.put(b"zebra", b"2").unwrap();
+/// let snap = db.snapshot().unwrap();
+/// db.put(b"apple", b"3").unwrap();
+/// // The snapshot is one consistent cut across all shards.
+/// assert_eq!(snap.get(b"apple").unwrap(), Some(b"1".to_vec()));
+/// assert_eq!(snap.get(b"zebra").unwrap(), Some(b"2".to_vec()));
+/// drop((snap, db));
+/// std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct ShardedDb {
+    shards: Vec<Db>,
+    /// Exclusive upper bound of shard `i`, for `i < shards.len() - 1`.
+    boundaries: Vec<Vec<u8>>,
+    oracle: Arc<TimestampOracle>,
+    snapshots: Arc<SnapshotRegistry>,
+}
+
+impl ShardedDb {
+    /// Opens (or creates) a sharded database rooted at `path`.
+    ///
+    /// A fresh directory is split into [`Options::shards`] ranges with
+    /// evenly spaced single-byte boundaries and the layout is persisted
+    /// in a `SHARDS` manifest. On reopen the manifest is authoritative:
+    /// the store comes back with the ranges it was created with, and
+    /// `opts.shards` is ignored.
+    pub fn open(path: &Path, opts: impl Into<Options>) -> Result<ShardedDb> {
+        let opts: Options = opts.into();
+        opts.validate()?;
+        std::fs::create_dir_all(path)?;
+        let boundaries = match read_manifest(path)? {
+            Some(b) => b,
+            None => {
+                let b = default_boundaries(opts.shards);
+                write_manifest(path, &b)?;
+                b
+            }
+        };
+        Self::open_inner(path, opts, boundaries)
+    }
+
+    /// Opens (or creates) a sharded database with explicit range
+    /// boundaries (strictly ascending; `boundaries.len() + 1` shards).
+    /// Reopening a directory whose persisted layout differs is an
+    /// error.
+    pub fn open_with_boundaries(
+        path: &Path,
+        opts: impl Into<Options>,
+        boundaries: Vec<Vec<u8>>,
+    ) -> Result<ShardedDb> {
+        let opts: Options = opts.into();
+        opts.validate()?;
+        if !boundaries.windows(2).all(|w| w[0] < w[1]) {
+            return Err(Error::invalid_argument(
+                "shard boundaries must be strictly ascending",
+            ));
+        }
+        if boundaries.len() + 1 > 256 {
+            return Err(Error::invalid_argument("at most 256 shards"));
+        }
+        std::fs::create_dir_all(path)?;
+        match read_manifest(path)? {
+            Some(existing) if existing != boundaries => {
+                return Err(Error::invalid_argument(
+                    "existing shard layout differs from the requested boundaries",
+                ));
+            }
+            Some(_) => {}
+            None => write_manifest(path, &boundaries)?,
+        }
+        Self::open_inner(path, opts, boundaries)
+    }
+
+    fn open_inner(path: &Path, opts: Options, boundaries: Vec<Vec<u8>>) -> Result<ShardedDb> {
+        let oracle = Arc::new(TimestampOracle::new(opts.active_slots));
+        let snapshots = Arc::new(SnapshotRegistry::new());
+        let mut child_opts = opts;
+        child_opts.shards = 1;
+        let num = boundaries.len() + 1;
+        let mut shards = Vec::with_capacity(num);
+        for i in 0..num {
+            // Shard 0 is the oracle primary: it registers the
+            // `oracle.*` gauges and runs the watchdog's Active-set
+            // detector, so shared state is reported exactly once.
+            shards.push(Db::open_shared(
+                &shard_dir(path, i),
+                child_opts.clone(),
+                Arc::clone(&oracle),
+                Arc::clone(&snapshots),
+                i == 0,
+            )?);
+        }
+        Ok(ShardedDb {
+            shards,
+            boundaries,
+            oracle,
+            snapshots,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The exclusive upper boundaries (one fewer than the shard count).
+    pub fn boundaries(&self) -> &[Vec<u8>] {
+        &self.boundaries
+    }
+
+    /// Direct access to one shard (diagnostics and shard-pinned
+    /// drivers; the shard is a full [`Db`]).
+    pub fn shard(&self, i: usize) -> &Db {
+        &self.shards[i]
+    }
+
+    fn shard_for(&self, key: &[u8]) -> &Db {
+        &self.shards[partition_of(&self.boundaries, key)]
+    }
+
+    /// Stores `value` under `key` on the owning shard.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.shard_for(key).put(key, value)
+    }
+
+    /// Returns the latest value of `key` (non-blocking, single shard).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.shard_for(key).get(key)
+    }
+
+    /// Deletes `key` on the owning shard.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.shard_for(key).delete(key)
+    }
+
+    /// Atomically stores `value` if `key` is absent; single shard.
+    pub fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
+        self.shard_for(key).put_if_absent(key, value)
+    }
+
+    /// Atomically applies a batch that may span shards.
+    ///
+    /// Every entry is written at **one** shared timestamp, acquired
+    /// while holding the touched shards' locks (shared mode, ascending
+    /// order) and published only after every shard's log append and
+    /// memtable insert landed. A concurrent [`ShardedDb::snapshot`]
+    /// therefore sees the whole batch or none of it: its `getSnap`
+    /// time is below the batch stamp while the stamp is active, and at
+    /// or above it only once all inserts are visible.
+    ///
+    /// Duplicate keys keep the last occurrence (all entries share one
+    /// timestamp, so "later wins within the batch" must be resolved
+    /// here rather than by version order).
+    pub fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let began = Instant::now();
+        // Deduplicate (last occurrence wins) and group by shard. The
+        // BTreeMap keys double as the ascending lock-acquisition order.
+        let mut last = std::collections::BTreeMap::new();
+        for (key, value) in batch {
+            last.insert(key.as_slice(), value);
+        }
+        type ShardEntries<'a> = Vec<(&'a [u8], &'a Option<Vec<u8>>)>;
+        let mut per_shard: std::collections::BTreeMap<usize, ShardEntries> =
+            std::collections::BTreeMap::new();
+        for (key, value) in last {
+            per_shard
+                .entry(partition_of(&self.boundaries, key))
+                .or_default()
+                .push((key, value));
+        }
+
+        // Stall checks happen before any lock is held: a stalled shard
+        // waits on its flush, which needs that shard's exclusive lock.
+        for &s in per_shard.keys() {
+            self.shards[s].inner().stall_if_needed();
+        }
+
+        // Ascending shared locks on every touched shard, then one
+        // stamp for the whole batch. Everything under the locks is
+        // non-blocking (see the module docs' deadlock argument).
+        let guards: Vec<_> = per_shard
+            .keys()
+            .map(|&s| self.shards[s].inner().lock.lock_shared())
+            .collect();
+        let stamp = self.oracle.get_ts();
+        let mut result = Ok(());
+        'apply: for (&s, entries) in &per_shard {
+            let inner = self.shards[s].inner();
+            let records: Vec<WriteRecord> = entries
+                .iter()
+                .map(|&(key, value)| match value {
+                    Some(v) => WriteRecord::put(stamp.ts, key, v.clone()),
+                    None => WriteRecord::delete(stamp.ts, key),
+                })
+                .collect();
+            if let Err(e) = inner.store.log(&records, SyncMode::Async) {
+                result = Err(e);
+                break 'apply;
+            }
+            let pm = inner.pm.load();
+            for &(key, value) in entries {
+                pm.insert(key, stamp.ts, value.as_deref());
+            }
+        }
+        // Publish even on a failed log append — an unpublished stamp
+        // would wedge every future snapshot. The failed shard's WAL is
+        // poisoned and will surface the error on its own.
+        self.oracle.publish(stamp);
+        drop(guards);
+        result?;
+
+        for &s in per_shard.keys() {
+            let inner = self.shards[s].inner();
+            if inner.opts.sync_writes {
+                inner.store.sync_wal()?;
+            }
+            inner.maybe_schedule_flush();
+        }
+        // One bump on the first touched shard, matching `Db`'s
+        // one-per-batch counter semantics after aggregation.
+        if let Some(&s) = per_shard.keys().next() {
+            let m = &self.shards[s].inner().metrics;
+            m.puts.inc();
+            m.write_batch_latency.record_duration(began.elapsed());
+        }
+        Ok(())
+    }
+
+    /// Creates one serializable snapshot spanning every shard
+    /// (Algorithm 2's `getSnap` against the shared oracle).
+    pub fn snapshot(&self) -> Result<ShardedSnapshot> {
+        let began = Instant::now();
+        let ts = {
+            // All shard locks in shared mode close the same race the
+            // single-store `getSnap` closes with its one lock: no
+            // shard's `beforeMerge` can read the GC watermark between
+            // our choosing `ts` and registering it. Only non-blocking
+            // oracle work happens under the locks.
+            let _guards: Vec<_> = self
+                .shards
+                .iter()
+                .map(|s| s.inner().lock.lock_shared())
+                .collect();
+            let ts = self.oracle.get_snap_publish();
+            self.snapshots.register(ts);
+            ts
+        };
+        // Wait out in-flight writes at or below `ts` with no locks
+        // held; `ts` is already registered, so GC cannot outrun us.
+        self.oracle.wait_snap_visible(ts);
+        let views = self
+            .shards
+            .iter()
+            .map(|s| Snapshot::new_view(Arc::clone(s.inner()), ts))
+            .collect();
+        let m = &self.shards[0].inner().metrics;
+        m.snapshots.inc();
+        m.snapshot_latency.record_duration(began.elapsed());
+        Ok(ShardedSnapshot {
+            views,
+            boundaries: self.boundaries.clone(),
+            registration: Arc::new(SnapRegistration {
+                snapshots: Arc::clone(&self.snapshots),
+                ts,
+            }),
+        })
+    }
+
+    /// Scans all live pairs from an implicit fresh snapshot, in key
+    /// order across all shards.
+    pub fn iter(&self) -> Result<ShardedIter> {
+        self.range(..)
+    }
+
+    /// Range query over an implicit fresh snapshot, spanning shards.
+    pub fn range<R>(&self, range: R) -> Result<ShardedIter>
+    where
+        R: std::ops::RangeBounds<Vec<u8>>,
+    {
+        let began = Instant::now();
+        let snap = self.snapshot()?;
+        let it = snap.into_range_owned(range)?;
+        self.shards[0]
+            .inner()
+            .metrics
+            .scan_latency
+            .record_duration(began.elapsed());
+        Ok(it)
+    }
+
+    /// Blocks until every shard is flushed and compacted to
+    /// quiescence.
+    pub fn compact_to_quiescence(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.compact_to_quiescence()?;
+        }
+        Ok(())
+    }
+
+    /// Combined metrics across all shards: counters and gauges summed,
+    /// latency histograms merged at bucket level (percentiles are
+    /// computed over the union of samples, not averaged summaries).
+    /// The `oracle.*` gauges appear exactly once — only the primary
+    /// shard registers them.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsRegistry::merged_snapshot(
+            self.shards
+                .iter()
+                .map(|s| s.inner().metrics.registry.as_ref()),
+        )
+    }
+
+    /// Per-shard metric snapshots, labeled `shard-000`, `shard-001`, …
+    /// in range order.
+    pub fn shard_metrics(&self) -> Vec<(String, MetricsSnapshot)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("shard-{i:03}"), s.metrics()))
+            .collect()
+    }
+
+    /// Operation counters summed across shards.
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut total = StatsSnapshot {
+            puts: 0,
+            gets: 0,
+            deletes: 0,
+            rmw_ops: 0,
+            rmw_conflicts: 0,
+            snapshots: 0,
+            flushes: 0,
+            compactions: 0,
+            write_stalls: 0,
+        };
+        for s in &self.shards {
+            let st = s.stats();
+            total.puts += st.puts;
+            total.gets += st.gets;
+            total.deletes += st.deletes;
+            total.rmw_ops += st.rmw_ops;
+            total.rmw_conflicts += st.rmw_conflicts;
+            total.snapshots += st.snapshots;
+            total.flushes += st.flushes;
+            total.compactions += st.compactions;
+            total.write_stalls += st.write_stalls;
+        }
+        total
+    }
+
+    /// Write-amplification counters summed across shards.
+    pub fn write_amp(&self) -> lsm_storage::store::WriteAmp {
+        let mut total = lsm_storage::store::WriteAmp::default();
+        for s in &self.shards {
+            let wa = s.write_amp();
+            total.flushed += wa.flushed;
+            total.compacted += wa.compacted;
+        }
+        total
+    }
+
+    /// Force-releases snapshot handles older than `ttl` (the shared
+    /// registry, so one call covers every shard).
+    pub fn expire_snapshots(&self, ttl: std::time::Duration) -> usize {
+        self.snapshots.expire_older_than(ttl)
+    }
+
+    /// Gathers per-shard [`DoctorReport`]s plus the shared-oracle view.
+    pub fn doctor(&self) -> ShardedDoctorReport {
+        ShardedDoctorReport {
+            boundaries: self.boundaries.clone(),
+            time_counter: self.oracle.current_time(),
+            snap_time: self.oracle.snap_time(),
+            active_writes: self.oracle.active().len(),
+            live_snapshots: self.snapshots.len(),
+            shards: self.shards.iter().map(Db::doctor).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDb")
+            .field("shards", &self.shards.len())
+            .field("time_counter", &self.oracle.current_time())
+            .finish()
+    }
+}
+
+/// Unregisters the shared snapshot timestamp exactly once, when the
+/// last holder (the snapshot handle or any iterator derived from it)
+/// goes away.
+struct SnapRegistration {
+    snapshots: Arc<SnapshotRegistry>,
+    ts: u64,
+}
+
+impl Drop for SnapRegistration {
+    fn drop(&mut self) {
+        self.snapshots.unregister(self.ts);
+    }
+}
+
+/// A serializable read-only view across every shard at one shared
+/// timestamp — the capability plain partitioning gives up (§2.2).
+pub struct ShardedSnapshot {
+    /// Per-shard views at the shared timestamp; they do not own the
+    /// registry entry (see [`SnapRegistration`]).
+    views: Vec<Snapshot>,
+    boundaries: Vec<Vec<u8>>,
+    registration: Arc<SnapRegistration>,
+}
+
+impl ShardedSnapshot {
+    /// The snapshot's shared timestamp.
+    pub fn timestamp(&self) -> u64 {
+        self.registration.ts
+    }
+
+    /// Reads `key` as of this snapshot (single shard).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.views[partition_of(&self.boundaries, key)].get(key)
+    }
+
+    /// Returns up to `limit` live pairs with keys `>= start`, in key
+    /// order across shards.
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::with_capacity(limit.min(1024));
+        for view in &self.views[partition_of(&self.boundaries, start)..] {
+            for item in view.range(start, None)? {
+                out.push(item?);
+                if out.len() >= limit {
+                    return Ok(out);
+                }
+            }
+            // Shard ranges are disjoint and ascending, so continuing
+            // from the same `start` on the next shard keeps order.
+        }
+        Ok(out)
+    }
+
+    /// Consumes the snapshot into a cross-shard range iterator that
+    /// keeps the registration alive for its duration.
+    pub fn into_range_owned<R>(self, range: R) -> Result<ShardedIter>
+    where
+        R: std::ops::RangeBounds<Vec<u8>>,
+    {
+        let (start, end) = bounds_to_keys(&range);
+        // Shards own disjoint ascending ranges, so the k-way merge of
+        // per-shard iterators degenerates to ordered concatenation:
+        // every shard filters to its own keys and the shard order *is*
+        // the key order.
+        let mut iters = Vec::with_capacity(self.views.len());
+        for view in &self.views {
+            let it = match &start {
+                Some(s) => view.range(s, end.as_deref())?,
+                None => match &end {
+                    Some(e) => view.range_bounds(..e.clone())?,
+                    None => view.iter()?,
+                },
+            };
+            it.status()?;
+            iters.push(it);
+        }
+        Ok(ShardedIter {
+            iters,
+            idx: 0,
+            _views: self.views,
+            _registration: self.registration,
+        })
+    }
+}
+
+impl std::fmt::Debug for ShardedSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSnapshot")
+            .field("ts", &self.registration.ts)
+            .field("shards", &self.views.len())
+            .finish()
+    }
+}
+
+/// Iterator over a [`ShardedSnapshot`]'s live pairs across all shards,
+/// in ascending key order. Inherits [`SnapshotIter`]'s semantics per
+/// shard; the concatenation is ordered because shard ranges are
+/// disjoint and ascending.
+pub struct ShardedIter {
+    iters: Vec<SnapshotIter>,
+    idx: usize,
+    /// Keeps the per-shard components pinned alongside the iterators.
+    _views: Vec<Snapshot>,
+    /// Keeps the shared timestamp registered (GC-safe) while
+    /// iterating.
+    _registration: Arc<SnapRegistration>,
+}
+
+impl Iterator for ShardedIter {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.idx < self.iters.len() {
+            match self.iters[self.idx].next() {
+                Some(item) => return Some(item),
+                None => self.idx += 1,
+            }
+        }
+        None
+    }
+}
+
+/// Health snapshot of a [`ShardedDb`]: the shared-oracle view plus one
+/// [`DoctorReport`] per shard.
+#[derive(Debug, Clone)]
+pub struct ShardedDoctorReport {
+    /// Exclusive upper boundaries of all shards but the last.
+    pub boundaries: Vec<Vec<u8>>,
+    /// The shared oracle's `timeCounter`.
+    pub time_counter: u64,
+    /// The shared oracle's `snapTime`.
+    pub snap_time: u64,
+    /// In-flight writes in the shared `Active` set.
+    pub active_writes: usize,
+    /// Live handles in the shared snapshot registry.
+    pub live_snapshots: usize,
+    /// Per-shard reports, in range order.
+    pub shards: Vec<DoctorReport>,
+}
+
+impl ShardedDoctorReport {
+    /// Renders the combined report: shared-oracle summary first, then
+    /// each shard's full [`DoctorReport::render`] under a
+    /// `-- shard N --` header.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== clsm-doctor (sharded) ==");
+        let bounds: Vec<String> = self.boundaries.iter().map(|b| hex_encode(b)).collect();
+        let _ = writeln!(
+            out,
+            "shards: {}, boundaries: [{}]",
+            self.shards.len(),
+            bounds.join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "oracle (shared): timeCounter={} snapTime={} activeWrites={} liveSnapshots={}",
+            self.time_counter, self.snap_time, self.active_writes, self.live_snapshots
+        );
+        for (i, report) in self.shards.iter().enumerate() {
+            let _ = writeln!(out, "-- shard {i} --");
+            out.push_str(&report.render());
+        }
+        out
+    }
+
+    /// `true` when any shard's watchdog flagged anything.
+    pub fn unhealthy(&self) -> bool {
+        self.shards.iter().any(DoctorReport::unhealthy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_of_matches_reference() {
+        let boundaries = vec![b"c".to_vec(), b"m".to_vec(), b"t".to_vec()];
+        assert_eq!(partition_of(&boundaries, b""), 0);
+        assert_eq!(partition_of(&boundaries, b"b"), 0);
+        assert_eq!(partition_of(&boundaries, b"c"), 1);
+        assert_eq!(partition_of(&boundaries, b"cc"), 1);
+        assert_eq!(partition_of(&boundaries, b"m"), 2);
+        assert_eq!(partition_of(&boundaries, b"t"), 3);
+        assert_eq!(partition_of(&boundaries, b"zzz"), 3);
+        assert_eq!(partition_of(&[], b"anything"), 0);
+    }
+
+    #[test]
+    fn default_boundaries_are_even_and_ascending() {
+        for shards in [1usize, 2, 3, 4, 8, 16, 256] {
+            let b = default_boundaries(shards);
+            assert_eq!(b.len(), shards - 1);
+            assert!(b.windows(2).all(|w| w[0] < w[1]), "shards={shards}");
+        }
+        assert_eq!(default_boundaries(2), vec![vec![128u8]]);
+        assert_eq!(
+            default_boundaries(4),
+            vec![vec![64u8], vec![128], vec![192]]
+        );
+    }
+
+    #[test]
+    fn hex_roundtrip_and_rejects_garbage() {
+        for key in [&b""[..], b"\x00", b"abc", b"\xff\x00\x7f"] {
+            assert_eq!(hex_decode(&hex_encode(key)).unwrap(), key);
+        }
+        assert!(hex_decode("abc").is_err()); // odd length
+        assert!(hex_decode("zz").is_err()); // not hex
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_corruption() {
+        let dir = std::env::temp_dir().join(format!(
+            "clsm-manifest-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(read_manifest(&dir).unwrap().is_none());
+        let boundaries = vec![b"g".to_vec(), b"p".to_vec()];
+        write_manifest(&dir, &boundaries).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), Some(boundaries));
+
+        std::fs::write(dir.join(MANIFEST), "not a manifest\n").unwrap();
+        assert!(read_manifest(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

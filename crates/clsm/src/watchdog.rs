@@ -269,7 +269,13 @@ fn sample(inner: &DbInner, state: &mut DetectorState) {
     state.write_stalls_seen = stalls_now;
 
     // Detector 3: Active-set growth (stuck or very slow writers make
-    // `getSnap` wait on an old minimum, §3.2).
+    // `getSnap` wait on an old minimum, §3.2). When the oracle is
+    // shared across shards this is oracle-wide state, so only the
+    // primary shard's watchdog reports it — otherwise one episode
+    // would produce N identical events.
+    if !inner.oracle_primary {
+        return;
+    }
     let active_len = inner.oracle.active().len();
     let pressure = active_len >= opts.active_set_threshold;
     if pressure && !state.active_pressure_active {

@@ -1,0 +1,122 @@
+//! Property tests for the shard router and the cross-shard merge.
+//!
+//! Two properties, each against an executable reference:
+//!
+//! - `partition_of` (a `partition_point` binary search) must agree
+//!   with the obvious linear reference — "count the boundaries ≤ key"
+//!   — for arbitrary boundary sets and keys, including empty keys,
+//!   keys equal to boundaries, and boundary prefixes.
+//! - A sharded store over arbitrary boundaries must be observationally
+//!   equal to a single unsharded store fed the same operations: every
+//!   get agrees and the merged snapshot scan equals the single-store
+//!   scan byte for byte (order included).
+
+use clsm::{partition_of, Db, Options, ShardedDb};
+use proptest::prelude::*;
+
+/// Reference router: linear scan.
+fn partition_of_reference(boundaries: &[Vec<u8>], key: &[u8]) -> usize {
+    boundaries.iter().filter(|b| b.as_slice() <= key).count()
+}
+
+/// Ascending, deduplicated, non-empty boundary lists (the invariant
+/// `ShardedDb::open_with_boundaries` enforces), over a tiny alphabet
+/// so collisions with keys are common.
+fn boundaries_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..4, 1..4), 1..5).prop_map(|mut bs| {
+        bs.sort();
+        bs.dedup();
+        bs
+    })
+}
+
+fn keys_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..4, 0..5), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn router_agrees_with_linear_reference(
+        boundaries in boundaries_strategy(),
+        keys in keys_strategy(),
+    ) {
+        for key in &keys {
+            prop_assert_eq!(
+                partition_of(&boundaries, key),
+                partition_of_reference(&boundaries, key),
+                "key {:?} boundaries {:?}", key, boundaries
+            );
+        }
+        // Boundary keys themselves route to the shard they open.
+        for (i, b) in boundaries.iter().enumerate() {
+            prop_assert_eq!(partition_of(&boundaries, b), i + 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_store_equals_single_store(
+        boundaries in boundaries_strategy(),
+        // Value 256 encodes a delete; 0..=255 a put of that byte.
+        // Keys are non-empty — the store rejects empty keys.
+        ops in prop::collection::vec(
+            (prop::collection::vec(0u8..4, 1..5), 0u16..257),
+            1..50,
+        ),
+    ) {
+        let stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let root = std::env::temp_dir().join(format!(
+            "clsm-prop-shard-{}-{stamp}",
+            std::process::id()
+        ));
+        let sharded_dir = root.join("sharded");
+        let single_dir = root.join("single");
+        std::fs::create_dir_all(&sharded_dir).unwrap();
+        std::fs::create_dir_all(&single_dir).unwrap();
+
+        let sharded = ShardedDb::open_with_boundaries(
+            &sharded_dir,
+            Options::small_for_tests(),
+            boundaries.clone(),
+        ).unwrap();
+        let single = Db::open(&single_dir, Options::small_for_tests()).unwrap();
+
+        for (key, value) in &ops {
+            if *value < 256 {
+                let v = [*value as u8];
+                sharded.put(key, &v).unwrap();
+                single.put(key, &v).unwrap();
+            } else {
+                sharded.delete(key).unwrap();
+                single.delete(key).unwrap();
+            }
+        }
+
+        // Point reads agree on every touched key.
+        for (key, _) in &ops {
+            prop_assert_eq!(
+                sharded.get(key).unwrap(),
+                single.get(key).unwrap(),
+                "get({:?}) disagrees, boundaries {:?}", key, boundaries
+            );
+        }
+
+        // The merged cross-shard scan equals the single-store scan —
+        // same keys, same values, same global order.
+        let merged = sharded.snapshot().unwrap().scan(b"", usize::MAX).unwrap();
+        let reference = single.snapshot().unwrap().scan(b"", usize::MAX).unwrap();
+        prop_assert_eq!(merged, reference, "boundaries {:?}", boundaries);
+
+        drop(sharded);
+        drop(single);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

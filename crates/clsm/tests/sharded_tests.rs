@@ -1,0 +1,275 @@
+//! Integration tests for the range-sharded store: cross-shard batch
+//! atomicity under concurrency, shared-oracle gauge de-duplication,
+//! recovery through the shard manifest, and the sharded doctor report.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use clsm::{Options, ShardedDb};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "clsm-sharded-{}-{}-{}",
+            std::process::id(),
+            name,
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Four letter-boundary shards: "a…" → 0, "e…" → 1, "p…" → 2, "z…" → 3.
+fn open_four(dir: &std::path::Path) -> ShardedDb {
+    ShardedDb::open_with_boundaries(
+        dir,
+        Options::small_for_tests(),
+        vec![b"d".to_vec(), b"m".to_vec(), b"t".to_vec()],
+    )
+    .unwrap()
+}
+
+/// The headline serializability property: a batch spanning two shards
+/// is stamped with ONE shared-oracle timestamp, so no snapshot — taken
+/// from any thread, at any moment — may observe half of it.
+///
+/// Four writer threads each rewrite a pair of keys on opposite ends of
+/// the key space (shard 0 and shard 3) in a single `write_batch`, both
+/// carrying the same sequence number. Four scanner threads take
+/// snapshots and assert the two halves always agree.
+#[test]
+fn cross_shard_batches_are_never_torn() {
+    let dir = TempDir::new("torn");
+    let db = Arc::new(open_four(&dir.0));
+    assert_eq!(db.num_shards(), 4);
+
+    const WRITERS: usize = 4;
+    const SCANNERS: usize = 4;
+    const BATCHES: u64 = 300;
+
+    // Seed sequence 0 so scanners always find both keys.
+    for t in 0..WRITERS {
+        db.write_batch(&[
+            (
+                format!("a-pair-{t}").into_bytes(),
+                Some(0u64.to_be_bytes().to_vec()),
+            ),
+            (
+                format!("z-pair-{t}").into_bytes(),
+                Some(0u64.to_be_bytes().to_vec()),
+            ),
+        ])
+        .unwrap();
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for t in 0..WRITERS {
+            let db = Arc::clone(&db);
+            scope.spawn(move || {
+                for seq in 1..=BATCHES {
+                    let v = seq.to_be_bytes().to_vec();
+                    db.write_batch(&[
+                        (format!("a-pair-{t}").into_bytes(), Some(v.clone())),
+                        (format!("z-pair-{t}").into_bytes(), Some(v)),
+                    ])
+                    .unwrap();
+                }
+            });
+        }
+        for _ in 0..SCANNERS {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = db.snapshot().unwrap();
+                    for t in 0..WRITERS {
+                        let a = snap.get(format!("a-pair-{t}").as_bytes()).unwrap();
+                        let z = snap.get(format!("z-pair-{t}").as_bytes()).unwrap();
+                        assert_eq!(
+                            a, z,
+                            "torn cross-shard batch observed for writer {t}: \
+                             shard 0 and shard 3 halves differ within one snapshot"
+                        );
+                    }
+                }
+            });
+        }
+        // Scanners run for the writers' whole lifetime; the scope only
+        // joins writers once every scanner has been told to stop after
+        // the writers finish. Writers finish first because they are
+        // bounded; flag them done from a watcher thread.
+        let db_done = Arc::clone(&db);
+        let stop_done = Arc::clone(&stop);
+        scope.spawn(move || {
+            // Wait until every writer has published its final batch.
+            loop {
+                let snap = db_done.snapshot().unwrap();
+                let done = (0..WRITERS).all(|t| {
+                    snap.get(format!("a-pair-{t}").as_bytes())
+                        .unwrap()
+                        .map(|v| v == BATCHES.to_be_bytes().to_vec())
+                        .unwrap_or(false)
+                });
+                if done {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            stop_done.store(true, Ordering::Relaxed);
+        });
+    });
+
+    // Final state: every pair agrees at the last sequence number.
+    for t in 0..WRITERS {
+        let a = db.get(format!("a-pair-{t}").as_bytes()).unwrap().unwrap();
+        let z = db.get(format!("z-pair-{t}").as_bytes()).unwrap().unwrap();
+        assert_eq!(a, BATCHES.to_be_bytes().to_vec());
+        assert_eq!(a, z);
+    }
+}
+
+/// A snapshot taken between two cross-shard batches sees all of the
+/// first and none of the second, and a merged scan stitches the shards
+/// in global key order.
+#[test]
+fn cross_shard_snapshot_is_frozen_and_ordered() {
+    let dir = TempDir::new("frozen");
+    let db = open_four(&dir.0);
+
+    db.write_batch(&[
+        (b"apple".to_vec(), Some(b"1".to_vec())),
+        (b"zebra".to_vec(), Some(b"1".to_vec())),
+    ])
+    .unwrap();
+    let snap = db.snapshot().unwrap();
+    db.write_batch(&[
+        (b"apple".to_vec(), Some(b"2".to_vec())),
+        (b"grape".to_vec(), Some(b"2".to_vec())),
+        (b"zebra".to_vec(), None),
+    ])
+    .unwrap();
+
+    assert_eq!(snap.get(b"apple").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(snap.get(b"grape").unwrap(), None);
+    assert_eq!(snap.get(b"zebra").unwrap(), Some(b"1".to_vec()));
+    let keys: Vec<Vec<u8>> = snap
+        .scan(b"", 10)
+        .unwrap()
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    assert_eq!(keys, vec![b"apple".to_vec(), b"zebra".to_vec()]);
+
+    // A fresh snapshot sees the moved-on state.
+    let live: Vec<Vec<u8>> = db
+        .snapshot()
+        .unwrap()
+        .scan(b"", 10)
+        .unwrap()
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    assert_eq!(live, vec![b"apple".to_vec(), b"grape".to_vec()]);
+}
+
+/// N shards share one oracle, so the `oracle.*` gauges must be
+/// registered exactly once (on shard 0) — a merged snapshot that
+/// summed N copies would report N× the true active-writer count.
+#[test]
+fn shared_oracle_gauges_register_once() {
+    let dir = TempDir::new("gauges");
+    let db = open_four(&dir.0);
+    db.put(b"apple", b"x").unwrap();
+    db.put(b"zebra", b"y").unwrap();
+    let _snap = db.snapshot().unwrap();
+
+    let per_shard = db.shard_metrics();
+    assert_eq!(per_shard.len(), 4);
+    for (label, snap) in &per_shard {
+        let has_oracle = snap.gauges.contains_key("oracle.snap_time")
+            && snap.gauges.contains_key("oracle.live_snapshots");
+        if label == "shard-000" {
+            assert!(has_oracle, "primary shard must export the oracle gauges");
+        } else {
+            assert!(
+                !has_oracle,
+                "{label} duplicates the shared oracle gauges — they would \
+                 be summed {}× in the merged snapshot",
+                per_shard.len()
+            );
+        }
+    }
+
+    // The merged view therefore reports the oracle's true state, not a
+    // multiple of it.
+    let merged = db.metrics();
+    assert_eq!(
+        merged.gauges.get("oracle.live_snapshots"),
+        Some(&1),
+        "one live snapshot must be reported exactly once across shards"
+    );
+    assert_eq!(
+        merged.gauges.get("oracle.snap_time"),
+        per_shard[0].1.gauges.get("oracle.snap_time"),
+        "merged snap_time must equal the primary shard's, not a sum"
+    );
+}
+
+/// Reopening a sharded directory recovers the manifest (ignoring the
+/// requested shard count), every shard's WAL, and advances the shared
+/// oracle past every recovered timestamp so new writes supersede old.
+#[test]
+fn sharded_reopen_recovers_manifest_and_oracle() {
+    let dir = TempDir::new("reopen");
+    {
+        let db = open_four(&dir.0);
+        db.write_batch(&[
+            (b"apple".to_vec(), Some(b"old".to_vec())),
+            (b"zebra".to_vec(), Some(b"old".to_vec())),
+        ])
+        .unwrap();
+    }
+    // Ask for 2 shards: the on-disk manifest (4 shards) wins.
+    let mut opts = Options::small_for_tests();
+    opts.shards = 2;
+    let db = ShardedDb::open(&dir.0, opts).unwrap();
+    assert_eq!(db.num_shards(), 4);
+    assert_eq!(db.get(b"apple").unwrap(), Some(b"old".to_vec()));
+    assert_eq!(db.get(b"zebra").unwrap(), Some(b"old".to_vec()));
+
+    // New writes get timestamps above the recovered ones.
+    db.put(b"apple", b"new").unwrap();
+    assert_eq!(db.get(b"apple").unwrap(), Some(b"new".to_vec()));
+}
+
+/// The sharded doctor report renders shared-oracle state once plus one
+/// full per-shard section each.
+#[test]
+fn sharded_doctor_report_renders() {
+    let dir = TempDir::new("doctor");
+    let db = open_four(&dir.0);
+    db.put(b"apple", b"x").unwrap();
+    db.put(b"zebra", b"y").unwrap();
+    let report = db.doctor();
+    let text = report.render();
+    assert!(text.contains("== clsm-doctor (sharded) =="), "{text}");
+    assert!(text.contains("shards: 4"), "{text}");
+    assert!(text.contains("oracle (shared): timeCounter="), "{text}");
+    for i in 0..4 {
+        assert!(text.contains(&format!("-- shard {i} --")), "{text}");
+    }
+    assert!(!report.unhealthy(), "fresh db must be healthy:\n{text}");
+}

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use clsm_util::error::Result;
 use clsm_util::metrics::{ConcurrentHistogram, Counter, MetricsRegistry};
@@ -111,6 +111,11 @@ pub struct Store {
     /// [`Store::attach_metrics`]). Absent in standalone/test use; all
     /// recording sites are no-ops then.
     metrics: OnceLock<StoreMetrics>,
+    /// Signalled whenever a compaction retires (releasing its file
+    /// claims); `compact_range` waits here for claimed overlapping
+    /// files instead of spinning on `yield_now`.
+    claim_mutex: Mutex<()>,
+    claim_cv: Condvar,
 }
 
 /// The store's registered metrics handles. Recording through these is
@@ -251,6 +256,8 @@ impl Store {
             bytes_flushed: AtomicU64::new(0),
             bytes_compacted: AtomicU64::new(0),
             metrics: OnceLock::new(),
+            claim_mutex: Mutex::new(()),
+            claim_cv: Condvar::new(),
         };
         Ok((store, Recovered { records, last_ts }))
     }
@@ -431,11 +438,20 @@ impl Store {
         drop(versions);
         drop(guard);
         drop(task);
+        self.notify_claims_released();
         if let Some(m) = self.metrics.get() {
             m.bytes_compacted.add(written);
             m.compaction_ns.record_duration(start.elapsed());
         }
         Ok(true)
+    }
+
+    /// Wakes threads waiting for compaction claims to free up. Called
+    /// after a compaction's claim guard is dropped; error unwinds skip
+    /// it, which the waiters' timed wait covers.
+    fn notify_claims_released(&self) {
+        let _g = self.claim_mutex.lock();
+        self.claim_cv.notify_all();
     }
 
     /// Runs obsolete-file deletion, sparing in-flight pending outputs.
@@ -482,7 +498,22 @@ impl Store {
                     if version.overlapping_files(level, start, end).is_empty() {
                         break;
                     }
-                    std::thread::yield_now();
+                    // A background compaction holds the claim; sleep
+                    // until it signals completion (timed, as a backstop
+                    // for claims released on an error unwind).
+                    let mut guard = self.claim_mutex.lock();
+                    if compaction::pick_level_range(
+                        &self.current_version(),
+                        &self.opts,
+                        level,
+                        start,
+                        end,
+                    )
+                    .is_none()
+                    {
+                        self.claim_cv
+                            .wait_for(&mut guard, std::time::Duration::from_millis(5));
+                    }
                     continue;
                 };
                 let _span = T_COMPACTION.span_with(task.level as u64);
@@ -508,6 +539,7 @@ impl Store {
                 drop(versions);
                 drop(guard);
                 drop(task);
+                self.notify_claims_released();
                 if let Some(m) = self.metrics.get() {
                     m.bytes_compacted.add(written);
                     m.compaction_ns.record_duration(start.elapsed());
