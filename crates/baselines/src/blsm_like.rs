@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore};
+use crate::common::{KvSnapshot, KvStore, ScanRange};
 use crate::core::BaselineCore;
 
 /// A bLSM-style store: single writer, gear-throttled against merges.
@@ -91,13 +91,13 @@ impl KvStore for BlsmLike {
         Ok(self.core.snapshot_at(self.core.visible()))
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         // bLSM "does not directly support consistent scans" (§5.1); we
         // provide a best-effort scan at the current visible sequence so
         // the trait is total, but benchmarks exclude it as the paper
         // does.
         let seq = self.core.visible();
-        self.core.scan_at(start, limit, seq)
+        self.core.scan_at(&range, limit, seq)
     }
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {

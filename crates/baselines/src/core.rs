@@ -143,13 +143,14 @@ impl BaselineCore {
         self.visible_seq.load(Ordering::Acquire)
     }
 
-    /// Consistent scan at `seq`: up to `limit` live pairs from `start`.
+    /// Consistent scan at `seq`: up to `limit` live pairs in `range`.
     pub(crate) fn scan_at(
         &self,
-        start: &[u8],
+        range: &clsm_kv::ScanRange,
         limit: usize,
         seq: u64,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let (start, end) = range.as_keys();
         let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
         children.push(Box::new(self.mem.load().internal_iter()));
         if let Some(imm) = self.imm.load() {
@@ -158,11 +159,16 @@ impl BaselineCore {
         let (_version, disk) = self.store.version_iterators()?;
         children.extend(disk);
         let mut merged = MergingIterator::new(children);
-        merged.seek(start, seq);
+        merged.seek(start.as_deref().unwrap_or_default(), seq);
 
         let mut out = Vec::with_capacity(limit.min(1024));
         let mut last_key: Option<Vec<u8>> = None;
         while merged.valid() && out.len() < limit {
+            if let Some(end) = &end {
+                if merged.user_key() >= end.as_slice() {
+                    break;
+                }
+            }
             if merged.ts() > seq || last_key.as_deref() == Some(merged.user_key()) {
                 merged.next();
                 continue;
@@ -301,8 +307,8 @@ impl clsm_kv::KvSnapshot for CoreSnapshot {
         self.core.get_at(key, self.seq)
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.core.scan_at(start, limit, self.seq)
+    fn scan(&self, range: clsm_kv::ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.core.scan_at(&range, limit, self.seq)
     }
 }
 

@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore};
+use crate::common::{KvSnapshot, KvStore, ScanRange};
 use crate::core::BaselineCore;
 
 /// A HyperLevelDB-style store: parallel inserts, ordered commit.
@@ -92,9 +92,9 @@ impl KvStore for HyperLike {
             .snapshot_at(self.committed.load(Ordering::Acquire)))
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let seq = self.committed.load(Ordering::Acquire);
-        self.core.scan_at(start, limit, seq)
+        self.core.scan_at(&range, limit, seq)
     }
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {

@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore};
+use crate::common::{KvSnapshot, KvStore, ScanRange};
 use crate::core::BaselineCore;
 
 /// A LevelDB-style store: globally locked writes, briefly locked reads.
@@ -82,9 +82,9 @@ impl KvStore for LevelDbLike {
         Ok(self.core.snapshot_at(self.read_point()))
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let seq = self.read_point();
-        self.core.scan_at(start, limit, seq)
+        self.core.scan_at(&range, limit, seq)
     }
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {

@@ -9,7 +9,7 @@
 
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore};
+use crate::common::{KvSnapshot, KvStore, ScanRange};
 
 /// N stores, each owning a contiguous key range.
 pub struct Partitioned<S: KvStore> {
@@ -73,14 +73,21 @@ impl<S: KvStore> KvStore for Partitioned<S> {
         }))
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         // Stitches per-partition scans; each partition is internally
         // consistent, the union is not (Figure 1's caveat).
+        let (start, end) = range.as_keys();
         let mut out = Vec::with_capacity(limit);
-        let mut part = self.partition_of(start);
-        let mut from = start.to_vec();
+        let mut from = start.unwrap_or_default();
+        let mut part = self.partition_of(&from);
         while out.len() < limit && part < self.parts.len() {
-            let got = self.parts[part].scan(&from, limit - out.len())?;
+            let sub = ScanRange {
+                start: std::ops::Bound::Included(from.clone()),
+                end: end
+                    .clone()
+                    .map_or(std::ops::Bound::Unbounded, std::ops::Bound::Excluded),
+            };
+            let got = self.parts[part].scan(sub, limit - out.len())?;
             out.extend(got);
             part += 1;
             if part <= self.boundaries.len() && part > 0 {
@@ -123,12 +130,19 @@ impl KvSnapshot for PartitionedSnapshot {
         self.parts[self.partition_of(key)].get(key)
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let (start, end) = range.as_keys();
         let mut out = Vec::with_capacity(limit);
-        let mut part = self.partition_of(start);
-        let mut from = start.to_vec();
+        let mut from = start.unwrap_or_default();
+        let mut part = self.partition_of(&from);
         while out.len() < limit && part < self.parts.len() {
-            let got = self.parts[part].scan(&from, limit - out.len())?;
+            let sub = ScanRange {
+                start: std::ops::Bound::Included(from.clone()),
+                end: end
+                    .clone()
+                    .map_or(std::ops::Bound::Unbounded, std::ops::Bound::Excluded),
+            };
+            let got = self.parts[part].scan(sub, limit - out.len())?;
             out.extend(got);
             part += 1;
             if part <= self.boundaries.len() && part > 0 {

@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore};
+use crate::common::{KvSnapshot, KvStore, ScanRange};
 use crate::core::BaselineCore;
 
 /// A RocksDB-style store: serialized writes, lock-free reads.
@@ -75,8 +75,8 @@ impl KvStore for RocksLike {
         Ok(self.core.snapshot_at(self.core.visible()))
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.core.scan_at(start, limit, self.core.visible())
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.core.scan_at(&range, limit, self.core.visible())
     }
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {

@@ -15,7 +15,7 @@ use clsm::Options;
 use clsm_util::bloom::hash_seeded;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore};
+use crate::common::{KvSnapshot, KvStore, ScanRange};
 use crate::leveldb_like::LevelDbLike;
 
 /// Number of stripes (a power of two).
@@ -76,8 +76,8 @@ impl KvStore for StripedRmw {
         self.db.snapshot()
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.db.scan(start, limit)
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.db.scan(range, limit)
     }
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use clsm::Options;
 use clsm_baselines::{
-    BlsmLike, HyperLike, KvStore, LevelDbLike, Partitioned, RocksLike, StripedRmw,
+    BlsmLike, HyperLike, KvStore, LevelDbLike, Partitioned, RocksLike, ScanRange, StripedRmw,
 };
 
 struct TempDir(std::path::PathBuf);
@@ -70,7 +70,9 @@ fn exercise(store: &dyn KvStore) {
 
     // Scans: ordered, bounded, and live-only.
     store.delete(b"bulk000100").unwrap();
-    let got = store.scan(b"bulk000098", 5).unwrap();
+    let got = store
+        .scan(ScanRange::from_start(&b"bulk000098"[..]), 5)
+        .unwrap();
     let keys: Vec<&[u8]> = got.iter().map(|(k, _)| k.as_slice()).collect();
     assert_eq!(
         keys,
@@ -82,6 +84,31 @@ fn exercise(store: &dyn KvStore) {
             b"bulk000103",
         ],
         "{}",
+        store.name()
+    );
+
+    // End-bounded ranges: a half-open range stops before its end key
+    // even when the limit allows more, and an inclusive end includes it.
+    let half_open = store
+        .scan((b"bulk000098".to_vec()..b"bulk000102".to_vec()).into(), 100)
+        .unwrap();
+    let keys: Vec<&[u8]> = half_open.iter().map(|(k, _)| k.as_slice()).collect();
+    assert_eq!(
+        keys,
+        vec![&b"bulk000098"[..], b"bulk000099", b"bulk000101"],
+        "{}: half-open range",
+        store.name()
+    );
+    let inclusive = store
+        .scan(
+            (b"bulk000098".to_vec()..=b"bulk000102".to_vec()).into(),
+            100,
+        )
+        .unwrap();
+    assert_eq!(
+        inclusive.last().map(|(k, _)| k.as_slice()),
+        Some(&b"bulk000102"[..]),
+        "{}: inclusive range end",
         store.name()
     );
 
@@ -119,7 +146,9 @@ fn exercise(store: &dyn KvStore) {
         "{}: snapshot observed a later delete",
         store.name()
     );
-    let snap_scan = snap.scan(b"bulk000098", 2).unwrap();
+    let snap_scan = snap
+        .scan(ScanRange::from_start(&b"bulk000098"[..]), 2)
+        .unwrap();
     assert_eq!(
         snap_scan,
         vec![
@@ -325,7 +354,7 @@ fn partitioned_routes_and_stitches() {
         );
     }
     // Cross-partition scan stitches all four shards in order.
-    let all = store.scan(b"", 100).unwrap();
+    let all = store.scan(ScanRange::all(), 100).unwrap();
     let keys: Vec<String> = all
         .iter()
         .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
@@ -335,7 +364,7 @@ fn partitioned_routes_and_stitches() {
         vec!["apple", "fig", "grape", "melon", "night", "swan", "yak", "zebra"]
     );
     // Bounded cross-partition scan.
-    let some = store.scan(b"f", 3).unwrap();
+    let some = store.scan(ScanRange::from_start(&b"f"[..]), 3).unwrap();
     assert_eq!(some.len(), 3);
     assert_eq!(some[0].0, b"fig");
 }
@@ -356,7 +385,7 @@ fn partitioned_clsm_composition_conforms() {
     assert_eq!(store.get(b"alpha").unwrap(), Some(b"alpha".to_vec()));
     assert_eq!(store.get(b"zulu").unwrap(), Some(b"zulu".to_vec()));
     let all: Vec<String> = store
-        .scan(b"", 10)
+        .scan(ScanRange::all(), 10)
         .unwrap()
         .into_iter()
         .map(|(k, _)| String::from_utf8(k).unwrap())

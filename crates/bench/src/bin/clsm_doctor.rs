@@ -12,7 +12,11 @@
 //!   `SHARDS` manifest) are detected automatically and reported as a
 //!   [`clsm::ShardedDoctorReport`] — shared-oracle state up top, one
 //!   full per-shard report below; `--shards N` creates a fresh sharded
-//!   database when the directory is empty.
+//!   database when the directory is empty. `--crash-audit` prints the
+//!   durability forensics of the open instead: which WALs recovery
+//!   replayed, how many records came back, torn WAL tails, manifest
+//!   damage, and (for sharded directories) cross-shard batches the
+//!   recovery audit found torn and dropped.
 //! - `clsm-doctor --replay <trace.json>` parses a flight-recorder
 //!   artifact (the Chrome trace-format JSON written by the bench
 //!   binaries' `--trace` flag) and prints per-span duration
@@ -42,6 +46,7 @@ fn run(argv: &[String]) -> Result<()> {
     let mut populate: u64 = 0;
     let mut shards: usize = 1;
     let mut replay: Option<PathBuf> = None;
+    let mut crash_audit = false;
 
     let mut iter = argv.iter();
     while let Some(a) = iter.next() {
@@ -66,6 +71,7 @@ fn run(argv: &[String]) -> Result<()> {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage("--shards needs a count >= 1"));
             }
+            "--crash-audit" => crash_audit = true,
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             path => {
@@ -79,6 +85,7 @@ fn run(argv: &[String]) -> Result<()> {
 
     match (dir, replay) {
         (None, Some(trace)) => replay_trace(&trace),
+        (Some(dir), None) if crash_audit => audit_db(&dir, shards),
         (Some(dir), None) => examine_db(&dir, populate, shards),
         _ => usage("pass exactly one of <db-dir> or --replay FILE"),
     }
@@ -88,7 +95,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: clsm-doctor <db-dir> [--populate N] [--shards N]");
+    eprintln!("usage: clsm-doctor <db-dir> [--populate N] [--shards N] [--crash-audit]");
     eprintln!("       clsm-doctor --replay <trace.json>");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -117,6 +124,61 @@ fn examine_db(dir: &std::path::Path, populate: u64, shards: usize) -> Result<()>
         db.compact_to_quiescence()?;
     }
     print_all(&db.doctor().render())
+}
+
+/// Opens the database and prints what recovery found: WALs replayed,
+/// records recovered, torn tails, manifest damage, and (sharded) the
+/// cross-shard batches dropped as torn. Exit is nonzero only when the
+/// open itself fails — torn tails are a report, not an error.
+fn audit_db(dir: &std::path::Path, shards: usize) -> Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== clsm-doctor crash audit: {} ==", dir.display());
+    if shards > 1 || dir.join("SHARDS").exists() {
+        let mut opts = Options::small_for_tests();
+        opts.shards = shards;
+        let db = ShardedDb::open(dir, opts)?;
+        for (i, report) in db.recovery_reports().iter().enumerate() {
+            render_recovery(&mut out, &format!("shard {i}"), report);
+        }
+        if db.torn_batches().is_empty() {
+            let _ = writeln!(out, "cross-shard batches: none torn");
+        } else {
+            let _ = writeln!(
+                out,
+                "cross-shard batches TORN and dropped at ts: {:?}",
+                db.torn_batches()
+            );
+        }
+        return print_all(&out);
+    }
+    let db = Db::open(dir, Options::small_for_tests())?;
+    render_recovery(&mut out, "db", db.recovery_report());
+    print_all(&out)
+}
+
+fn render_recovery(out: &mut String, label: &str, report: &clsm::RecoveryReport) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "{label}: replayed {} WAL(s) {:?}, {} record(s) recovered",
+        report.wals_replayed.len(),
+        report.wals_replayed,
+        report.records_recovered
+    );
+    if report.torn_tails.is_empty() {
+        let _ = writeln!(out, "{label}:   WAL tails clean");
+    } else {
+        for (wal, offset) in &report.torn_tails {
+            let _ = writeln!(
+                out,
+                "{label}:   WAL {wal} torn at byte {offset} (un-acked tail, dropped)"
+            );
+        }
+    }
+    if let Some(at) = report.manifest_torn_at {
+        let _ = writeln!(out, "{label}:   MANIFEST torn at byte {at} (tail dropped)");
+    }
 }
 
 /// Writes `populate` fixed-size keys through the given put closure.

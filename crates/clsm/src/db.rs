@@ -16,6 +16,7 @@ use clsm_util::shared_lock::SharedExclusiveLock;
 use clsm_util::trace::TraceId;
 
 use lsm_storage::format::{ValueKind, WriteRecord};
+use lsm_storage::store::{Recovered, RecoveryReport};
 use lsm_storage::wal::SyncMode;
 use lsm_storage::{Store, StoreOptions};
 
@@ -103,26 +104,6 @@ impl Db {
         Self::open_inner(path, opts.into(), None)
     }
 
-    /// Opens a database whose timestamp oracle and snapshot registry
-    /// are owned elsewhere and shared with sibling stores — the shard
-    /// constructor used by [`crate::ShardedDb`].
-    ///
-    /// `oracle_primary` must be `true` for exactly one store per shared
-    /// oracle: that store registers the `oracle.*` gauges and runs the
-    /// watchdog's Active-set-pressure detector (see
-    /// [`DbInner::oracle_primary`]). Recovery advances the shared
-    /// counter with [`TimestampOracle::advance_to`], so shards may be
-    /// opened in any order.
-    pub(crate) fn open_shared(
-        path: &Path,
-        opts: impl Into<Options>,
-        oracle: Arc<TimestampOracle>,
-        snapshots: Arc<SnapshotRegistry>,
-        oracle_primary: bool,
-    ) -> Result<Db> {
-        Self::open_inner(path, opts.into(), Some((oracle, snapshots, oracle_primary)))
-    }
-
     fn open_inner(
         path: &Path,
         opts: Options,
@@ -133,7 +114,21 @@ impl Db {
             ..opts.store.clone()
         };
         let (store, recovered) = Store::open(path, store_opts)?;
+        Self::from_parts(store, recovered, opts, shared)
+    }
 
+    /// Assembles a database from an already-opened store and its
+    /// recovered state. [`crate::ShardedDb`] opens every shard's store
+    /// first, audits cross-shard batch markers across them (dropping
+    /// torn batches from the recovered records), and only then builds
+    /// the `Db`s — so the memtables are filled from the *audited*
+    /// record set.
+    pub(crate) fn from_parts(
+        store: Store,
+        recovered: Recovered,
+        opts: Options,
+        shared: Option<(Arc<TimestampOracle>, Arc<SnapshotRegistry>, bool)>,
+    ) -> Result<Db> {
         let pm = opts.memtable_kind.create();
         for rec in &recovered.records {
             let value = match rec.kind {
@@ -313,6 +308,10 @@ impl Db {
         }
         if batch.is_empty() {
             return Ok(());
+        }
+        if batch.iter().any(|(key, _)| key.is_empty()) {
+            // The empty key is reserved for batch-commit markers.
+            return Err(Error::invalid_argument("empty keys are not supported"));
         }
         let began = Instant::now();
         inner.stall_if_needed();
@@ -519,6 +518,13 @@ impl Db {
     /// like Figure 11's.
     pub fn write_amp(&self) -> lsm_storage::store::WriteAmp {
         self.inner.store.write_amp()
+    }
+
+    /// What the opening recovery pass saw: WALs replayed, records
+    /// recovered, torn tails tolerated (see `clsm-doctor
+    /// --crash-audit`).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        self.inner.store.recovery_report()
     }
 
     /// Approximate bytes stored for keys in `[start, end]`: on-disk

@@ -1,7 +1,7 @@
 //! [`KvStore`] implementation for [`Db`], making cLSM a drop-in peer
 //! of the baseline systems in the workload driver and benchmarks.
 
-use clsm_kv::{KvSnapshot, KvStore};
+use clsm_kv::{KvSnapshot, KvStore, ScanRange};
 use clsm_util::error::Result;
 use clsm_util::metrics::MetricsSnapshot;
 
@@ -31,8 +31,8 @@ impl KvStore for Db {
         Ok(Box::new(Db::snapshot(self)?))
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        Db::snapshot(self)?.scan(start, limit)
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Db::snapshot(self)?.scan(range, limit)
     }
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
@@ -61,8 +61,8 @@ impl KvSnapshot for Snapshot {
         Snapshot::get(self, key)
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        Snapshot::scan(self, start, limit)
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Snapshot::scan(self, range, limit)
     }
 }
 
@@ -88,8 +88,8 @@ impl KvStore for ShardedDb {
         Ok(Box::new(ShardedDb::snapshot(self)?))
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        ShardedDb::snapshot(self)?.scan(start, limit)
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        ShardedDb::snapshot(self)?.scan(range, limit)
     }
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
@@ -122,7 +122,7 @@ impl KvSnapshot for ShardedSnapshot {
         ShardedSnapshot::get(self, key)
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        ShardedSnapshot::scan(self, start, limit)
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        ShardedSnapshot::scan(self, range, limit)
     }
 }

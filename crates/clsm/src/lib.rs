@@ -65,5 +65,7 @@ pub use snapshot::{Snapshot, SnapshotIter};
 pub use stats::StatsSnapshot;
 pub use watchdog::{StallEvent, StallKind, WatchdogOptions};
 
+pub use clsm_kv::{KvSnapshot, KvStore, ScanRange};
 pub use clsm_util::error::{Error, Result};
 pub use clsm_util::metrics::{HistogramSummary, MetricsSnapshot};
+pub use lsm_storage::store::RecoveryReport;

@@ -1,11 +1,50 @@
 //! Database configuration.
 
+use std::path::Path;
+use std::sync::Arc;
+
+use clsm_util::env::Env;
 use lsm_storage::StoreOptions;
 
 use crate::mem_component::MemtableKind;
 use crate::watchdog::WatchdogOptions;
 
 /// Configuration of a [`crate::Db`].
+///
+/// # Opening a database
+///
+/// `Options` is the single entry point for constructing stores:
+/// [`Options::open`] yields a monolithic [`crate::Db`] and
+/// [`Options::open_sharded`] a range-sharded [`crate::ShardedDb`].
+/// (`Db::open` / `ShardedDb::open` remain as thin forwarders.)
+///
+/// ```no_run
+/// use clsm::Options;
+///
+/// let db = Options::small_for_tests().open("/tmp/db".as_ref()).unwrap();
+/// # drop(db);
+/// ```
+///
+/// # Injection points
+///
+/// Everything a test harness can substitute threads through this one
+/// struct:
+///
+/// - **Storage environment** — `store.env` (an `Arc<dyn Env>`) routes
+///   every durability-relevant file operation: WAL appends and syncs,
+///   SSTable writes, manifest renames, and directory fsyncs. The
+///   default [`clsm_util::env::RealEnv`] hits the real filesystem with
+///   zero overhead; [`clsm_util::env::FaultEnv`] adds deterministic
+///   crash failpoints and torn-tail simulation for the
+///   crash-consistency harness. Set it with
+///   [`OptionsBuilder::env`].
+/// - **Timestamp oracle & snapshot registry** — a [`crate::ShardedDb`]
+///   opens its shards through an internal constructor that shares one
+///   oracle and one snapshot registry across all shards; a standalone
+///   [`crate::Db`] builds its own. These are wired automatically and
+///   are not user-replaceable, but all flow through the same
+///   `Db::from_parts` seam, so crash tests observe exactly the
+///   production wiring.
 #[derive(Debug, Clone)]
 pub struct Options {
     /// Memtable size that triggers a flush (the paper's default,
@@ -155,6 +194,26 @@ impl Options {
             opts: Options::default(),
         }
     }
+
+    /// Opens (or creates) a monolithic [`crate::Db`] at `path` with
+    /// this configuration.
+    pub fn open(self, path: &Path) -> clsm_util::error::Result<crate::Db> {
+        crate::Db::open(path, self)
+    }
+
+    /// Opens (or creates) a range-sharded [`crate::ShardedDb`] at
+    /// `path` with `shards` shards sharing one timestamp oracle.
+    ///
+    /// `shards` overrides [`Options::shards`]; on reopen of an
+    /// existing directory the persisted shard layout is authoritative.
+    pub fn open_sharded(
+        mut self,
+        path: &Path,
+        shards: usize,
+    ) -> clsm_util::error::Result<crate::ShardedDb> {
+        self.shards = shards;
+        crate::ShardedDb::open(path, self)
+    }
 }
 
 /// Fluent, validating constructor for [`Options`].
@@ -229,6 +288,13 @@ impl OptionsBuilder {
         self
     }
 
+    /// Storage environment every file operation is routed through
+    /// (see the "Injection points" section of [`Options`]).
+    pub fn env(mut self, env: Arc<dyn Env>) -> Self {
+        self.opts.store.env = env;
+        self
+    }
+
     /// Validates and returns the finished configuration.
     pub fn build(self) -> clsm_util::error::Result<Options> {
         self.opts.validate()?;
@@ -276,6 +342,31 @@ mod tests {
         assert!(Options::builder().memtable_bytes(16).build().is_err());
         assert!(Options::builder().active_slots(0).build().is_err());
         assert!(Options::builder().compaction_threads(0).build().is_err());
+    }
+
+    #[test]
+    fn options_open_and_open_sharded() {
+        let dir = std::env::temp_dir().join(format!(
+            "options-open-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let db = Options::small_for_tests().open(&dir.join("mono")).unwrap();
+        db.put(b"k", b"v").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v".to_vec()));
+        drop(db);
+
+        let sharded = Options::small_for_tests()
+            .open_sharded(&dir.join("sharded"), 3)
+            .unwrap();
+        sharded.put(b"k", b"v").unwrap();
+        assert_eq!(sharded.get(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(sharded.num_shards(), 3);
+        drop(sharded);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

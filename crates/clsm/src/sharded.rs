@@ -50,12 +50,15 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use clsm_util::env::Env;
 use clsm_util::error::{Error, Result};
 use clsm_util::metrics::{MetricsRegistry, MetricsSnapshot};
 use clsm_util::oracle::{SnapshotRegistry, TimestampOracle};
 
 use lsm_storage::format::WriteRecord;
+use lsm_storage::store::{Recovered, RecoveryReport};
 use lsm_storage::wal::SyncMode;
+use lsm_storage::Store;
 
 use crate::db::Db;
 use crate::doctor::DoctorReport;
@@ -103,8 +106,10 @@ fn hex_decode(s: &str) -> Result<Vec<u8>> {
 }
 
 /// Persists the shard layout (count + boundaries) so reopening uses
-/// the same ranges regardless of the options passed later.
-fn write_manifest(root: &Path, boundaries: &[Vec<u8>]) -> Result<()> {
+/// the same ranges regardless of the options passed later. Durable
+/// write + atomic rename + directory sync: a crash leaves either the
+/// old manifest or the new one, never a torn mixture.
+fn write_manifest(env: &dyn Env, root: &Path, boundaries: &[Vec<u8>]) -> Result<()> {
     let mut text = String::new();
     text.push_str(MANIFEST_HEADER);
     text.push('\n');
@@ -113,19 +118,22 @@ fn write_manifest(root: &Path, boundaries: &[Vec<u8>]) -> Result<()> {
         text.push_str(&format!("boundary {}\n", hex_encode(b)));
     }
     let tmp = root.join(format!("{MANIFEST}.tmp"));
-    std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, root.join(MANIFEST))?;
+    env.write(&tmp, text.as_bytes())?;
+    env.rename(&tmp, &root.join(MANIFEST))?;
+    env.sync_dir(root)?;
     Ok(())
 }
 
 /// Reads the persisted shard layout, or `None` when the directory has
 /// no manifest (fresh directory, or a plain `Db` directory).
-fn read_manifest(root: &Path) -> Result<Option<Vec<Vec<u8>>>> {
+fn read_manifest(env: &dyn Env, root: &Path) -> Result<Option<Vec<Vec<u8>>>> {
     let path = root.join(MANIFEST);
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(e.into()),
+    let text = match env.read(&path) {
+        Ok(bytes) => String::from_utf8(bytes).map_err(|_| {
+            Error::corruption(format!("shard manifest {} is not UTF-8", path.display()))
+        })?,
+        Err(e) if e.is_not_found() => return Ok(None),
+        Err(e) => return Err(e),
     };
     let mut lines = text.lines();
     if lines.next() != Some(MANIFEST_HEADER) {
@@ -190,6 +198,9 @@ pub struct ShardedDb {
     boundaries: Vec<Vec<u8>>,
     oracle: Arc<TimestampOracle>,
     snapshots: Arc<SnapshotRegistry>,
+    /// Timestamps of cross-shard batches found torn (and dropped) by
+    /// the recovery audit, ascending.
+    torn_batches: Vec<u64>,
 }
 
 impl ShardedDb {
@@ -203,12 +214,13 @@ impl ShardedDb {
     pub fn open(path: &Path, opts: impl Into<Options>) -> Result<ShardedDb> {
         let opts: Options = opts.into();
         opts.validate()?;
-        std::fs::create_dir_all(path)?;
-        let boundaries = match read_manifest(path)? {
+        let env = Arc::clone(&opts.store.env);
+        env.create_dir_all(path)?;
+        let boundaries = match read_manifest(env.as_ref(), path)? {
             Some(b) => b,
             None => {
                 let b = default_boundaries(opts.shards);
-                write_manifest(path, &b)?;
+                write_manifest(env.as_ref(), path, &b)?;
                 b
             }
         };
@@ -234,15 +246,16 @@ impl ShardedDb {
         if boundaries.len() + 1 > 256 {
             return Err(Error::invalid_argument("at most 256 shards"));
         }
-        std::fs::create_dir_all(path)?;
-        match read_manifest(path)? {
+        let env = Arc::clone(&opts.store.env);
+        env.create_dir_all(path)?;
+        match read_manifest(env.as_ref(), path)? {
             Some(existing) if existing != boundaries => {
                 return Err(Error::invalid_argument(
                     "existing shard layout differs from the requested boundaries",
                 ));
             }
             Some(_) => {}
-            None => write_manifest(path, &boundaries)?,
+            None => write_manifest(env.as_ref(), path, &boundaries)?,
         }
         Self::open_inner(path, opts, boundaries)
     }
@@ -253,17 +266,26 @@ impl ShardedDb {
         let mut child_opts = opts;
         child_opts.shards = 1;
         let num = boundaries.len() + 1;
-        let mut shards = Vec::with_capacity(num);
+
+        // Open every shard's *store* first, so the batch audit sees
+        // the recovered records of all shards before any memtable is
+        // filled.
+        let mut opened: Vec<(Store, Recovered)> = Vec::with_capacity(num);
         for i in 0..num {
+            opened.push(Store::open(&shard_dir(path, i), child_opts.store.clone())?);
+        }
+        let torn_batches = audit_cross_shard_batches(&mut opened);
+
+        let mut shards = Vec::with_capacity(num);
+        for (i, (store, recovered)) in opened.into_iter().enumerate() {
             // Shard 0 is the oracle primary: it registers the
             // `oracle.*` gauges and runs the watchdog's Active-set
             // detector, so shared state is reported exactly once.
-            shards.push(Db::open_shared(
-                &shard_dir(path, i),
+            shards.push(Db::from_parts(
+                store,
+                recovered,
                 child_opts.clone(),
-                Arc::clone(&oracle),
-                Arc::clone(&snapshots),
-                i == 0,
+                Some((Arc::clone(&oracle), Arc::clone(&snapshots), i == 0)),
             )?);
         }
         Ok(ShardedDb {
@@ -271,6 +293,7 @@ impl ShardedDb {
             boundaries,
             oracle,
             snapshots,
+            torn_batches,
         })
     }
 
@@ -331,6 +354,10 @@ impl ShardedDb {
         if batch.is_empty() {
             return Ok(());
         }
+        if batch.iter().any(|(key, _)| key.is_empty()) {
+            // The empty key is reserved for batch-commit markers.
+            return Err(Error::invalid_argument("empty keys are not supported"));
+        }
         let began = Instant::now();
         // Deduplicate (last occurrence wins) and group by shard. The
         // BTreeMap keys double as the ascending lock-acquisition order.
@@ -363,15 +390,26 @@ impl ShardedDb {
             .collect();
         let stamp = self.oracle.get_ts();
         let mut result = Ok(());
+        let total_entries: u64 = per_shard.values().map(|v| v.len() as u64).sum();
         'apply: for (&s, entries) in &per_shard {
             let inner = self.shards[s].inner();
-            let records: Vec<WriteRecord> = entries
+            let mut records: Vec<WriteRecord> = entries
                 .iter()
                 .map(|&(key, value)| match value {
                     Some(v) => WriteRecord::put(stamp.ts, key, v.clone()),
                     None => WriteRecord::delete(stamp.ts, key),
                 })
                 .collect();
+            if per_shard.len() > 1 {
+                // Batch-commit marker: rides in the same (per-shard
+                // atomic) WAL payload as the entries, carrying the
+                // batch's total entry count. Recovery counts entries
+                // at this timestamp across all shards and drops the
+                // batch when the count falls short — a shard's WAL
+                // tail was lost mid-batch (see
+                // [`audit_cross_shard_batches`]).
+                records.push(WriteRecord::batch_marker(stamp.ts, total_entries));
+            }
             if let Err(e) = inner.store.log(&records, SyncMode::Async) {
                 result = Err(e);
                 break 'apply;
@@ -544,6 +582,19 @@ impl ShardedDb {
         self.snapshots.expire_older_than(ttl)
     }
 
+    /// Timestamps of cross-shard batches the recovery audit found torn
+    /// (some shards' entries lost to a crash) and dropped to preserve
+    /// batch atomicity. Empty after a clean shutdown.
+    pub fn torn_batches(&self) -> &[u64] {
+        &self.torn_batches
+    }
+
+    /// Per-shard recovery reports, in range order (see `clsm-doctor
+    /// --crash-audit`).
+    pub fn recovery_reports(&self) -> Vec<&RecoveryReport> {
+        self.shards.iter().map(Db::recovery_report).collect()
+    }
+
     /// Gathers per-shard [`DoctorReport`]s plus the shared-oracle view.
     pub fn doctor(&self) -> ShardedDoctorReport {
         ShardedDoctorReport {
@@ -601,12 +652,18 @@ impl ShardedSnapshot {
         self.views[partition_of(&self.boundaries, key)].get(key)
     }
 
-    /// Returns up to `limit` live pairs with keys `>= start`, in key
-    /// order across shards.
-    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    /// Returns up to `limit` live pairs with keys in `range`, in key
+    /// order across shards. Accepts any standard range expression or a
+    /// [`clsm_kv::ScanRange`].
+    pub fn scan<R>(&self, range: R, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>>
+    where
+        R: std::ops::RangeBounds<Vec<u8>>,
+    {
+        let (start, end) = bounds_to_keys(&range);
+        let start = start.unwrap_or_default();
         let mut out = Vec::with_capacity(limit.min(1024));
-        for view in &self.views[partition_of(&self.boundaries, start)..] {
-            for item in view.range(start, None)? {
+        for view in &self.views[partition_of(&self.boundaries, &start)..] {
+            for item in view.range(&start, end.as_deref())? {
                 out.push(item?);
                 if out.len() >= limit {
                     return Ok(out);
@@ -738,9 +795,67 @@ impl ShardedDoctorReport {
     }
 }
 
+/// Audits cross-shard batch-commit markers across every shard's
+/// recovered WAL records, dropping the surviving entries of torn
+/// batches. Returns the timestamps dropped, ascending.
+///
+/// A batch is *torn* when a marker promises `total` entries at its
+/// timestamp but fewer were recovered across all shards — some shard's
+/// WAL tail (entries + marker, one atomic payload) was lost to a
+/// crash. Dropping the survivors restores all-or-nothing visibility.
+///
+/// A marked timestamp at or below the highest *flushed* timestamp of
+/// any shard is never dropped: a flush can only contain the batch's
+/// entries after `write_batch` finished appending on every shard (the
+/// flush's exclusive lock excludes the batch's shared locks), so the
+/// count fell short because a participant's WAL was legitimately
+/// retired, not because data was lost. The converse corner — one shard
+/// flushed its part durably while another shard's un-synced tail
+/// vanished — is undetectable from the surviving WALs alone and is the
+/// documented residual risk of asynchronous logging (§4: "a handful of
+/// writes may be lost"); synchronous mode closes it because acked
+/// batches are fsynced on every participant before `write_batch`
+/// returns.
+fn audit_cross_shard_batches(opened: &mut [(Store, Recovered)]) -> Vec<u64> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut expected: BTreeMap<u64, u64> = BTreeMap::new();
+    for (_, rec) in opened.iter() {
+        for &(ts, total) in &rec.batch_markers {
+            let slot = expected.entry(ts).or_insert(0);
+            *slot = (*slot).max(total);
+        }
+    }
+    if expected.is_empty() {
+        return Vec::new();
+    }
+    let mut observed: BTreeMap<u64, u64> = BTreeMap::new();
+    for (_, rec) in opened.iter() {
+        for r in &rec.records {
+            if expected.contains_key(&r.ts) {
+                *observed.entry(r.ts).or_insert(0) += 1;
+            }
+        }
+    }
+    let max_flushed = opened.iter().map(|(_, r)| r.flushed_ts).max().unwrap_or(0);
+    let torn: BTreeSet<u64> = expected
+        .iter()
+        .filter(|&(&ts, &total)| {
+            ts > max_flushed && observed.get(&ts).copied().unwrap_or(0) < total
+        })
+        .map(|(&ts, _)| ts)
+        .collect();
+    if !torn.is_empty() {
+        for (_, rec) in opened.iter_mut() {
+            rec.records.retain(|r| !torn.contains(&r.ts));
+        }
+    }
+    torn.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clsm_util::env::RealEnv;
 
     #[test]
     fn partition_of_matches_reference() {
@@ -786,13 +901,13 @@ mod tests {
             std::thread::current().id()
         ));
         std::fs::create_dir_all(&dir).unwrap();
-        assert!(read_manifest(&dir).unwrap().is_none());
+        assert!(read_manifest(&RealEnv, &dir).unwrap().is_none());
         let boundaries = vec![b"g".to_vec(), b"p".to_vec()];
-        write_manifest(&dir, &boundaries).unwrap();
-        assert_eq!(read_manifest(&dir).unwrap(), Some(boundaries));
+        write_manifest(&RealEnv, &dir, &boundaries).unwrap();
+        assert_eq!(read_manifest(&RealEnv, &dir).unwrap(), Some(boundaries));
 
         std::fs::write(dir.join(MANIFEST), "not a manifest\n").unwrap();
-        assert!(read_manifest(&dir).is_err());
+        assert!(read_manifest(&RealEnv, &dir).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -83,11 +83,15 @@ impl Snapshot {
         self.scan_from(start.as_deref(), end.as_deref())
     }
 
-    /// Returns up to `limit` live pairs with keys `>= start`, in key
-    /// order (the evaluation harness's scan shape, Figure 7b).
-    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    /// Returns up to `limit` live pairs with keys in `range`, in key
+    /// order (the evaluation harness's scan shape, Figure 7b). Accepts
+    /// any standard range expression or a [`clsm_kv::ScanRange`].
+    pub fn scan<R>(&self, range: R, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>>
+    where
+        R: std::ops::RangeBounds<Vec<u8>>,
+    {
         let mut out = Vec::with_capacity(limit.min(1024));
-        for item in self.range(start, None)? {
+        for item in self.range_bounds(range)? {
             out.push(item?);
             if out.len() >= limit {
                 break;

@@ -111,8 +111,8 @@ proptest! {
 
         // The merged cross-shard scan equals the single-store scan —
         // same keys, same values, same global order.
-        let merged = sharded.snapshot().unwrap().scan(b"", usize::MAX).unwrap();
-        let reference = single.snapshot().unwrap().scan(b"", usize::MAX).unwrap();
+        let merged = sharded.snapshot().unwrap().scan(.., usize::MAX).unwrap();
+        let reference = single.snapshot().unwrap().scan(.., usize::MAX).unwrap();
         prop_assert_eq!(merged, reference, "boundaries {:?}", boundaries);
 
         drop(sharded);

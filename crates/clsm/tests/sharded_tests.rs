@@ -166,7 +166,7 @@ fn cross_shard_snapshot_is_frozen_and_ordered() {
     assert_eq!(snap.get(b"grape").unwrap(), None);
     assert_eq!(snap.get(b"zebra").unwrap(), Some(b"1".to_vec()));
     let keys: Vec<Vec<u8>> = snap
-        .scan(b"", 10)
+        .scan(.., 10)
         .unwrap()
         .into_iter()
         .map(|(k, _)| k)
@@ -177,7 +177,7 @@ fn cross_shard_snapshot_is_frozen_and_ordered() {
     let live: Vec<Vec<u8>> = db
         .snapshot()
         .unwrap()
-        .scan(b"", 10)
+        .scan(.., 10)
         .unwrap()
         .into_iter()
         .map(|(k, _)| k)

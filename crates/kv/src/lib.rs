@@ -22,17 +22,181 @@
 
 #![warn(missing_docs)]
 
+use std::ops::{Bound, RangeBounds};
+
 pub use clsm_util::error::{Error, Result};
 pub use clsm_util::metrics::MetricsSnapshot;
+
+/// An owned key range for [`KvSnapshot::scan`] / [`KvStore::scan`].
+///
+/// `RangeBounds` itself is not object-safe as a method parameter of a
+/// trait-object store, so the scan API takes this concrete struct
+/// instead; every standard range expression converts into it:
+///
+/// ```
+/// use clsm_kv::ScanRange;
+///
+/// let everything: ScanRange = (..).into();
+/// let from_b: ScanRange = (b"b".to_vec()..).into();
+/// let b_to_d: ScanRange = (b"b".to_vec()..b"d".to_vec()).into();
+/// let through_d: ScanRange = (..=b"d".to_vec()).into();
+/// assert!(b_to_d.contains_key(b"c"));
+/// assert!(!b_to_d.contains_key(b"d"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanRange {
+    /// Lower bound on keys.
+    pub start: Bound<Vec<u8>>,
+    /// Upper bound on keys.
+    pub end: Bound<Vec<u8>>,
+}
+
+impl Default for ScanRange {
+    fn default() -> Self {
+        ScanRange::all()
+    }
+}
+
+impl ScanRange {
+    /// The unbounded range (every key).
+    pub fn all() -> Self {
+        ScanRange {
+            start: Bound::Unbounded,
+            end: Bound::Unbounded,
+        }
+    }
+
+    /// Keys `>= start`, unbounded above — the historical
+    /// `scan(start, limit)` shape.
+    pub fn from_start(start: impl Into<Vec<u8>>) -> Self {
+        ScanRange {
+            start: Bound::Included(start.into()),
+            end: Bound::Unbounded,
+        }
+    }
+
+    /// Copies any standard range expression into an owned `ScanRange`.
+    pub fn new(range: impl RangeBounds<Vec<u8>>) -> Self {
+        ScanRange {
+            start: range.start_bound().cloned(),
+            end: range.end_bound().cloned(),
+        }
+    }
+
+    /// Whether `key` lies within the range.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        (match &self.start {
+            Bound::Included(s) => key >= s.as_slice(),
+            Bound::Excluded(s) => key > s.as_slice(),
+            Bound::Unbounded => true,
+        }) && (match &self.end {
+            Bound::Included(e) => key <= e.as_slice(),
+            Bound::Excluded(e) => key < e.as_slice(),
+            Bound::Unbounded => true,
+        })
+    }
+
+    /// Normalizes to the `(inclusive start, exclusive end)` key pair
+    /// iterators understand. Byte strings have an exact immediate
+    /// lexicographic successor — `key ++ 0x00` — so an excluded start
+    /// and an included end are both representable without loss.
+    pub fn as_keys(&self) -> (Option<Vec<u8>>, Option<Vec<u8>>) {
+        fn successor(key: &[u8]) -> Vec<u8> {
+            let mut s = Vec::with_capacity(key.len() + 1);
+            s.extend_from_slice(key);
+            s.push(0);
+            s
+        }
+        let start = match &self.start {
+            Bound::Included(k) => Some(k.clone()),
+            Bound::Excluded(k) => Some(successor(k)),
+            Bound::Unbounded => None,
+        };
+        let end = match &self.end {
+            Bound::Included(k) => Some(successor(k)),
+            Bound::Excluded(k) => Some(k.clone()),
+            Bound::Unbounded => None,
+        };
+        (start, end)
+    }
+}
+
+impl RangeBounds<Vec<u8>> for ScanRange {
+    fn start_bound(&self) -> Bound<&Vec<u8>> {
+        self.start.as_ref()
+    }
+
+    fn end_bound(&self) -> Bound<&Vec<u8>> {
+        self.end.as_ref()
+    }
+}
+
+impl From<std::ops::Range<Vec<u8>>> for ScanRange {
+    fn from(r: std::ops::Range<Vec<u8>>) -> Self {
+        ScanRange {
+            start: Bound::Included(r.start),
+            end: Bound::Excluded(r.end),
+        }
+    }
+}
+
+impl From<std::ops::RangeFrom<Vec<u8>>> for ScanRange {
+    fn from(r: std::ops::RangeFrom<Vec<u8>>) -> Self {
+        ScanRange {
+            start: Bound::Included(r.start),
+            end: Bound::Unbounded,
+        }
+    }
+}
+
+impl From<std::ops::RangeFull> for ScanRange {
+    fn from(_: std::ops::RangeFull) -> Self {
+        ScanRange::all()
+    }
+}
+
+impl From<std::ops::RangeTo<Vec<u8>>> for ScanRange {
+    fn from(r: std::ops::RangeTo<Vec<u8>>) -> Self {
+        ScanRange {
+            start: Bound::Unbounded,
+            end: Bound::Excluded(r.end),
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<Vec<u8>>> for ScanRange {
+    fn from(r: std::ops::RangeInclusive<Vec<u8>>) -> Self {
+        let (start, end) = r.into_inner();
+        ScanRange {
+            start: Bound::Included(start),
+            end: Bound::Included(end),
+        }
+    }
+}
+
+impl From<std::ops::RangeToInclusive<Vec<u8>>> for ScanRange {
+    fn from(r: std::ops::RangeToInclusive<Vec<u8>>) -> Self {
+        ScanRange {
+            start: Bound::Unbounded,
+            end: Bound::Included(r.end),
+        }
+    }
+}
+
+impl From<(Bound<Vec<u8>>, Bound<Vec<u8>>)> for ScanRange {
+    fn from((start, end): (Bound<Vec<u8>>, Bound<Vec<u8>>)) -> Self {
+        ScanRange { start, end }
+    }
+}
 
 /// A consistent read-only view of a store at one point in time.
 pub trait KvSnapshot: Send + Sync {
     /// Reads `key` as of this snapshot.
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
 
-    /// Returns up to `limit` live pairs with keys `>= start`, in key
+    /// Returns up to `limit` live pairs with keys in `range`, in key
     /// order, as of this snapshot.
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
 }
 
 /// The operations every evaluated system supports.
@@ -67,10 +231,10 @@ pub trait KvStore: Send + Sync {
     /// Creates a consistent read-only view of the store.
     fn snapshot(&self) -> Result<Box<dyn KvSnapshot>>;
 
-    /// Returns up to `limit` live pairs with keys `>= start`, in order,
-    /// from a consistent view.
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.snapshot()?.scan(start, limit)
+    /// Returns up to `limit` live pairs with keys in `range`, in
+    /// order, from a consistent view.
+    fn scan(&self, range: ScanRange, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.snapshot()?.scan(range, limit)
     }
 
     /// Atomically stores `value` if `key` is absent; returns `true` if

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use clsm_util::env::Env;
 use clsm_util::error::Result;
 
 use crate::filenames;
@@ -242,6 +243,7 @@ fn dangling_block() -> Arc<Block> {
 
 /// Cache of open table readers keyed by file number.
 pub struct TableCache {
+    env: Arc<dyn Env>,
     dir: PathBuf,
     bloom_bits_per_key: usize,
     block_cache: Option<Arc<BlockCache>>,
@@ -254,12 +256,14 @@ impl TableCache {
     /// Creates a table cache for `dir` holding at most `max_open`
     /// readers.
     pub fn new(
+        env: Arc<dyn Env>,
         dir: PathBuf,
         bloom_bits_per_key: usize,
         block_cache: Option<Arc<BlockCache>>,
         max_open: usize,
     ) -> Self {
         TableCache {
+            env,
             dir,
             bloom_bits_per_key,
             block_cache,
@@ -282,6 +286,7 @@ impl TableCache {
         // Open outside the lock; racing opens are harmless (one wins).
         let path = filenames::table_path(&self.dir, number);
         let table = Arc::new(Table::open(
+            self.env.as_ref(),
             &path,
             number,
             self.bloom_bits_per_key,

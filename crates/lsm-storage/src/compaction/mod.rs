@@ -317,7 +317,7 @@ pub fn write_merged_tables(
             if builder.is_none() {
                 let number = alloc_file_number();
                 let path = filenames::table_path(dir, number);
-                let file = std::fs::File::create(&path)?;
+                let file = opts.env.open_write(&path)?;
                 builder = Some((
                     number,
                     TableBuilder::new(file, opts.block_size, opts.bloom_bits_per_key),

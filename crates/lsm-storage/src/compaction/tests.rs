@@ -5,6 +5,7 @@ use crate::iter::VecIterator;
 use crate::store::StoreOptions;
 use crate::version::VersionSet;
 use crate::ValueKind;
+use clsm_util::env::RealEnv;
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -70,7 +71,13 @@ fn run_drop(
     )
     .unwrap();
     // Read everything back.
-    let cache = Arc::new(TableCache::new(dir.clone(), 10, None, 16));
+    let cache = Arc::new(TableCache::new(
+        Arc::new(RealEnv),
+        dir.clone(),
+        10,
+        None,
+        16,
+    ));
     let mut out = Vec::new();
     for f in &files {
         let table = cache.table(f.number).unwrap();
@@ -170,7 +177,13 @@ fn exact_duplicates_are_deduplicated() {
         n
     };
     let files = write_merged_tables(&mut merged, &dir, &opts, 1, 0, false, &mut alloc).unwrap();
-    let cache = Arc::new(TableCache::new(dir.clone(), 10, None, 16));
+    let cache = Arc::new(TableCache::new(
+        Arc::new(RealEnv),
+        dir.clone(),
+        10,
+        None,
+        16,
+    ));
     let mut count = 0;
     for f in &files {
         let table = cache.table(f.number).unwrap();
@@ -235,8 +248,11 @@ fn pick_respects_claims_and_trigger() {
     // Build two overlapping L0 tables (trigger = 2).
     let mk = |num: u64, k: &str, ts: u64| {
         let path = crate::filenames::table_path(&dir, num);
-        let mut b =
-            crate::sstable::TableBuilder::new(std::fs::File::create(&path).unwrap(), 4096, 10);
+        let mut b = crate::sstable::TableBuilder::new(
+            Box::new(std::fs::File::create(&path).unwrap()),
+            4096,
+            10,
+        );
         b.add(
             crate::format::InternalKey::new(k.as_bytes(), ts, ValueKind::Put).encoded(),
             b"v",
@@ -251,7 +267,7 @@ fn pick_respects_claims_and_trigger() {
             largest: s.largest,
         }
     };
-    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    let (mut set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
     let f1 = mk(10, "a", 1);
     let f2 = mk(11, "a", 2);
     set.log_and_apply(crate::version::VersionEdit {

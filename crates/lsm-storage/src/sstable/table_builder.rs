@@ -1,10 +1,8 @@
 //! SSTable construction.
 
-use std::fs::File;
-use std::io::{BufWriter, Write};
-
 use clsm_util::bloom::BloomFilterPolicy;
 use clsm_util::crc;
+use clsm_util::env::WritableFile;
 use clsm_util::error::Result;
 
 use crate::format::{compare_internal_keys, split_internal_key};
@@ -25,7 +23,7 @@ pub struct TableSummary {
 
 /// Streams sorted internal entries into an SSTable file.
 pub struct TableBuilder {
-    file: BufWriter<File>,
+    file: Box<dyn WritableFile>,
     offset: u64,
     data_block: BlockBuilder,
     index_block: BlockBuilder,
@@ -41,9 +39,9 @@ pub struct TableBuilder {
 
 impl TableBuilder {
     /// Creates a builder writing to `file`.
-    pub fn new(file: File, block_size: usize, bloom_bits_per_key: usize) -> Self {
+    pub fn new(file: Box<dyn WritableFile>, block_size: usize, bloom_bits_per_key: usize) -> Self {
         TableBuilder {
-            file: BufWriter::new(file),
+            file,
             offset: 0,
             data_block: BlockBuilder::default(),
             index_block: BlockBuilder::new(1),
@@ -108,14 +106,14 @@ impl TableBuilder {
             offset: self.offset,
             size: contents.len() as u64,
         };
-        self.file.write_all(contents)?;
+        self.file.append(contents)?;
         // Trailer: compression type (0 = none) + masked CRC of
         // contents + type byte.
         let ty = [0u8];
         let mut c = crc::extend(0, contents);
         c = crc::extend(c, &ty);
-        self.file.write_all(&ty)?;
-        self.file.write_all(&crc::mask(c).to_le_bytes())?;
+        self.file.append(&ty)?;
+        self.file.append(&crc::mask(c).to_le_bytes())?;
         self.offset += contents.len() as u64 + BLOCK_TRAILER_SIZE as u64;
         Ok(handle)
     }
@@ -138,10 +136,9 @@ impl TableBuilder {
             filter_handle,
             index_handle,
         };
-        self.file.write_all(&footer.encode())?;
+        self.file.append(&footer.encode())?;
         self.offset += super::FOOTER_SIZE as u64;
-        self.file.flush()?;
-        self.file.get_ref().sync_data()?;
+        self.file.sync()?;
 
         Ok(TableSummary {
             file_size: self.offset,

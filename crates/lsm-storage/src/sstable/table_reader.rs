@@ -1,12 +1,11 @@
 //! SSTable reading: point lookups and two-level iteration.
 
-use std::fs::File;
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::Arc;
 
 use clsm_util::bloom::BloomFilterPolicy;
 use clsm_util::crc;
+use clsm_util::env::{Env, RandomAccessFile};
 use clsm_util::error::{Error, Result};
 
 use crate::cache::BlockCache;
@@ -16,7 +15,7 @@ use crate::sstable::{Block, BlockHandle, BlockIter, Footer, BLOCK_TRAILER_SIZE, 
 
 /// An open, immutable table file.
 pub struct Table {
-    file: File,
+    file: Box<dyn RandomAccessFile>,
     /// Table file number; used as the cache-key namespace.
     number: u64,
     index: Arc<Block>,
@@ -28,23 +27,24 @@ pub struct Table {
 impl Table {
     /// Opens and validates a table file.
     pub fn open(
+        env: &dyn Env,
         path: &Path,
         number: u64,
         bloom_bits_per_key: usize,
         cache: Option<Arc<BlockCache>>,
     ) -> Result<Table> {
-        let file = File::open(path)?;
-        let size = file.metadata()?.len();
+        let file = env.open_read(path)?;
+        let size = file.len()?;
         if size < FOOTER_SIZE as u64 {
             return Err(Error::corruption("table smaller than footer"));
         }
         let mut footer_buf = vec![0u8; FOOTER_SIZE];
-        file.read_exact_at(&mut footer_buf, size - FOOTER_SIZE as u64)?;
+        file.read_exact_at(size - FOOTER_SIZE as u64, &mut footer_buf)?;
         let footer = Footer::decode(&footer_buf)?;
 
-        let index_data = read_verified_block(&file, footer.index_handle)?;
+        let index_data = read_verified_block(file.as_ref(), footer.index_handle)?;
         let index = Arc::new(Block::parse(index_data)?);
-        let filter = read_verified_block(&file, footer.filter_handle)?;
+        let filter = read_verified_block(file.as_ref(), footer.filter_handle)?;
 
         Ok(Table {
             file,
@@ -67,12 +67,12 @@ impl Table {
             if let Some(block) = cache.get(self.number, handle.offset) {
                 return Ok(block);
             }
-            let data = read_verified_block(&self.file, handle)?;
+            let data = read_verified_block(self.file.as_ref(), handle)?;
             let block = Arc::new(Block::parse(data)?);
             cache.insert(self.number, handle.offset, Arc::clone(&block));
             Ok(block)
         } else {
-            let data = read_verified_block(&self.file, handle)?;
+            let data = read_verified_block(self.file.as_ref(), handle)?;
             Ok(Arc::new(Block::parse(data)?))
         }
     }
@@ -125,10 +125,10 @@ impl std::fmt::Debug for Table {
 }
 
 /// Reads a block's contents and verifies its trailer CRC.
-fn read_verified_block(file: &File, handle: BlockHandle) -> Result<Vec<u8>> {
+fn read_verified_block(file: &dyn RandomAccessFile, handle: BlockHandle) -> Result<Vec<u8>> {
     let total = handle.size as usize + BLOCK_TRAILER_SIZE;
     let mut buf = vec![0u8; total];
-    file.read_exact_at(&mut buf, handle.offset)?;
+    file.read_exact_at(handle.offset, &mut buf)?;
     let (contents, trailer) = buf.split_at(handle.size as usize);
     let ty = trailer[0];
     if ty != 0 {
@@ -262,6 +262,8 @@ mod tests {
     use super::*;
     use crate::format::InternalKey;
     use crate::sstable::TableBuilder;
+    use clsm_util::env::RealEnv;
+    use std::fs::File;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("table-{}-{}", std::process::id(), name));
@@ -275,13 +277,13 @@ mod tests {
         block_size: usize,
     ) -> Arc<Table> {
         let path = dir.join("t.sst");
-        let mut b = TableBuilder::new(File::create(&path).unwrap(), block_size, 10);
+        let mut b = TableBuilder::new(Box::new(File::create(&path).unwrap()), block_size, 10);
         for (k, ts, kind, v) in entries {
             b.add(InternalKey::new(k, *ts, *kind).encoded(), v).unwrap();
         }
         let summary = b.finish().unwrap();
         assert_eq!(summary.num_entries, entries.len() as u64);
-        Arc::new(Table::open(&path, 1, 10, None).unwrap())
+        Arc::new(Table::open(&RealEnv, &path, 1, 10, None).unwrap())
     }
 
     #[test]
@@ -370,7 +372,7 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[2] ^= 0x55; // damage the first data block
         std::fs::write(&path, &bytes).unwrap();
-        let table = Arc::new(Table::open(&path, 1, 10, None).unwrap());
+        let table = Arc::new(Table::open(&RealEnv, &path, 1, 10, None).unwrap());
         assert!(table.get(b"k", 100).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -380,11 +382,11 @@ mod tests {
         let dir = tmpdir("cached");
         let cache = Arc::new(BlockCache::new(1 << 20));
         let path = dir.join("t.sst");
-        let mut b = TableBuilder::new(File::create(&path).unwrap(), 4096, 10);
+        let mut b = TableBuilder::new(Box::new(File::create(&path).unwrap()), 4096, 10);
         b.add(InternalKey::new(b"k", 1, ValueKind::Put).encoded(), b"v")
             .unwrap();
         b.finish().unwrap();
-        let table = Table::open(&path, 42, 10, Some(Arc::clone(&cache))).unwrap();
+        let table = Table::open(&RealEnv, &path, 42, 10, Some(Arc::clone(&cache))).unwrap();
         assert!(table.get(b"k", 100).unwrap().is_some());
         let (hits_before, _) = cache.stats();
         assert!(table.get(b"k", 100).unwrap().is_some());

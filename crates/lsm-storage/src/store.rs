@@ -16,7 +16,8 @@ use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
-use clsm_util::error::Result;
+use clsm_util::env::{Env, RealEnv};
+use clsm_util::error::{Error, Result};
 use clsm_util::metrics::{ConcurrentHistogram, Counter, MetricsRegistry};
 use clsm_util::rcu::RcuCell;
 use clsm_util::trace::TraceId;
@@ -60,6 +61,10 @@ pub struct StoreOptions {
     pub num_levels: usize,
     /// Maximum simultaneously open table readers.
     pub max_open_tables: usize,
+    /// The storage environment every byte goes through. Defaults to
+    /// [`RealEnv`]; tests inject `clsm_util::env::FaultEnv` for
+    /// deterministic crash injection.
+    pub env: Arc<dyn Env>,
 }
 
 impl Default for StoreOptions {
@@ -74,6 +79,7 @@ impl Default for StoreOptions {
             level_multiplier: 10,
             num_levels: NUM_LEVELS,
             max_open_tables: 500,
+            env: Arc::new(RealEnv),
         }
     }
 }
@@ -81,11 +87,37 @@ impl Default for StoreOptions {
 /// State recovered from a previous incarnation.
 #[derive(Debug)]
 pub struct Recovered {
-    /// Unflushed writes from live WALs, sorted by timestamp and
-    /// deduplicated (the cLSM out-of-order-logging recovery rule, §4).
+    /// Unflushed writes from live WALs, sorted by `(timestamp, key)`
+    /// and deduplicated (the cLSM out-of-order-logging recovery rule,
+    /// §4). Entries of one cross-shard batch share a timestamp, so
+    /// deduplication keys on the pair, never on the timestamp alone.
     pub records: Vec<WriteRecord>,
+    /// Cross-shard batch-commit markers found in the WALs, as
+    /// `(timestamp, expected total entries)` pairs. A sharded open
+    /// audits these across shards and drops torn batches.
+    pub batch_markers: Vec<(u64, u64)>,
     /// Highest timestamp ever issued (resume the oracle above this).
     pub last_ts: u64,
+    /// Highest timestamp durably flushed into tables (the manifest's
+    /// watermark). Used by the sharded batch audit: a flush at or above
+    /// a marked timestamp proves that batch's appends completed.
+    pub flushed_ts: u64,
+    /// What recovery saw: WALs replayed, torn tails tolerated.
+    pub report: RecoveryReport,
+}
+
+/// A summary of one recovery pass, for `clsm-doctor --crash-audit`.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// WAL file numbers replayed, in replay order.
+    pub wals_replayed: Vec<u64>,
+    /// Write records recovered from those WALs (after deduplication).
+    pub records_recovered: usize,
+    /// Torn WAL tails tolerated: `(wal number, byte offset)` where
+    /// damage began. Data before each offset was recovered intact.
+    pub torn_tails: Vec<(u64, u64)>,
+    /// Byte offset where the manifest was found torn, if it was.
+    pub manifest_torn_at: Option<u64>,
 }
 
 /// The disk component.
@@ -116,6 +148,8 @@ pub struct Store {
     /// files instead of spinning on `yield_now`.
     claim_mutex: Mutex<()>,
     claim_cv: Condvar,
+    /// What the opening recovery pass saw (for `--crash-audit`).
+    recovery_report: RecoveryReport,
 }
 
 /// The store's registered metrics handles. Recording through these is
@@ -195,15 +229,18 @@ impl Store {
     /// Opens (or creates) a store in `dir` and replays its WALs.
     pub fn open(dir: &Path, opts: StoreOptions) -> Result<(Store, Recovered)> {
         assert!(opts.num_levels >= 2 && opts.num_levels <= NUM_LEVELS);
-        std::fs::create_dir_all(dir)?;
-        let (mut versions, manifest_state) = VersionSet::open(dir)?;
+        let env = Arc::clone(&opts.env);
+        env.create_dir_all(dir)?;
+        let (mut versions, manifest_state) = VersionSet::open(Arc::clone(&env), dir)?;
+        let mut report = RecoveryReport {
+            manifest_torn_at: manifest_state.manifest_torn_at,
+            ..Default::default()
+        };
 
         // Replay every WAL at/above the manifest's boundary.
         let mut wal_numbers: Vec<u64> = Vec::new();
-        for entry in std::fs::read_dir(dir)? {
-            let name = entry?.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if let Some(filenames::FileKind::Wal(n)) = filenames::parse_file_name(name) {
+        for name in env.list(dir)? {
+            if let Some(filenames::FileKind::Wal(n)) = filenames::parse_file_name(&name) {
                 if n >= manifest_state.log_number {
                     wal_numbers.push(n);
                 }
@@ -213,23 +250,54 @@ impl Store {
         let mut records: Vec<WriteRecord> = Vec::new();
         for n in &wal_numbers {
             let path = filenames::wal_path(dir, *n);
-            let mut reader = LogReader::new(std::fs::File::open(&path)?);
-            while let Some(payload) = reader.read_record()? {
-                records.extend(WriteRecord::decode_batch(&payload)?);
+            let mut reader = LogReader::with_path(env.open_read(&path)?, &path);
+            loop {
+                match reader.read_record() {
+                    Ok(Some(payload)) => records.extend(WriteRecord::decode_batch(&payload)?),
+                    Ok(None) => break,
+                    Err(Error::WalTruncated { offset, .. }) => {
+                        // A torn tail is the expected signature of a
+                        // crash: everything before `offset` was intact,
+                        // everything after was never acked. Tolerate it
+                        // and record where replay stopped.
+                        report.torn_tails.push((*n, offset));
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         }
+        report.wals_replayed = wal_numbers;
+
+        // Separate batch-commit markers from real writes; markers never
+        // enter the memtable.
+        let mut batch_markers: Vec<(u64, u64)> = Vec::new();
+        records.retain(|r| match r.batch_marker_total() {
+            Some(total) => {
+                batch_markers.push((r.ts, total));
+                false
+            }
+            None => true,
+        });
+        batch_markers.sort_unstable();
+        batch_markers.dedup();
         // cLSM WALs are written out of timestamp order; restore order
         // and drop duplicates (a record may coexist with its flushed
-        // copy, or appear twice across a rotation race).
-        records.sort_by_key(|r| r.ts);
-        records.dedup_by_key(|r| r.ts);
+        // copy, or appear twice across a rotation race). Entries of one
+        // cross-shard batch share a timestamp, so the dedup key is the
+        // (ts, key) pair — never the timestamp alone.
+        records.sort_by(|a, b| a.ts.cmp(&b.ts).then_with(|| a.key.cmp(&b.key)));
+        records.dedup_by(|a, b| a.ts == b.ts && a.key == b.key);
+        report.records_recovered = records.len();
         let last_ts = records
             .last()
             .map(|r| r.ts)
             .unwrap_or(0)
+            .max(batch_markers.last().map(|&(ts, _)| ts).unwrap_or(0))
             .max(manifest_state.last_ts);
 
         let cache = Arc::new(TableCache::new(
+            Arc::clone(&env),
             dir.to_path_buf(),
             opts.bloom_bits_per_key,
             (opts.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(opts.block_cache_bytes))),
@@ -240,7 +308,7 @@ impl Store {
         // covered by the old WALs (numbers ≥ log_number), which are
         // retired only after the next flush.
         let wal_number = versions.new_file_number();
-        let wal_file = std::fs::File::create(filenames::wal_path(dir, wal_number))?;
+        let wal_file = env.open_write(&filenames::wal_path(dir, wal_number))?;
         let wal = LogQueue::start(LogWriter::new(wal_file));
 
         let current = RcuCell::new(versions.current());
@@ -258,13 +326,33 @@ impl Store {
             metrics: OnceLock::new(),
             claim_mutex: Mutex::new(()),
             claim_cv: Condvar::new(),
+            recovery_report: report.clone(),
         };
-        Ok((store, Recovered { records, last_ts }))
+        Ok((
+            store,
+            Recovered {
+                records,
+                batch_markers,
+                last_ts,
+                flushed_ts: manifest_state.last_ts,
+                report,
+            },
+        ))
     }
 
     /// The store's options.
     pub fn options(&self) -> &StoreOptions {
         &self.opts
+    }
+
+    /// The storage environment this store runs on.
+    pub fn env(&self) -> &Arc<dyn Env> {
+        &self.opts.env
+    }
+
+    /// What the opening recovery pass saw.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery_report
     }
 
     /// The store directory.
@@ -344,7 +432,10 @@ impl Store {
     /// swapped, so each memtable maps to a WAL prefix.
     pub fn rotate_wal(&self) -> Result<u64> {
         let number = self.versions.lock().new_file_number();
-        let file = std::fs::File::create(filenames::wal_path(&self.dir, number))?;
+        let file = self
+            .opts
+            .env
+            .open_write(&filenames::wal_path(&self.dir, number))?;
         self.wal.rotate(LogWriter::new(file))?;
         self.wal_number.store(number, Ordering::SeqCst);
         Ok(number)

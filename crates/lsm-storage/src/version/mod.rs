@@ -17,6 +17,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
+use clsm_util::env::Env;
 use clsm_util::error::{Error, Result};
 
 use crate::cache::TableCache;
@@ -164,6 +165,7 @@ impl Version {
 
 /// Mutable owner of the version history and the manifest.
 pub struct VersionSet {
+    env: Arc<dyn Env>,
     dir: PathBuf,
     current: Arc<Version>,
     manifest: LogWriter,
@@ -192,6 +194,12 @@ pub struct RecoveredManifest {
     pub log_number: u64,
     /// Highest timestamp known flushed to tables.
     pub last_ts: u64,
+    /// Byte offset where the previous manifest was found torn, if it
+    /// was. The torn suffix belongs to an edit that was never acked
+    /// (manifest appends are synced before success is reported), so
+    /// recovery keeps the edits before it; a fresh snapshot manifest
+    /// replaces the damaged file immediately.
+    pub manifest_torn_at: Option<u64>,
 }
 
 impl VersionSet {
@@ -199,20 +207,34 @@ impl VersionSet {
     ///
     /// Rewrites the manifest as a fresh snapshot on every open, which
     /// bounds manifest growth and keeps recovery O(current state).
-    pub fn open(dir: &Path) -> Result<(VersionSet, RecoveredManifest)> {
-        std::fs::create_dir_all(dir)?;
+    pub fn open(env: Arc<dyn Env>, dir: &Path) -> Result<(VersionSet, RecoveredManifest)> {
+        env.create_dir_all(dir)?;
         let current_file = filenames::current_path(dir);
         let mut version = Version::empty();
         let mut next_file_number = 1u64;
         let mut log_number = 0u64;
         let mut last_ts = 0u64;
+        let mut manifest_torn_at = None;
 
-        if current_file.exists() {
-            let name = std::fs::read_to_string(&current_file)?;
+        if env.exists(&current_file) {
+            let name = String::from_utf8(env.read(&current_file)?)
+                .map_err(|_| Error::corruption("CURRENT is not valid UTF-8"))?;
             let manifest_path = dir.join(name.trim());
-            let mut reader = LogReader::new(std::fs::File::open(&manifest_path)?);
+            let mut reader = LogReader::with_path(env.open_read(&manifest_path)?, &manifest_path);
             let mut builder = Builder::new(Version::empty());
-            while let Some(record) = reader.read_record()? {
+            loop {
+                let record = match reader.read_record() {
+                    Ok(Some(record)) => record,
+                    Ok(None) => break,
+                    // A torn manifest tail is an edit that was never
+                    // acked (appends sync before returning): stop at
+                    // the last intact edit.
+                    Err(Error::WalTruncated { offset, .. }) => {
+                        manifest_torn_at = Some(offset);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                };
                 let edit = VersionEdit::decode(&record)?;
                 if let Some(v) = edit.log_number {
                     log_number = v;
@@ -232,14 +254,15 @@ impl VersionSet {
         let manifest_number = next_file_number;
         next_file_number += 1;
         let manifest_path = filenames::manifest_path(dir, manifest_number);
-        let mut manifest = LogWriter::new(std::fs::File::create(&manifest_path)?);
+        let mut manifest = LogWriter::new(env.open_write(&manifest_path)?);
         let snapshot = snapshot_edit(&version, next_file_number, log_number, last_ts);
         manifest.add_record(&snapshot.encode())?;
         manifest.sync()?;
-        install_current(dir, manifest_number)?;
+        install_current(env.as_ref(), dir, manifest_number)?;
 
         let current = Arc::new(version);
         let set = VersionSet {
+            env,
             dir: dir.to_path_buf(),
             current: Arc::clone(&current),
             manifest,
@@ -253,6 +276,7 @@ impl VersionSet {
             RecoveredManifest {
                 log_number,
                 last_ts,
+                manifest_torn_at,
             },
         ))
     }
@@ -318,21 +342,18 @@ impl VersionSet {
         let mut live = self.live_table_files();
         live.extend(pending.iter().copied());
         let mut deleted = Vec::new();
-        for entry in std::fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            match filenames::parse_file_name(name) {
+        for name in self.env.list(&self.dir)? {
+            match filenames::parse_file_name(&name) {
                 Some(filenames::FileKind::Table(n)) if !live.contains(&n) => {
-                    std::fs::remove_file(entry.path())?;
+                    self.env.remove(&self.dir.join(&name))?;
                     cache.evict(n);
                     deleted.push(n);
                 }
                 Some(filenames::FileKind::Wal(n)) if n < self.log_number => {
-                    std::fs::remove_file(entry.path())?;
+                    self.env.remove(&self.dir.join(&name))?;
                 }
                 Some(filenames::FileKind::Temp(_)) => {
-                    std::fs::remove_file(entry.path())?;
+                    self.env.remove(&self.dir.join(&name))?;
                 }
                 _ => {}
             }
@@ -342,10 +363,15 @@ impl VersionSet {
 }
 
 /// Atomically points CURRENT at the given manifest.
-fn install_current(dir: &Path, manifest_number: u64) -> Result<()> {
+///
+/// The temp file is written durably ([`Env::write`] syncs) before the
+/// rename, so a crash can leave either the old or the new CURRENT —
+/// never a truncated one.
+fn install_current(env: &dyn Env, dir: &Path, manifest_number: u64) -> Result<()> {
     let tmp = filenames::temp_path(dir, manifest_number);
-    std::fs::write(&tmp, format!("MANIFEST-{manifest_number:06}\n"))?;
-    std::fs::rename(&tmp, filenames::current_path(dir))?;
+    env.write(&tmp, format!("MANIFEST-{manifest_number:06}\n").as_bytes())?;
+    env.rename(&tmp, &filenames::current_path(dir))?;
+    env.sync_dir(dir)?;
     Ok(())
 }
 

@@ -4,6 +4,7 @@ use super::*;
 use crate::format::InternalKey;
 use crate::iter::InternalIterator;
 use crate::sstable::TableBuilder;
+use clsm_util::env::RealEnv;
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -27,7 +28,7 @@ fn build_table(
     entries: &[(&[u8], u64, ValueKind, &[u8])],
 ) -> NewFile {
     let path = filenames::table_path(dir, number);
-    let mut b = TableBuilder::new(std::fs::File::create(&path).unwrap(), 4096, 10);
+    let mut b = TableBuilder::new(Box::new(std::fs::File::create(&path).unwrap()), 4096, 10);
     for (k, ts, kind, v) in entries {
         b.add(InternalKey::new(k, *ts, *kind).encoded(), v).unwrap();
     }
@@ -42,19 +43,25 @@ fn build_table(
 }
 
 fn cache_for(dir: &Path) -> Arc<TableCache> {
-    Arc::new(TableCache::new(dir.to_path_buf(), 10, None, 100))
+    Arc::new(TableCache::new(
+        Arc::new(RealEnv),
+        dir.to_path_buf(),
+        10,
+        None,
+        100,
+    ))
 }
 
 #[test]
 fn empty_store_roundtrips_through_manifest() {
     let dir = tmpdir("empty");
     {
-        let (set, rec) = VersionSet::open(&dir).unwrap();
+        let (set, rec) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
         assert_eq!(rec.log_number, 0);
         assert_eq!(set.current().num_files(0), 0);
     }
     // Re-open recovers cleanly.
-    let (set, _) = VersionSet::open(&dir).unwrap();
+    let (set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
     assert_eq!(set.current().num_files(0), 0);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -65,7 +72,7 @@ fn edits_survive_reopen() {
     let f1 = build_table(&dir, 11, 0, &[(b"a", 1, ValueKind::Put, b"v1")]);
     let f2 = build_table(&dir, 12, 1, &[(b"m", 2, ValueKind::Put, b"v2")]);
     {
-        let (mut set, _) = VersionSet::open(&dir).unwrap();
+        let (mut set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
         let edit = VersionEdit {
             log_number: Some(5),
             last_ts: Some(2),
@@ -76,7 +83,7 @@ fn edits_survive_reopen() {
         assert_eq!(set.current().num_files(0), 1);
         assert_eq!(set.current().num_files(1), 1);
     }
-    let (set, rec) = VersionSet::open(&dir).unwrap();
+    let (set, rec) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
     assert_eq!(rec.log_number, 5);
     assert_eq!(rec.last_ts, 2);
     let v = set.current();
@@ -93,7 +100,7 @@ fn version_get_prefers_newer_levels() {
     let f_new = build_table(&dir, 30, 0, &[(b"k", 5, ValueKind::Put, b"new")]);
     let f_old = build_table(&dir, 20, 0, &[(b"k", 3, ValueKind::Put, b"mid")]);
     let f_l1 = build_table(&dir, 10, 1, &[(b"k", 1, ValueKind::Put, b"old")]);
-    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    let (mut set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
     set.log_and_apply(VersionEdit {
         new_files: vec![f_new, f_old, f_l1],
         ..Default::default()
@@ -118,7 +125,7 @@ fn version_get_prefers_newer_levels() {
 fn deleted_files_leave_the_version_and_disk() {
     let dir = tmpdir("delete");
     let f1 = build_table(&dir, 7, 0, &[(b"x", 1, ValueKind::Put, b"v")]);
-    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    let (mut set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
     set.log_and_apply(VersionEdit {
         new_files: vec![f1],
         ..Default::default()
@@ -141,7 +148,7 @@ fn deleted_files_leave_the_version_and_disk() {
 fn obsolete_deletion_spares_files_held_by_live_versions() {
     let dir = tmpdir("held");
     let f1 = build_table(&dir, 7, 0, &[(b"x", 1, ValueKind::Put, b"v")]);
-    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    let (mut set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
     let v_with_file = set
         .log_and_apply(VersionEdit {
             new_files: vec![f1],
@@ -167,7 +174,7 @@ fn obsolete_deletion_spares_files_held_by_live_versions() {
 #[test]
 fn bad_edit_is_rejected() {
     let dir = tmpdir("bad-edit");
-    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    let (mut set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
     let r = set.log_and_apply(VersionEdit {
         deleted_files: vec![(0, 999)],
         ..Default::default()
@@ -197,7 +204,7 @@ fn overlap_queries() {
             (b"h", 4, ValueKind::Put, b""),
         ],
     );
-    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    let (mut set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
     set.log_and_apply(VersionEdit {
         new_files: vec![f1, f2],
         ..Default::default()
@@ -239,7 +246,7 @@ fn level_iter_concatenates_files() {
             (b"z", 4, ValueKind::Delete, b""),
         ],
     );
-    let (mut set, _) = VersionSet::open(&dir).unwrap();
+    let (mut set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
     set.log_and_apply(VersionEdit {
         new_files: vec![f1, f2],
         ..Default::default()

@@ -62,14 +62,14 @@ mod tests {
         let path = dir.join("test.log");
         {
             let file = std::fs::File::create(&path).unwrap();
-            let mut w = LogWriter::new(file);
+            let mut w = LogWriter::new(Box::new(file));
             for r in records {
                 w.add_record(r).unwrap();
             }
             w.flush().unwrap();
         }
         let file = std::fs::File::open(&path).unwrap();
-        let mut reader = LogReader::new(file);
+        let mut reader = LogReader::new(Box::new(file));
         let mut out = Vec::new();
         while let Some(rec) = reader.read_record().unwrap() {
             out.push(rec);
@@ -125,22 +125,31 @@ mod tests {
         let path = dir.join("c.log");
         {
             let file = std::fs::File::create(&path).unwrap();
-            let mut w = LogWriter::new(file);
+            let mut w = LogWriter::new(Box::new(file));
             w.add_record(b"good").unwrap();
             w.add_record(b"to-be-corrupted").unwrap();
             w.flush().unwrap();
         }
-        // Flip a payload byte of the second record.
+        // Flip a payload byte of the second record (whose fragment
+        // header starts right after the 4-byte first record).
         let mut bytes = std::fs::read(&path).unwrap();
-        let second_start = HEADER_SIZE + 4 + HEADER_SIZE;
-        bytes[second_start + 2] ^= 0xff;
+        let second_start = HEADER_SIZE + 4;
+        bytes[second_start + HEADER_SIZE + 2] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
 
         let file = std::fs::File::open(&path).unwrap();
-        let mut reader = LogReader::new(file);
+        let mut reader = LogReader::with_path(Box::new(file), &path);
         assert_eq!(reader.read_record().unwrap().unwrap(), b"good");
-        // The corrupted record surfaces as a clean end (tail damage is
-        // expected after a crash) — not as a panic or garbage data.
+        // The corrupted record surfaces as WalTruncated at the offset
+        // of the damaged fragment — not as a panic or garbage data.
+        match reader.read_record() {
+            Err(clsm_util::Error::WalTruncated { file, offset }) => {
+                assert_eq!(file, path);
+                assert_eq!(offset, second_start as u64);
+            }
+            other => panic!("expected WalTruncated, got {other:?}"),
+        }
+        // After the error the reader is fused.
         assert!(reader.read_record().unwrap().is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -152,7 +161,7 @@ mod tests {
         let path = dir.join("t.log");
         {
             let file = std::fs::File::create(&path).unwrap();
-            let mut w = LogWriter::new(file);
+            let mut w = LogWriter::new(Box::new(file));
             w.add_record(b"keep").unwrap();
             w.add_record(&vec![9u8; 1000]).unwrap();
             w.flush().unwrap();
@@ -165,8 +174,15 @@ mod tests {
         drop(f);
 
         let file = std::fs::File::open(&path).unwrap();
-        let mut reader = LogReader::new(file);
+        let mut reader = LogReader::new(Box::new(file));
         assert_eq!(reader.read_record().unwrap().unwrap(), b"keep");
+        // The cut record reports the torn tail at its own offset.
+        match reader.read_record() {
+            Err(clsm_util::Error::WalTruncated { offset, .. }) => {
+                assert_eq!(offset, (HEADER_SIZE + 4) as u64);
+            }
+            other => panic!("expected WalTruncated, got {other:?}"),
+        }
         assert!(reader.read_record().unwrap().is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }

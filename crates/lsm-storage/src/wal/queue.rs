@@ -275,7 +275,7 @@ mod tests {
     }
 
     fn read_all(path: &std::path::Path) -> Vec<Vec<u8>> {
-        let mut reader = LogReader::new(std::fs::File::open(path).unwrap());
+        let mut reader = LogReader::new(Box::new(std::fs::File::open(path).unwrap()));
         let mut out = Vec::new();
         while let Some(r) = reader.read_record().unwrap() {
             out.push(r);
@@ -286,7 +286,9 @@ mod tests {
     #[test]
     fn async_appends_become_durable_on_sync() {
         let path = temp_file("async");
-        let q = LogQueue::start(LogWriter::new(std::fs::File::create(&path).unwrap()));
+        let q = LogQueue::start(LogWriter::new(Box::new(
+            std::fs::File::create(&path).unwrap(),
+        )));
         for i in 0..100u32 {
             q.append(i.to_le_bytes().to_vec(), SyncMode::Async).unwrap();
         }
@@ -300,7 +302,9 @@ mod tests {
     #[test]
     fn sync_append_blocks_until_durable() {
         let path = temp_file("sync");
-        let q = LogQueue::start(LogWriter::new(std::fs::File::create(&path).unwrap()));
+        let q = LogQueue::start(LogWriter::new(Box::new(
+            std::fs::File::create(&path).unwrap(),
+        )));
         q.append(b"hello".to_vec(), SyncMode::Sync).unwrap();
         // Already durable: visible without an extra sync.
         let records = read_all(&path);
@@ -312,10 +316,14 @@ mod tests {
     fn rotation_splits_files() {
         let path_a = temp_file("rot-a");
         let path_b = path_a.with_file_name("b.log");
-        let q = LogQueue::start(LogWriter::new(std::fs::File::create(&path_a).unwrap()));
+        let q = LogQueue::start(LogWriter::new(Box::new(
+            std::fs::File::create(&path_a).unwrap(),
+        )));
         q.append(b"one".to_vec(), SyncMode::Async).unwrap();
-        q.rotate(LogWriter::new(std::fs::File::create(&path_b).unwrap()))
-            .unwrap();
+        q.rotate(LogWriter::new(Box::new(
+            std::fs::File::create(&path_b).unwrap(),
+        )))
+        .unwrap();
         q.append(b"two".to_vec(), SyncMode::Sync).unwrap();
         assert_eq!(read_all(&path_a), vec![b"one".to_vec()]);
         assert_eq!(read_all(&path_b), vec![b"two".to_vec()]);
@@ -325,7 +333,9 @@ mod tests {
     #[test]
     fn concurrent_appenders_all_land() {
         let path = temp_file("conc");
-        let q = LogQueue::start(LogWriter::new(std::fs::File::create(&path).unwrap()));
+        let q = LogQueue::start(LogWriter::new(Box::new(
+            std::fs::File::create(&path).unwrap(),
+        )));
         let mut handles = Vec::new();
         for t in 0..4u8 {
             let q = q.clone();
@@ -347,7 +357,9 @@ mod tests {
     fn drop_drains_queue() {
         let path = temp_file("drop");
         {
-            let q = LogQueue::start(LogWriter::new(std::fs::File::create(&path).unwrap()));
+            let q = LogQueue::start(LogWriter::new(Box::new(
+                std::fs::File::create(&path).unwrap(),
+            )));
             for i in 0..50u32 {
                 q.append(i.to_le_bytes().to_vec(), SyncMode::Async).unwrap();
             }

@@ -1,26 +1,35 @@
 //! WAL writer emitting the LevelDB block/fragment format.
 
-use std::fs::File;
-use std::io::{BufWriter, Write};
-
 use clsm_util::crc;
+use clsm_util::env::WritableFile;
 use clsm_util::error::Result;
 
 use super::{RecordType, BLOCK_SIZE, HEADER_SIZE};
 
 /// Appends records to a log file, fragmenting across 32 KiB blocks.
-#[derive(Debug)]
+///
+/// The destination is any [`WritableFile`]; production code hands in
+/// the (buffered) handle returned by `Env::open_write`, tests can pass
+/// `Box::new(std::fs::File::create(..)?)` directly.
 pub struct LogWriter {
-    dest: BufWriter<File>,
+    dest: Box<dyn WritableFile>,
     /// Offset within the current block.
     block_offset: usize,
 }
 
+impl std::fmt::Debug for LogWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogWriter")
+            .field("block_offset", &self.block_offset)
+            .finish()
+    }
+}
+
 impl LogWriter {
     /// Wraps a freshly created (empty) log file.
-    pub fn new(file: File) -> Self {
+    pub fn new(file: Box<dyn WritableFile>) -> Self {
         LogWriter {
-            dest: BufWriter::new(file),
+            dest: file,
             block_offset: 0,
         }
     }
@@ -35,7 +44,7 @@ impl LogWriter {
                 // Too small for a header: zero-pad to the block end.
                 if leftover > 0 {
                     const ZEROES: [u8; HEADER_SIZE] = [0; HEADER_SIZE];
-                    self.dest.write_all(&ZEROES[..leftover])?;
+                    self.dest.append(&ZEROES[..leftover])?;
                 }
                 self.block_offset = 0;
             }
@@ -69,22 +78,19 @@ impl LogWriter {
         header[..4].copy_from_slice(&masked.to_le_bytes());
         header[4..6].copy_from_slice(&(data.len() as u16).to_le_bytes());
         header[6] = ty as u8;
-        self.dest.write_all(&header)?;
-        self.dest.write_all(data)?;
+        self.dest.append(&header)?;
+        self.dest.append(data)?;
         self.block_offset += HEADER_SIZE + data.len();
         Ok(())
     }
 
     /// Flushes buffered data to the OS.
     pub fn flush(&mut self) -> Result<()> {
-        self.dest.flush()?;
-        Ok(())
+        self.dest.flush()
     }
 
     /// Flushes and fsyncs the file (durable write).
     pub fn sync(&mut self) -> Result<()> {
-        self.dest.flush()?;
-        self.dest.get_ref().sync_data()?;
-        Ok(())
+        self.dest.sync()
     }
 }

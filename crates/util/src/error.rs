@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::io;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Result alias used throughout the cLSM crates.
@@ -17,11 +18,43 @@ pub enum Error {
     Io(Arc<io::Error>),
     /// On-disk data failed a checksum or structural validation.
     Corruption(String),
+    /// A write-ahead log ends in a damaged or incomplete record.
+    ///
+    /// Unlike [`Error::Corruption`], a truncated WAL tail is *expected*
+    /// after a crash: with asynchronous logging the last records may
+    /// never have reached disk, and even a synchronous log can tear
+    /// mid-`fsync`. Recovery treats everything before `offset` as valid
+    /// and everything after it as lost.
+    WalTruncated {
+        /// Path of the damaged log file.
+        file: PathBuf,
+        /// Byte offset of the first damaged fragment; all records that
+        /// end at or before this offset were recovered intact.
+        offset: u64,
+    },
     /// The caller passed an argument the store cannot honor.
     InvalidArgument(String),
     /// An internal invariant was violated; indicates a bug.
     Internal(String),
     /// The database is shutting down and cannot accept the operation.
+    ShuttingDown,
+}
+
+/// Coarse classification of an [`Error`], for callers that dispatch on
+/// the failure class rather than the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// An operating-system I/O failure ([`Error::Io`]).
+    Io,
+    /// Checksum or structural validation failure ([`Error::Corruption`]).
+    Corruption,
+    /// Benign torn log tail ([`Error::WalTruncated`]).
+    WalTruncated,
+    /// Caller error ([`Error::InvalidArgument`]).
+    InvalidArgument,
+    /// Internal invariant violation ([`Error::Internal`]).
+    Internal,
+    /// Shutdown in progress ([`Error::ShuttingDown`]).
     ShuttingDown,
 }
 
@@ -40,6 +73,57 @@ impl Error {
     pub fn internal(msg: impl Into<String>) -> Self {
         Error::Internal(msg.into())
     }
+
+    /// Builds a torn-log-tail error for `file` at byte `offset`.
+    pub fn wal_truncated(file: impl Into<PathBuf>, offset: u64) -> Self {
+        Error::WalTruncated {
+            file: file.into(),
+            offset,
+        }
+    }
+
+    /// Returns the coarse classification of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Io(_) => ErrorKind::Io,
+            Error::Corruption(_) => ErrorKind::Corruption,
+            Error::WalTruncated { .. } => ErrorKind::WalTruncated,
+            Error::InvalidArgument(_) => ErrorKind::InvalidArgument,
+            Error::Internal(_) => ErrorKind::Internal,
+            Error::ShuttingDown => ErrorKind::ShuttingDown,
+        }
+    }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Transient OS-level I/O failures (interrupted syscalls, momentary
+    /// resource exhaustion) are retryable; corruption, torn logs, caller
+    /// errors, internal bugs, and shutdown are not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            Error::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::Interrupted
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::ResourceBusy
+            ),
+            _ => false,
+        }
+    }
+
+    /// The underlying [`io::ErrorKind`] when this is an I/O error.
+    pub fn io_kind(&self) -> Option<io::ErrorKind> {
+        match self {
+            Error::Io(e) => Some(e.kind()),
+            _ => None,
+        }
+    }
+
+    /// Whether this error reports a missing file or directory.
+    pub fn is_not_found(&self) -> bool {
+        self.io_kind() == Some(io::ErrorKind::NotFound)
+    }
 }
 
 impl fmt::Display for Error {
@@ -47,6 +131,9 @@ impl fmt::Display for Error {
         match self {
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::WalTruncated { file, offset } => {
+                write!(f, "WAL truncated: {} at offset {offset}", file.display())
+            }
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::ShuttingDown => write!(f, "database is shutting down"),
@@ -82,6 +169,8 @@ mod tests {
         let e = Error::from(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
         assert_eq!(Error::ShuttingDown.to_string(), "database is shutting down");
+        let e = Error::wal_truncated("000007.log", 4096);
+        assert_eq!(e.to_string(), "WAL truncated: 000007.log at offset 4096");
     }
 
     #[test]
@@ -90,5 +179,24 @@ mod tests {
         let e2 = e.clone();
         assert!(std::error::Error::source(&e2).is_some());
         assert!(std::error::Error::source(&Error::internal("x")).is_none());
+    }
+
+    #[test]
+    fn kinds_and_retryability() {
+        assert_eq!(Error::corruption("x").kind(), ErrorKind::Corruption);
+        assert_eq!(
+            Error::wal_truncated("a.log", 0).kind(),
+            ErrorKind::WalTruncated
+        );
+        assert_eq!(Error::ShuttingDown.kind(), ErrorKind::ShuttingDown);
+        assert_eq!(Error::internal("x").kind(), ErrorKind::Internal);
+
+        let interrupted = Error::from(io::Error::new(io::ErrorKind::Interrupted, "eintr"));
+        assert!(interrupted.is_retryable());
+        let missing = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(!missing.is_retryable());
+        assert!(missing.is_not_found());
+        assert!(!Error::corruption("x").is_retryable());
+        assert!(!Error::wal_truncated("a.log", 0).is_retryable());
     }
 }

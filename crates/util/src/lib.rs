@@ -21,6 +21,8 @@
 //!   (readers pin, writers defer destruction).
 //! - [`channel`] — the MPMC queue feeding the WAL logger thread (the
 //!   paper's non-blocking logging queue, §4).
+//! - [`mod@env`] — the injectable storage environment ([`env::RealEnv`] for
+//!   production, [`env::FaultEnv`] for deterministic crash injection).
 //! - [`bloom`], [`coding`], [`crc`] — encoding substrates for the disk
 //!   component (Bloom filters, varints, CRC32C).
 //! - [`histogram`] — latency histograms for the evaluation harness.
@@ -37,6 +39,7 @@ pub mod bloom;
 pub mod channel;
 pub mod coding;
 pub mod crc;
+pub mod env;
 pub mod epoch;
 pub mod error;
 pub mod histogram;

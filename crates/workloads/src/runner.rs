@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use clsm_baselines::KvStore;
+use clsm_baselines::{KvStore, ScanRange};
 use clsm_util::error::Result;
 use clsm_util::histogram::Histogram;
 
@@ -173,7 +173,7 @@ fn worker(
         } else if dice < spec.mix.read_pct + spec.mix.write_pct + spec.mix.scan_pct {
             let key = gen.next_key(&mut rng);
             let len = rng.random_range(spec.scan_len.0..=spec.scan_len.1);
-            let got = store.scan(&key, len)?;
+            let got = store.scan(ScanRange::from_start(key.clone()), len)?;
             got.len() as u64
         } else {
             let key = gen.next_key(&mut rng);

@@ -239,7 +239,12 @@ pub fn replay_trace(store: &Arc<dyn KvStore>, path: &Path, threads: usize) -> Re
                     TraceOp::Put(k, v) => store.put(k, v)?,
                     TraceOp::Delete(k) => store.delete(k)?,
                     TraceOp::Scan(k, len) => {
-                        stats.scanned_keys += store.scan(k, *len as usize)?.len() as u64;
+                        stats.scanned_keys += store
+                            .scan(
+                                clsm_baselines::ScanRange::from_start(k.clone()),
+                                *len as usize,
+                            )?
+                            .len() as u64;
                     }
                 }
                 stats.ops += 1;

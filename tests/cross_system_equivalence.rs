@@ -5,7 +5,9 @@
 
 use std::sync::Arc;
 
-use clsm_repro::baselines::{BlsmLike, HyperLike, KvStore, LevelDbLike, RocksLike, StripedRmw};
+use clsm_repro::baselines::{
+    BlsmLike, HyperLike, KvStore, LevelDbLike, RocksLike, ScanRange, StripedRmw,
+};
 use clsm_repro::clsm::{Db, Options};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -77,7 +79,7 @@ type Observation = (Vec<Option<Vec<u8>>>, Vec<(Vec<u8>, Vec<u8>)>);
 /// Full observable state: every key's value plus a complete scan.
 fn observe(store: &dyn KvStore) -> Observation {
     let gets = (0..300u32).map(|k| store.get(&key(k)).unwrap()).collect();
-    let scan = store.scan(b"", usize::MAX).unwrap();
+    let scan = store.scan(ScanRange::all(), usize::MAX).unwrap();
     (gets, scan)
 }
 

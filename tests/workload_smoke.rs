@@ -175,7 +175,7 @@ fn runs_are_deterministic_in_op_content() {
     } else {
         (s2.clone(), s1.clone())
     };
-    for (k, _) in small.scan(b"", usize::MAX).unwrap() {
+    for (k, _) in small.scan((..).into(), usize::MAX).unwrap() {
         assert!(
             large.get(&k).unwrap().is_some(),
             "non-deterministic key {k:?}"
