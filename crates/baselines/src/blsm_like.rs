@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, ScanRange};
+use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
 use crate::core::BaselineCore;
 
 /// A bLSM-style store: single writer, gear-throttled against merges.
@@ -117,6 +117,43 @@ impl KvStore for BlsmLike {
         self.core.maybe_sync()?;
         self.core.maybe_schedule_flush();
         Ok(stored)
+    }
+
+    fn read_modify_write(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<&[u8]>) -> RmwDecision,
+    ) -> Result<RmwResult> {
+        // Single-writer design: the whole read-decide-write holds the
+        // global mutex, same as every other write.
+        self.gear_throttle();
+        self.core.stall_if_needed();
+        let result = {
+            let _g = self.global.lock();
+            let current = self.core.get_at(key, self.core.visible())?;
+            match f(current.as_deref()) {
+                RmwDecision::Abort => RmwResult {
+                    committed: false,
+                    previous: current,
+                },
+                decision => {
+                    let value = match &decision {
+                        RmwDecision::Update(v) => Some(v.as_slice()),
+                        _ => None,
+                    };
+                    let seq = self.core.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                    self.core.apply_write(key, value, seq)?;
+                    self.core.publish(seq);
+                    RmwResult {
+                        committed: true,
+                        previous: current,
+                    }
+                }
+            }
+        };
+        self.core.maybe_sync()?;
+        self.core.maybe_schedule_flush();
+        Ok(result)
     }
 
     fn quiesce(&self) -> Result<()> {

@@ -37,7 +37,7 @@ mod rocks_like;
 mod striped_rmw;
 
 pub use blsm_like::BlsmLike;
-pub use common::{KvSnapshot, KvStore, ScanRange};
+pub use common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
 pub use hyper_like::HyperLike;
 pub use leveldb_like::LevelDbLike;
 pub use partitioned::Partitioned;

@@ -9,7 +9,7 @@
 
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, ScanRange};
+use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
 
 /// N stores, each owning a contiguous key range.
 pub struct Partitioned<S: KvStore> {
@@ -99,6 +99,16 @@ impl<S: KvStore> KvStore for Partitioned<S> {
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
         self.parts[self.partition_of(key)].put_if_absent(key, value)
+    }
+
+    fn read_modify_write(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<&[u8]>) -> RmwDecision,
+    ) -> Result<RmwResult> {
+        // Single-key, so routing preserves whatever atomicity the
+        // owning partition provides.
+        self.parts[self.partition_of(key)].read_modify_write(key, f)
     }
 
     fn quiesce(&self) -> Result<()> {

@@ -15,7 +15,7 @@ use clsm::Options;
 use clsm_util::bloom::hash_seeded;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, ScanRange};
+use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
 use crate::leveldb_like::LevelDbLike;
 
 /// Number of stripes (a power of two).
@@ -87,6 +87,37 @@ impl KvStore for StripedRmw {
         }
         self.db.put(key, value)?;
         Ok(true)
+    }
+
+    fn read_modify_write(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<&[u8]>) -> RmwDecision,
+    ) -> Result<RmwResult> {
+        // The textbook striped protocol: hold the key's stripe across
+        // read, decide, and write.
+        let _stripe = self.stripe(key).lock();
+        let current = self.db.get(key)?;
+        match f(current.as_deref()) {
+            RmwDecision::Update(v) => {
+                self.db.put(key, &v)?;
+                Ok(RmwResult {
+                    committed: true,
+                    previous: current,
+                })
+            }
+            RmwDecision::Delete => {
+                self.db.delete(key)?;
+                Ok(RmwResult {
+                    committed: true,
+                    previous: current,
+                })
+            }
+            RmwDecision::Abort => Ok(RmwResult {
+                committed: false,
+                previous: current,
+            }),
+        }
     }
 
     fn quiesce(&self) -> Result<()> {

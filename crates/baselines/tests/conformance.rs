@@ -2,6 +2,7 @@
 //! KV semantics as cLSM, since the benchmarks attribute differences
 //! purely to concurrency control.
 
+use std::ops::Bound;
 use std::sync::Arc;
 
 use clsm::Options;
@@ -109,6 +110,68 @@ fn exercise(store: &dyn KvStore) {
         inclusive.last().map(|(k, _)| k.as_slice()),
         Some(&b"bulk000102"[..]),
         "{}: inclusive range end",
+        store.name()
+    );
+
+    // ScanRange edge cases. An inverted range (start past end) selects
+    // nothing — it must return empty, not wrap or panic.
+    let inverted = store
+        .scan((b"bulk000200".to_vec()..b"bulk000100".to_vec()).into(), 100)
+        .unwrap();
+    assert!(
+        inverted.is_empty(),
+        "{}: inverted range returned {} entries",
+        store.name(),
+        inverted.len()
+    );
+    // `Excluded(k) .. Included(k)` pinches to the empty set: the start
+    // normalizes to successor(k) (the PR 4 `start_key` rule), which
+    // lies strictly past the only key the end would admit.
+    let pinched = store
+        .scan(
+            ScanRange {
+                start: Bound::Excluded(b"bulk000102".to_vec()),
+                end: Bound::Included(b"bulk000102".to_vec()),
+            },
+            100,
+        )
+        .unwrap();
+    assert!(
+        pinched.is_empty(),
+        "{}: Excluded(k)..=k must be empty",
+        store.name()
+    );
+    // An excluded start skips its own key but nothing else.
+    let excluded_start = store
+        .scan(
+            ScanRange {
+                start: Bound::Excluded(b"bulk000098".to_vec()),
+                end: Bound::Unbounded,
+            },
+            2,
+        )
+        .unwrap();
+    let keys: Vec<&[u8]> = excluded_start.iter().map(|(k, _)| k.as_slice()).collect();
+    assert_eq!(
+        keys,
+        vec![&b"bulk000099"[..], b"bulk000101"], // 100 deleted above
+        "{}: excluded start",
+        store.name()
+    );
+    // The unbounded-start mirror of `from_start`: an end-bounded range
+    // beginning at the smallest key in the store.
+    let head = store.scan((..=b"bulk000001".to_vec()).into(), 100).unwrap();
+    let keys: Vec<&[u8]> = head.iter().map(|(k, _)| k.as_slice()).collect();
+    assert_eq!(
+        keys,
+        vec![&b"bulk000000"[..], b"bulk000001"],
+        "{}: unbounded start",
+        store.name()
+    );
+    // A zero limit is a valid request for nothing.
+    assert!(
+        store.scan(ScanRange::all(), 0).unwrap().is_empty(),
+        "{}: zero limit",
         store.name()
     );
 

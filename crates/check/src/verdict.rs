@@ -1,0 +1,250 @@
+//! Verdicts: one JSON object per checked run, plus counterexample
+//! minimization.
+//!
+//! The soak binary emits these (one per line with `--json`) so CI and
+//! EXPERIMENTS.md recipes can archive and diff them. A failing verdict
+//! carries the minimized counterexample inline; the full history file
+//! is written separately for `clsm-check --replay`.
+
+use std::collections::HashSet;
+
+use clsm_kv::record::{KvEvent, KvOp, RmwApplied};
+
+use crate::history;
+use crate::lin::{self, LinOutcome};
+use crate::snapcheck::{self, CheckMode, RecoveredState, SnapViolation};
+
+/// Everything the checkers concluded about one run.
+#[derive(Debug)]
+pub struct Verdict {
+    /// Store name (`KvStore::name` of the system under test).
+    pub system: String,
+    /// `clean` or `crash`.
+    pub mode: String,
+    /// `serializable` or `linearizable`.
+    pub check: String,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Events in the checked history.
+    pub events: usize,
+    /// `true` when every check passed.
+    pub pass: bool,
+    /// Failure descriptions (empty on pass).
+    pub failures: Vec<String>,
+    /// Minimized counterexample, when a failure admitted one.
+    pub counterexample: Vec<KvEvent>,
+}
+
+impl Verdict {
+    /// Serializes the verdict as one JSON object.
+    pub fn to_json(&self) -> String {
+        let failures: Vec<String> = self
+            .failures
+            .iter()
+            .map(|f| format!("\"{}\"", escape(f)))
+            .collect();
+        let cex: Vec<String> = self
+            .counterexample
+            .iter()
+            .map(history::event_to_json)
+            .collect();
+        format!(
+            "{{\"system\":\"{}\",\"mode\":\"{}\",\"check\":\"{}\",\"seed\":{},\
+             \"events\":{},\"pass\":{},\"failures\":[{}],\"counterexample\":[{}]}}",
+            escape(&self.system),
+            escape(&self.mode),
+            escape(&self.check),
+            self.seed,
+            self.events,
+            self.pass,
+            failures.join(","),
+            cex.join(",")
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// (key, observed value) pairs this event observed; `None` = absent.
+fn observed(e: &KvEvent, out: &mut Vec<(Vec<u8>, Option<Vec<u8>>)>) {
+    match &e.op {
+        KvOp::Get { key, result } | KvOp::SnapshotGet { key, result, .. } => {
+            out.push((key.clone(), result.clone()));
+        }
+        KvOp::Rmw { key, prev, .. } => out.push((key.clone(), prev.clone())),
+        KvOp::Scan { result, .. } => {
+            out.extend(result.iter().map(|(k, v)| (k.clone(), Some(v.clone()))));
+        }
+        _ => {}
+    }
+}
+
+/// (key, written value) pairs this event wrote; `None` = delete.
+fn written(e: &KvEvent, out: &mut HashSet<(Vec<u8>, Option<Vec<u8>>)>) {
+    match &e.op {
+        KvOp::Put { key, value }
+        | KvOp::PutIfAbsent {
+            key,
+            value,
+            stored: true,
+        } => {
+            out.insert((key.clone(), Some(value.clone())));
+        }
+        KvOp::Delete { key } => {
+            out.insert((key.clone(), None));
+        }
+        KvOp::Rmw { key, applied, .. } => match applied {
+            RmwApplied::Update(v) => {
+                out.insert((key.clone(), Some(v.clone())));
+            }
+            RmwApplied::Delete => {
+                out.insert((key.clone(), None));
+            }
+            RmwApplied::Abort => {}
+        },
+        KvOp::WriteBatch { entries, .. } => {
+            for (k, v) in entries {
+                out.insert((k.clone(), v.clone()));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Values written anywhere in the full history: minimization must not
+/// drop the writer of a value (or, for observed absences, every
+/// deleter) the slice still observes, or real failures degenerate into
+/// uninformative fabricated ones — removing a write from a
+/// linearizable history can make the remainder non-linearizable.
+fn write_set(events: &[KvEvent]) -> HashSet<(Vec<u8>, Option<Vec<u8>>)> {
+    let mut set = HashSet::new();
+    for e in events {
+        written(e, &mut set);
+    }
+    set
+}
+
+/// `true` when every value `slice` observes that the full history
+/// wrote still has a writer in `slice`.
+fn is_closed(slice: &[KvEvent], full_writes: &HashSet<(Vec<u8>, Option<Vec<u8>>)>) -> bool {
+    let mut slice_writes = HashSet::new();
+    for e in slice {
+        written(e, &mut slice_writes);
+    }
+    let mut obs = Vec::new();
+    for e in slice {
+        observed(e, &mut obs);
+    }
+    obs.iter()
+        .all(|kv| !full_writes.contains(kv) || slice_writes.contains(kv))
+}
+
+/// Runs both checkers over `events` (and the recovered state, for
+/// crash runs) and assembles the verdict.
+pub fn check_history(
+    system: &str,
+    mode: &str,
+    seed: u64,
+    events: &[KvEvent],
+    recovered: Option<&RecoveredState>,
+    check_mode: CheckMode,
+) -> Verdict {
+    let mut failures = Vec::new();
+    let mut counterexample = Vec::new();
+    let full_writes = write_set(events);
+
+    match lin::check_linearizable(events) {
+        LinOutcome::Ok => {}
+        LinOutcome::Violation(v) => {
+            failures.push(format!("linearizability: {}", v.detail));
+            // Minimize within the failing key's subhistory: the other
+            // keys cannot matter (the register spec is per-key).
+            let slice: Vec<KvEvent> = v.events.iter().map(|&i| events[i].clone()).collect();
+            counterexample = lin::minimize(&slice, |ev| {
+                is_closed(ev, &full_writes)
+                    && matches!(lin::check_linearizable(ev), LinOutcome::Violation(_))
+            });
+        }
+        LinOutcome::Inconclusive { key } => {
+            failures.push(format!(
+                "linearizability: search budget exhausted on key {key:02x?} (inconclusive)"
+            ));
+        }
+    }
+
+    let snap_violations = snapcheck::check_snapshots(events, check_mode);
+    push_snap_failures(
+        &snap_violations,
+        events,
+        &mut failures,
+        &mut counterexample,
+        |ev| is_closed(ev, &full_writes) && !snapcheck::check_snapshots(ev, check_mode).is_empty(),
+    );
+
+    if let Some(recovered) = recovered {
+        let rec_violations = snapcheck::check_recovery(events, recovered);
+        push_snap_failures(
+            &rec_violations,
+            events,
+            &mut failures,
+            &mut counterexample,
+            |ev| {
+                is_closed(ev, &full_writes) && !snapcheck::check_recovery(ev, recovered).is_empty()
+            },
+        );
+    }
+
+    Verdict {
+        system: system.to_string(),
+        mode: mode.to_string(),
+        check: match check_mode {
+            CheckMode::Serializable => "serializable".to_string(),
+            CheckMode::Linearizable => "linearizable".to_string(),
+        },
+        seed,
+        events: events.len(),
+        pass: failures.is_empty(),
+        failures,
+        counterexample,
+    }
+}
+
+fn push_snap_failures<F>(
+    violations: &[SnapViolation],
+    events: &[KvEvent],
+    failures: &mut Vec<String>,
+    counterexample: &mut Vec<KvEvent>,
+    mut still_fails: F,
+) where
+    F: FnMut(&[KvEvent]) -> bool,
+{
+    for v in violations {
+        failures.push(format!("{}: {}", v.condition, v.detail));
+    }
+    if let Some(first) = violations.first() {
+        if counterexample.is_empty() {
+            // Seed the shrink with the events the violation names plus
+            // everything touching its key — enough context to stay
+            // failing, small enough to shrink fast.
+            let mut slice: Vec<KvEvent> = events
+                .iter()
+                .enumerate()
+                .filter(|(i, e)| {
+                    first.events.contains(i)
+                        || e.op.key().is_some_and(|k| k == first.key.as_slice())
+                })
+                .map(|(_, e)| e.clone())
+                .collect();
+            if !still_fails(&slice) {
+                // Context beyond the key mattered (scans, batches);
+                // fall back to the whole history.
+                slice = events.to_vec();
+            }
+            if still_fails(&slice) {
+                *counterexample = lin::minimize(&slice, still_fails);
+            }
+        }
+    }
+}

@@ -262,19 +262,38 @@ impl Db {
         inner.stall_if_needed();
 
         {
-            // Algorithm 2, put: shared lock → getTS → log → insert →
+            // Algorithm 2, put: shared lock → getTS → insert → log →
             // Active.remove. The WAL enqueue is non-blocking (logging
             // queue); the insert is lock-free.
+            //
+            // The insert must land as the key's *newest* version: a
+            // concurrent RMW can read the current latest, obtain a
+            // later timestamp, and link first — a plain insert would
+            // then slide below it, silently shadowed, retroactively
+            // invalidating the RMW's observed "latest" (a lost
+            // update). On conflict the abandoned stamp is published
+            // (so snapshot creation keeps moving) and the write
+            // re-stamps; the conflicting writer has already made
+            // progress, so the loop is non-blocking. The WAL record
+            // carries the final timestamp — recovery orders replay by
+            // timestamp, not log position, so logging after the insert
+            // leaves the recovered image unchanged.
             let _span = T_PUT.span_with(key.len() as u64);
             let _shared = inner.lock.lock_shared();
-            let stamp = inner.oracle.get_ts();
+            let stamp = loop {
+                let stamp = inner.oracle.get_ts();
+                match inner.pm.load().insert_as_newest(key, stamp.ts, value) {
+                    Ok(()) => break stamp,
+                    Err(_conflict) => inner.oracle.publish(stamp),
+                }
+            };
             let record = match value {
                 Some(v) => WriteRecord::put(stamp.ts, key, v),
                 None => WriteRecord::delete(stamp.ts, key),
             };
-            inner.store.log(&[record], SyncMode::Async)?;
-            inner.pm.load().insert(key, stamp.ts, value);
+            let logged = inner.store.log(&[record], SyncMode::Async);
             inner.oracle.publish(stamp);
+            logged?;
         }
         if inner.opts.sync_writes {
             // Group-committed durability wait happens outside the

@@ -1,7 +1,7 @@
 //! [`KvStore`] implementation for [`Db`], making cLSM a drop-in peer
 //! of the baseline systems in the workload driver and benchmarks.
 
-use clsm_kv::{KvSnapshot, KvStore, ScanRange};
+use clsm_kv::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
 use clsm_util::error::Result;
 use clsm_util::metrics::MetricsSnapshot;
 
@@ -37,6 +37,14 @@ impl KvStore for Db {
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
         Db::put_if_absent(self, key, value)
+    }
+
+    fn read_modify_write(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<&[u8]>) -> RmwDecision,
+    ) -> Result<RmwResult> {
+        Db::read_modify_write(self, key, f)
     }
 
     fn quiesce(&self) -> Result<()> {
@@ -94,6 +102,14 @@ impl KvStore for ShardedDb {
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
         ShardedDb::put_if_absent(self, key, value)
+    }
+
+    fn read_modify_write(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<&[u8]>) -> RmwDecision,
+    ) -> Result<RmwResult> {
+        ShardedDb::read_modify_write(self, key, f)
     }
 
     fn quiesce(&self) -> Result<()> {

@@ -40,6 +40,20 @@ pub trait MemComponent: Send + Sync + 'static {
     /// call from many threads.
     fn insert(&self, key: &[u8], ts: u64, value: Option<&[u8]>);
 
+    /// Inserts a version **iff** no newer version of `key` exists,
+    /// atomically with respect to concurrent inserts; returns
+    /// [`Conflict`] (inserting nothing) otherwise.
+    ///
+    /// Plain writers stamp their timestamp before inserting, so a
+    /// conditional (RMW) writer can read the current latest, obtain a
+    /// later timestamp, and insert first — the plain writer's version
+    /// would then land *below* it, silently shadowed, retroactively
+    /// invalidating what the RMW observed. Writers therefore insert
+    /// through this check and re-stamp on conflict; unconditional
+    /// [`MemComponent::insert`] remains for recovery replay and merges,
+    /// where arbitrary timestamp order is legitimate.
+    fn insert_as_newest(&self, key: &[u8], ts: u64, value: Option<&[u8]>) -> Result<(), Conflict>;
+
     /// Newest version of `key` with timestamp ≤ `max_ts`.
     fn get_latest(&self, key: &[u8], max_ts: u64) -> Option<VersionedValue>;
 
@@ -72,6 +86,10 @@ pub trait MemComponent: Send + Sync + 'static {
 impl MemComponent for Memtable {
     fn insert(&self, key: &[u8], ts: u64, value: Option<&[u8]>) {
         Memtable::insert(self, key, ts, value);
+    }
+
+    fn insert_as_newest(&self, key: &[u8], ts: u64, value: Option<&[u8]>) -> Result<(), Conflict> {
+        Memtable::insert_as_newest(self, key, ts, value)
     }
 
     fn get_latest(&self, key: &[u8], max_ts: u64) -> Option<VersionedValue> {
@@ -141,6 +159,26 @@ impl MemComponent for LockedMemtable {
             .insert((key.to_vec(), Reverse(ts)), value.map(<[u8]>::to_vec));
         self.bytes.fetch_add(charge as u64, Ordering::Relaxed);
         self.max_ts.fetch_max(ts, Ordering::Relaxed);
+    }
+
+    fn insert_as_newest(&self, key: &[u8], ts: u64, value: Option<&[u8]>) -> Result<(), Conflict> {
+        let charge = key.len() + value.map_or(0, <[u8]>::len) + 48;
+        let mut map = self.map.lock();
+        // Newest-first within a key: the first entry at or after
+        // `(key, Reverse(MAX))` is the key's latest version, if any.
+        let newest = map
+            .range((key.to_vec(), Reverse(u64::MAX))..)
+            .next()
+            .filter(|((k, _), _)| k == key)
+            .map(|((_, Reverse(t)), _)| *t);
+        if newest.is_some_and(|t| t > ts) {
+            return Err(Conflict);
+        }
+        map.insert((key.to_vec(), Reverse(ts)), value.map(<[u8]>::to_vec));
+        drop(map);
+        self.bytes.fetch_add(charge as u64, Ordering::Relaxed);
+        self.max_ts.fetch_max(ts, Ordering::Relaxed);
+        Ok(())
     }
 
     fn get_latest(&self, key: &[u8], max_ts: u64) -> Option<VersionedValue> {
@@ -255,6 +293,20 @@ mod tests {
     #[test]
     fn locked_btreemap_component_contract() {
         exercise(MemtableKind::LockedBTreeMap.create());
+    }
+
+    #[test]
+    fn insert_as_newest_on_both_kinds() {
+        for kind in [MemtableKind::LockFreeSkipList, MemtableKind::LockedBTreeMap] {
+            let c = kind.create();
+            c.insert_as_newest(b"k", 5, Some(b"v5")).unwrap();
+            assert_eq!(c.insert_as_newest(b"k", 3, Some(b"x")), Err(Conflict));
+            c.insert_as_newest(b"k", 7, None).unwrap();
+            c.insert_as_newest(b"other", 1, Some(b"vo")).unwrap();
+            assert_eq!(c.get_latest(b"k", u64::MAX >> 1), Some((7, None)));
+            assert_eq!(c.get_latest(b"k", 6), Some((5, Some(b"v5".to_vec()))));
+            assert_eq!(c.max_ts(), 7);
+        }
     }
 
     #[test]

@@ -37,6 +37,22 @@ impl Memtable {
         self.max_ts.fetch_max(ts, Ordering::Relaxed);
     }
 
+    /// Inserts iff no newer version of `key` exists (see
+    /// [`SkipList::insert_as_newest`]); writers that stamp before
+    /// inserting use this and re-stamp on conflict.
+    pub fn insert_as_newest(
+        &self,
+        key: &[u8],
+        ts: u64,
+        value: Option<&[u8]>,
+    ) -> Result<(), Conflict> {
+        let r = self.list.insert_as_newest(key, ts, value);
+        if r.is_ok() {
+            self.max_ts.fetch_max(ts, Ordering::Relaxed);
+        }
+        r
+    }
+
     /// Algorithm 3's conditional insert (see
     /// [`SkipList::insert_if_latest`]).
     pub fn insert_if_latest(

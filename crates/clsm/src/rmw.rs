@@ -25,25 +25,11 @@ static T_RMW: TraceId = TraceId::new("clsm.rmw.critical");
 static T_RMW_CONFLICT: TraceId = TraceId::new("clsm.rmw.conflict");
 
 /// What a read-modify-write function wants done with the key.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RmwDecision {
-    /// Store this value as the new version.
-    Update(Vec<u8>),
-    /// Store a deletion marker.
-    Delete,
-    /// Leave the key untouched (e.g. put-if-absent finding a value).
-    Abort,
-}
-
-/// Outcome of a read-modify-write.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RmwResult {
-    /// `true` if a new version was written; `false` on `Abort`.
-    pub committed: bool,
-    /// The value the *final, successful* attempt observed (the input
-    /// to the decision that was applied).
-    pub previous: Option<Vec<u8>>,
-}
+///
+/// Re-exported from [`clsm_kv`] — the type lives in the interface
+/// crate so [`clsm_kv::KvStore::read_modify_write`] can be exercised
+/// black-box against every evaluated system.
+pub use clsm_kv::{RmwDecision, RmwResult};
 
 impl Db {
     /// Atomically applies `f` to the current value of `key`

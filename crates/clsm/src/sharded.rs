@@ -29,12 +29,12 @@
 //!
 //! # Locking protocol (deadlock freedom)
 //!
-//! Both multi-shard operations acquire per-shard shared locks in
-//! **ascending shard order** and do only non-blocking work while
-//! holding them:
+//! Both multi-shard operations acquire per-shard locks in **ascending
+//! shard order** and do only non-blocking work while holding them:
 //!
-//! - `write_batch`: lock touched shards (shared, ascending) → `getTS`
-//!   (one stamp) → log + insert on each shard → `publish` → unlock.
+//! - `write_batch`: lock touched shards (exclusive, ascending — see
+//!   [`ShardedDb::write_batch`] for why exclusive) → `getTS` (one
+//!   stamp) → log + insert on each shard → `publish` → unlock.
 //! - `snapshot`: lock all shards (shared, ascending) →
 //!   [`TimestampOracle::get_snap_publish`] (non-blocking half) →
 //!   register → unlock → [`TimestampOracle::wait_snap_visible`].
@@ -337,15 +337,40 @@ impl ShardedDb {
         self.shard_for(key).put_if_absent(key, value)
     }
 
+    /// Atomically applies `f` to the current value of `key`
+    /// (Algorithm 3 on the owning shard).
+    ///
+    /// A key lives on exactly one shard, so the shard-local optimistic
+    /// conflict detection carries the whole guarantee; the shared
+    /// oracle stamps the write exactly as it would on a monolithic
+    /// [`Db`].
+    pub fn read_modify_write<F>(&self, key: &[u8], f: F) -> Result<crate::RmwResult>
+    where
+        F: FnMut(Option<&[u8]>) -> crate::RmwDecision,
+    {
+        self.shard_for(key).read_modify_write(key, f)
+    }
+
     /// Atomically applies a batch that may span shards.
     ///
     /// Every entry is written at **one** shared timestamp, acquired
-    /// while holding the touched shards' locks (shared mode, ascending
-    /// order) and published only after every shard's log append and
-    /// memtable insert landed. A concurrent [`ShardedDb::snapshot`]
-    /// therefore sees the whole batch or none of it: its `getSnap`
-    /// time is below the batch stamp while the stamp is active, and at
-    /// or above it only once all inserts are visible.
+    /// while holding the touched shards' locks (**exclusive** mode,
+    /// ascending order — batches are the one operation cLSM keeps
+    /// coarse-grained, as on [`Db`]) and published only after every
+    /// shard's log append and memtable insert landed. A concurrent
+    /// [`ShardedDb::snapshot`] therefore sees the whole batch or none
+    /// of it: its `getSnap` time is below the batch stamp while the
+    /// stamp is active, and at or above it only once all inserts are
+    /// visible.
+    ///
+    /// Exclusive mode also guarantees the batch stamp is the newest
+    /// version for every touched key: single-key writers (put, RMW)
+    /// hold their shard's lock in shared mode across their whole
+    /// stamp→insert window, so by the time the batch holds the lock no
+    /// lower stamp destined for a touched shard is still in flight,
+    /// and none can be issued until the batch releases. Without that,
+    /// a racing RMW could read a pre-batch value, stamp later, and
+    /// insert first — shadowing the batch's entry (a lost update).
     ///
     /// Duplicate keys keep the last occurrence (all entries share one
     /// timestamp, so "later wins within the batch" must be resolved
@@ -381,12 +406,12 @@ impl ShardedDb {
             self.shards[s].inner().stall_if_needed();
         }
 
-        // Ascending shared locks on every touched shard, then one
+        // Ascending exclusive locks on every touched shard, then one
         // stamp for the whole batch. Everything under the locks is
         // non-blocking (see the module docs' deadlock argument).
         let guards: Vec<_> = per_shard
             .keys()
-            .map(|&s| self.shards[s].inner().lock.lock_shared())
+            .map(|&s| self.shards[s].inner().lock.lock_exclusive())
             .collect();
         let stamp = self.oracle.get_ts();
         let mut result = Ok(());
@@ -664,10 +689,11 @@ impl ShardedSnapshot {
         let mut out = Vec::with_capacity(limit.min(1024));
         for view in &self.views[partition_of(&self.boundaries, &start)..] {
             for item in view.range(&start, end.as_deref())? {
-                out.push(item?);
+                // Check before pushing so `limit = 0` yields nothing.
                 if out.len() >= limit {
                     return Ok(out);
                 }
+                out.push(item?);
             }
             // Shard ranges are disjoint and ascending, so continuing
             // from the same `start` on the next shard keeps order.

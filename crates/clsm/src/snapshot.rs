@@ -92,10 +92,11 @@ impl Snapshot {
     {
         let mut out = Vec::with_capacity(limit.min(1024));
         for item in self.range_bounds(range)? {
-            out.push(item?);
+            // Check before pushing so `limit = 0` yields nothing.
             if out.len() >= limit {
                 break;
             }
+            out.push(item?);
         }
         Ok(out)
     }

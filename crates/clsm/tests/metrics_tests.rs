@@ -59,6 +59,14 @@ fn mixed_workload(db: &Arc<Db>) {
         }
         let db2 = Arc::clone(db);
         scope.spawn(move || {
+            // Let some writes land first, so the snapshots' `getSnap`
+            // times are non-zero even when a loaded scheduler starts
+            // this thread well before the writers (the `snap_time`
+            // gauge assertion below needs at least one snapshot taken
+            // after a write).
+            while db2.stats().puts == 0 {
+                std::thread::yield_now();
+            }
             // Each `range` takes a snapshot internally, so this also
             // exercises the snapshot-latency instrument.
             for _ in 0..20 {

@@ -27,6 +27,33 @@ use std::ops::{Bound, RangeBounds};
 pub use clsm_util::error::{Error, Result};
 pub use clsm_util::metrics::MetricsSnapshot;
 
+pub mod record;
+
+/// What a read-modify-write function wants done with the key.
+///
+/// Defined here (rather than in the `clsm` crate, where the paper's
+/// Algorithm 3 lives) so that [`KvStore::read_modify_write`] can be
+/// exercised black-box against every evaluated system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RmwDecision {
+    /// Store this value as the new version.
+    Update(Vec<u8>),
+    /// Store a deletion marker.
+    Delete,
+    /// Leave the key untouched (e.g. put-if-absent finding a value).
+    Abort,
+}
+
+/// Outcome of a read-modify-write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RmwResult {
+    /// `true` if a new version was written; `false` on `Abort`.
+    pub committed: bool,
+    /// The value the *final, successful* attempt observed (the input
+    /// to the decision that was applied).
+    pub previous: Option<Vec<u8>>,
+}
+
 /// An owned key range for [`KvSnapshot::scan`] / [`KvStore::scan`].
 ///
 /// `RangeBounds` itself is not object-safe as a method parameter of a
@@ -240,6 +267,27 @@ pub trait KvStore: Send + Sync {
     /// Atomically stores `value` if `key` is absent; returns `true` if
     /// stored.
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool>;
+
+    /// Atomically applies `f` to the current value of `key` (the
+    /// paper's Algorithm 3 for cLSM; baselines use whatever writer
+    /// synchronization their model prescribes).
+    ///
+    /// `f` may run several times (once per conflict retry); it must be
+    /// a pure function of its input. Systems without an atomic RMW
+    /// path (e.g. the HyperLevelDB model, whose pipeline cannot hold a
+    /// key stable across read-and-write) return
+    /// [`Error::InvalidArgument`] from the default implementation.
+    fn read_modify_write(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<&[u8]>) -> RmwDecision,
+    ) -> Result<RmwResult> {
+        let _ = (key, f);
+        Err(Error::invalid_argument(format!(
+            "{} does not support atomic read_modify_write",
+            self.name()
+        )))
+    }
 
     /// Blocks until pending flushes/compactions are done (benchmark
     /// warm-up/teardown hook).

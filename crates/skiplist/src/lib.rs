@@ -60,6 +60,20 @@ pub struct Entry<'a> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Conflict;
 
+/// What [`SkipList::link_node`] verifies before each bottom-level CAS.
+#[derive(Clone, Copy)]
+enum LinkCheck {
+    /// Unconditional (recovery replay, component merges): any timestamp
+    /// order is legitimate.
+    Plain,
+    /// Fail if a newer version of the key is already linked
+    /// ([`SkipList::insert_as_newest`]).
+    Newest,
+    /// Algorithm 3: fail unless the key's current latest version
+    /// matches ([`SkipList::insert_if_latest`]).
+    IfLatest(Option<u64>),
+}
+
 impl std::fmt::Display for Conflict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -238,8 +252,33 @@ impl SkipList {
     /// error and debug-asserts.
     pub fn insert(&self, key: &[u8], ts: u64, value: Option<&[u8]>) {
         let node = self.make_node(key, ts, value);
-        self.link_node(node, key, ts, None)
+        self.link_node(node, key, ts, LinkCheck::Plain)
             .expect("plain insert cannot conflict");
+    }
+
+    /// Inserts `(key, ts, value)` **iff** no version of `key` newer
+    /// than `ts` is already linked; otherwise inserts nothing and
+    /// returns [`Conflict`].
+    ///
+    /// Writers that acquire their timestamp before inserting (put,
+    /// delete) need this rather than [`SkipList::insert`]: a racing
+    /// conditional writer may read the current latest version, obtain a
+    /// *later* timestamp, and link before we do — a plain insert would
+    /// then slide into the past below it, silently shadowed, and the
+    /// conditional writer's observed "latest" would be wrong. On
+    /// [`Conflict`] the caller re-stamps and retries; the conflicting
+    /// writer has already made progress, so the retry is non-blocking
+    /// in the lock-free sense.
+    pub fn insert_as_newest(
+        &self,
+        key: &[u8],
+        ts: u64,
+        value: Option<&[u8]>,
+    ) -> Result<(), Conflict> {
+        let node = self.make_node(key, ts, value);
+        // On Err the node is abandoned in the arena, as in
+        // `insert_if_latest`.
+        self.link_node(node, key, ts, LinkCheck::Newest)
     }
 
     /// Algorithm 3's conditional insert: installs `(key, ts, value)` as
@@ -262,7 +301,7 @@ impl SkipList {
         // On Err the node is abandoned in the arena: the paper's
         // algorithm similarly discards the speculative node; arena
         // memory is reclaimed when the component is merged.
-        self.link_node(node, key, ts, Some(expected_latest))
+        self.link_node(node, key, ts, LinkCheck::IfLatest(expected_latest))
     }
 
     /// Copies key and value into the arena and builds an unlinked node.
@@ -276,15 +315,14 @@ impl SkipList {
         Node::alloc(&self.arena, key, ts, value.unwrap_or(&[]), kind, height)
     }
 
-    /// Links `node` into the list. With `expected_latest = Some(e)`,
-    /// applies Algorithm 3's conflict checks before every bottom-level
-    /// CAS attempt.
+    /// Links `node` into the list, applying `check` before every
+    /// bottom-level CAS attempt.
     fn link_node(
         &self,
         node: *const Node,
         key: &[u8],
         ts: u64,
-        expected_latest: Option<Option<u64>>,
+        check: LinkCheck,
     ) -> Result<(), Conflict> {
         // SAFETY: `node` was just allocated by `make_node` and is not
         // yet visible to other threads.
@@ -312,18 +350,40 @@ impl SkipList {
         loop {
             self.find(key, ts, &mut prev, &mut succ);
 
-            if let Some(expected) = expected_latest {
-                self.check_conflict(key, ts, prev[0], succ[0], expected)?;
-            } else {
-                debug_assert!(
-                    {
-                        let s = succ[0];
-                        // SAFETY: `succ[0]` is null or a live node.
-                        s.is_null()
-                            || unsafe { Self::cmp_node(&*s, key, ts) } != std::cmp::Ordering::Equal
-                    },
-                    "duplicate (key, ts) insertion"
-                );
+            match check {
+                LinkCheck::Plain => {
+                    debug_assert!(
+                        {
+                            let s = succ[0];
+                            // SAFETY: `succ[0]` is null or a live node.
+                            s.is_null()
+                                || unsafe { Self::cmp_node(&*s, key, ts) }
+                                    != std::cmp::Ordering::Equal
+                        },
+                        "duplicate (key, ts) insertion"
+                    );
+                }
+                LinkCheck::Newest => {
+                    // Same-key versions sort newest-first, so a newer
+                    // version exists iff the node just before our
+                    // insertion point holds `key`. A newer version
+                    // linked concurrently after this check shares our
+                    // `prev[0]`, fails our bottom-level CAS, and is
+                    // seen on the retry — the same argument that makes
+                    // `check_conflict` sound.
+                    if prev[0] != self.head {
+                        // SAFETY: `prev[0]` is a live node (head
+                        // excluded above).
+                        let p = unsafe { &*prev[0] };
+                        if p.key() == key {
+                            debug_assert!(p.ts > ts);
+                            return Err(Conflict);
+                        }
+                    }
+                }
+                LinkCheck::IfLatest(expected) => {
+                    self.check_conflict(key, ts, prev[0], succ[0], expected)?;
+                }
             }
 
             for (level, &s) in succ.iter().enumerate().take(height) {

@@ -155,6 +155,22 @@ fn insert_if_latest_other_keys_do_not_conflict() {
 }
 
 #[test]
+fn insert_as_newest_rejects_into_the_past() {
+    let list = SkipList::new();
+    list.insert_as_newest(b"k", 5, Some(b"v5")).unwrap();
+    // A lower timestamp would be shadowed the moment it lands.
+    assert_eq!(list.insert_as_newest(b"k", 3, Some(b"x")), Err(Conflict));
+    // Newer succeeds; other keys never conflict regardless of ts.
+    list.insert_as_newest(b"k", 7, Some(b"v7")).unwrap();
+    list.insert_as_newest(b"a", 1, Some(b"va")).unwrap();
+    list.insert_as_newest(b"z", 2, None).unwrap();
+    assert_eq!(list.get_latest(b"k", u64::MAX), Some((7, Some(&b"v7"[..]))));
+    assert_eq!(list.get_latest(b"k", 6), Some((5, Some(&b"v5"[..]))));
+    assert_eq!(list.get_latest(b"z", u64::MAX), Some((2, None)));
+    assert_eq!(list.len(), 4);
+}
+
+#[test]
 fn large_volume_ordering_and_lookups() {
     let list = SkipList::new();
     let n = 10_000u64;

@@ -31,6 +31,8 @@
 //! - [`trace`] — the flight recorder: per-thread lock-free event rings
 //!   merged into a globally ordered stream, exportable as Chrome trace
 //!   JSON for `chrome://tracing` / Perfetto.
+//! - [`eventlog`] — per-thread buffered event logs with a shared
+//!   logical clock, the substrate of the `clsm-check` history recorder.
 
 #![warn(missing_docs)]
 
@@ -42,6 +44,7 @@ pub mod crc;
 pub mod env;
 pub mod epoch;
 pub mod error;
+pub mod eventlog;
 pub mod histogram;
 pub mod metrics;
 pub mod oracle;

@@ -64,6 +64,7 @@ fn randomized_torture_with_invariant_audits() {
 
     let stop = Arc::new(AtomicBool::new(false));
     let increments = Arc::new(AtomicU64::new(0));
+    let progress = Arc::new(AtomicU64::new(0));
     let deadline = Instant::now() + torture_duration();
     let mut handles = Vec::new();
 
@@ -72,10 +73,12 @@ fn randomized_torture_with_invariant_audits() {
         let db = Arc::clone(&db);
         let stop = Arc::clone(&stop);
         let increments = Arc::clone(&increments);
+        let progress = Arc::clone(&progress);
         handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(t ^ 0xfeed);
             let mut batch_n = 0u64;
             while !stop.load(Ordering::Relaxed) {
+                progress.fetch_add(1, Ordering::Relaxed);
                 match rng.random_range(0..100u32) {
                     0..=39 => {
                         // Owned writes (torn-write detector).
@@ -136,14 +139,27 @@ fn randomized_torture_with_invariant_audits() {
     }
 
     // Auditor: snapshot-level invariants while everything churns.
+    // Audits are paced by workload progress, not wall-clock sleeps:
+    // each round waits until the workers have collectively completed a
+    // batch of new operations, so every audit observes a genuinely new
+    // state and the test never oversleeps a short deadline.
     let mut audits = 0u64;
+    let mut seen = 0u64;
     while Instant::now() < deadline {
         let snap = db.snapshot().unwrap();
         let a = snap.get(b"inv:a").unwrap().unwrap();
         let b = snap.get(b"inv:b").unwrap().unwrap();
         assert_eq!(a, b, "snapshot saw a torn invariant batch");
         audits += 1;
-        std::thread::sleep(Duration::from_millis(10));
+        let target = seen + 64;
+        loop {
+            let now = progress.load(Ordering::Relaxed);
+            if now >= target || Instant::now() >= deadline {
+                seen = now;
+                break;
+            }
+            std::thread::yield_now();
+        }
     }
     stop.store(true, Ordering::Relaxed);
     for h in handles {
