@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
+use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions};
 use crate::core::BaselineCore;
 
 /// A bLSM-style store: single writer, gear-throttled against merges.
@@ -54,7 +54,7 @@ impl BlsmLike {
         }
     }
 
-    fn write(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+    fn write_one(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
         self.gear_throttle();
         self.core.stall_if_needed();
         {
@@ -70,8 +70,14 @@ impl BlsmLike {
 }
 
 impl KvStore for BlsmLike {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.write(key, Some(value))
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        // Single-writer, gear-throttled per operation; `disable_wal`
+        // is ignored (baselines always log).
+        opts.validate()?;
+        for (key, value) in batch.iter() {
+            self.write_one(key, value.as_deref())?;
+        }
+        self.core.sync_if_requested(opts)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
@@ -81,10 +87,6 @@ impl KvStore for BlsmLike {
             self.core.visible()
         };
         self.core.get_at(key, seq)
-    }
-
-    fn delete(&self, key: &[u8]) -> Result<()> {
-        self.write(key, None)
     }
 
     fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {

@@ -5,4 +5,6 @@
 //! module remains so existing `crate::common::KvStore` paths (and the
 //! public `clsm_baselines::KvStore` re-export) keep working.
 
-pub use clsm_kv::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
+pub use clsm_kv::{
+    KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions,
+};

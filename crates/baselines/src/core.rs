@@ -116,6 +116,17 @@ impl BaselineCore {
         Ok(())
     }
 
+    /// Durability wait for an explicit `WriteOptions::sync` request,
+    /// on top of whatever `maybe_sync` already did. The baselines
+    /// always log — `disable_wal` is accepted but ignored, since the
+    /// WAL is integral to every modeled system.
+    pub(crate) fn sync_if_requested(&self, opts: &clsm_kv::WriteOptions) -> Result<()> {
+        if opts.sync && !self.sync_writes {
+            self.store.sync_wal()?;
+        }
+        Ok(())
+    }
+
     /// Marks everything up to `seq` visible (caller guarantees all
     /// writes `<= seq` are inserted).
     pub(crate) fn publish(&self, seq: u64) {

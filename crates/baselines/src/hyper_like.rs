@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, ScanRange};
+use crate::common::{KvSnapshot, KvStore, ScanRange, WriteBatch, WriteOptions};
 use crate::core::BaselineCore;
 
 /// A HyperLevelDB-style store: parallel inserts, ordered commit.
@@ -42,7 +42,7 @@ impl HyperLike {
         })
     }
 
-    fn write(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+    fn write_one(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
         self.core.stall_if_needed();
         let seq = self.core.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
         // The insert itself runs in parallel with other writers.
@@ -71,8 +71,14 @@ impl HyperLike {
 }
 
 impl KvStore for HyperLike {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.write(key, Some(value))
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        // Each operation rides the ordered-commit pipeline on its own;
+        // `disable_wal` is ignored (baselines always log).
+        opts.validate()?;
+        for (key, value) in batch.iter() {
+            self.write_one(key, value.as_deref())?;
+        }
+        self.core.sync_if_requested(opts)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
@@ -80,10 +86,6 @@ impl KvStore for HyperLike {
         // LevelDB's brief mutex hold, but cheaper).
         let seq = self.committed.load(Ordering::Acquire);
         self.core.get_at(key, seq)
-    }
-
-    fn delete(&self, key: &[u8]) -> Result<()> {
-        self.write(key, None)
     }
 
     fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {
@@ -105,7 +107,7 @@ impl KvStore for HyperLike {
         if self.core.get_at(key, seq)?.is_some() {
             return Ok(false);
         }
-        self.write(key, Some(value))?;
+        self.write_one(key, Some(value))?;
         Ok(true)
     }
 

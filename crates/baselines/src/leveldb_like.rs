@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
+use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions};
 use crate::core::BaselineCore;
 
 /// A LevelDB-style store: globally locked writes, briefly locked reads.
@@ -42,7 +42,7 @@ impl LevelDbLike {
         })
     }
 
-    fn write(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+    fn write_one(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
         self.core.stall_if_needed();
         {
             // Single writer: the entire write path is serialized.
@@ -65,17 +65,19 @@ impl LevelDbLike {
 }
 
 impl KvStore for LevelDbLike {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.write(key, Some(value))
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        // LevelDB-style writes funnel one at a time through the global
+        // mutex; `disable_wal` is ignored (baselines always log).
+        opts.validate()?;
+        for (key, value) in batch.iter() {
+            self.write_one(key, value.as_deref())?;
+        }
+        self.core.sync_if_requested(opts)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let seq = self.read_point();
         self.core.get_at(key, seq)
-    }
-
-    fn delete(&self, key: &[u8]) -> Result<()> {
-        self.write(key, None)
     }
 
     fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {

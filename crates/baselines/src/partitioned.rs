@@ -9,7 +9,7 @@
 
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
+use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions};
 
 /// N stores, each owning a contiguous key range.
 pub struct Partitioned<S: KvStore> {
@@ -45,16 +45,29 @@ impl<S: KvStore> Partitioned<S> {
 }
 
 impl<S: KvStore> KvStore for Partitioned<S> {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.parts[self.partition_of(key)].put(key, value)
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        opts.validate()?;
+        // One sub-batch per touched partition, keeping whatever batch
+        // atomicity the child provides *within* a partition. A batch
+        // that spans partitions is not atomic as a whole — the §2.2
+        // drawback partitioning is cited for.
+        let mut per: std::collections::BTreeMap<usize, WriteBatch> =
+            std::collections::BTreeMap::new();
+        for (key, value) in batch {
+            let sub = per.entry(self.partition_of(&key)).or_default();
+            match value {
+                Some(v) => sub.put(key, v),
+                None => sub.delete(key),
+            };
+        }
+        for (part, sub) in per {
+            self.parts[part].write(sub, opts)?;
+        }
+        Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.parts[self.partition_of(key)].get(key)
-    }
-
-    fn delete(&self, key: &[u8]) -> Result<()> {
-        self.parts[self.partition_of(key)].delete(key)
     }
 
     fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {

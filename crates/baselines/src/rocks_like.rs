@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
+use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions};
 use crate::core::BaselineCore;
 
 /// A RocksDB-style store: serialized writes, lock-free reads.
@@ -42,7 +42,7 @@ impl RocksLike {
         })
     }
 
-    fn write(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+    fn write_one(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
         self.core.stall_if_needed();
         {
             let _g = self.writer_queue.lock();
@@ -57,18 +57,20 @@ impl RocksLike {
 }
 
 impl KvStore for RocksLike {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.write(key, Some(value))
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        // Writes funnel through the writer queue one at a time;
+        // `disable_wal` is ignored (baselines always log).
+        opts.validate()?;
+        for (key, value) in batch.iter() {
+            self.write_one(key, value.as_deref())?;
+        }
+        self.core.sync_if_requested(opts)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         // Lock-free read: the visible sequence and the super-version
         // (our RCU component pointers) are read without any mutex.
         self.core.get_at(key, self.core.visible())
-    }
-
-    fn delete(&self, key: &[u8]) -> Result<()> {
-        self.write(key, None)
     }
 
     fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {

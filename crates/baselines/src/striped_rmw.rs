@@ -15,7 +15,7 @@ use clsm::Options;
 use clsm_util::bloom::hash_seeded;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
+use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions};
 use crate::leveldb_like::LevelDbLike;
 
 /// Number of stripes (a power of two).
@@ -56,20 +56,23 @@ impl StripedRmw {
 }
 
 impl KvStore for StripedRmw {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        // Writes also take the stripe so they serialize against RMW on
-        // the same key, as the baseline prescribes.
-        let _stripe = self.stripe(key).lock();
-        self.db.put(key, value)
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        opts.validate()?;
+        // Each operation takes its key's stripe so writes serialize
+        // against RMW on the same key, as the baseline prescribes.
+        for (key, value) in batch.iter() {
+            let _stripe = self.stripe(key).lock();
+            let single = match value {
+                Some(v) => WriteBatch::single_put(key, v),
+                None => WriteBatch::single_delete(key),
+            };
+            self.db.write(single, opts)?;
+        }
+        Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.db.get(key)
-    }
-
-    fn delete(&self, key: &[u8]) -> Result<()> {
-        let _stripe = self.stripe(key).lock();
-        self.db.delete(key)
     }
 
     fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {

@@ -6,6 +6,7 @@ use std::ops::Bound;
 use std::sync::Arc;
 
 use clsm::Options;
+use clsm_kv::{WriteBatch, WriteOptions};
 use clsm_baselines::{
     BlsmLike, HyperLike, KvStore, LevelDbLike, Partitioned, RocksLike, ScanRange, StripedRmw,
 };
@@ -178,11 +179,11 @@ fn exercise(store: &dyn KvStore) {
     // Batched writes: puts and deletes land; atomicity is only
     // guaranteed by systems that override the default (cLSM).
     store
-        .write_batch(&[
+        .write(WriteBatch::from(&[
             (b"batch-a".to_vec(), Some(b"1".to_vec())),
             (b"batch-b".to_vec(), Some(b"2".to_vec())),
             (b"batch-a".to_vec(), None),
-        ])
+        ][..]), &WriteOptions::new())
         .unwrap();
     assert_eq!(store.get(b"batch-a").unwrap(), None, "{}", store.name());
     assert_eq!(

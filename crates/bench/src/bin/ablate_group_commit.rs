@@ -1,0 +1,80 @@
+//! Ablation — group-commit leader pipeline vs. per-writer commits.
+//!
+//! The commit pipeline (`Db::write`) batches concurrent writers behind
+//! an elected leader: one timestamp-block allocation, one coalesced WAL
+//! append, one publish pass per group. This ablation runs the same
+//! write-only sweep with `group_commit` on and off so the contended
+//! write path's benefit (and the uncontended cost) is measurable.
+
+use std::sync::Arc;
+
+use bench::driver::{median_by_throughput, run_one, Metric};
+use bench::report::Table;
+use clsm::Db;
+use clsm_baselines::KvStore;
+use clsm_workloads::{RunConfig, WorkloadSpec};
+
+fn main() {
+    let args = bench::parse_args();
+    bench::driver::warmup(&args);
+    let spec = WorkloadSpec::write_only(args.key_space());
+    if args.trace.is_some() {
+        clsm_util::trace::enable_default();
+    }
+    let columns: Vec<String> = args.threads.iter().map(|t| t.to_string()).collect();
+    let mut table = Table::new(
+        "Ablation — write throughput by commit pipeline (Kops/s)",
+        "threads",
+        columns,
+    );
+
+    for (group_commit, label) in [(true, "group-commit"), (false, "per-writer")] {
+        let mut opts = args.store_options();
+        opts.group_commit = group_commit;
+        // Every cell and repetition gets a fresh store: reusing one
+        // store across the sweep makes later cells run against a
+        // deeper LSM tree, so the thread axis would measure
+        // accumulated compaction work, not concurrency.
+        // Repetitions are interleaved across thread counts (rep-major)
+        // so minute-scale machine drift hits every cell of the sweep
+        // equally instead of biasing whichever cell ran first.
+        let mut cells: Vec<Vec<_>> = vec![Vec::new(); args.threads.len()];
+        for rep in 0..args.repeat {
+            for (col, &threads) in args.threads.iter().enumerate() {
+                let dir = args
+                    .scratch(&format!("ablate-gc-{label}-{threads}t-{rep}"))
+                    .expect("scratch");
+                let store: Arc<dyn KvStore> =
+                    Arc::new(Db::open(&dir, opts.clone()).expect("open"));
+                let cfg = RunConfig {
+                    threads,
+                    duration: args.cell(),
+                    seed: args.seed + rep as u64,
+                };
+                cells[col].push(run_one(&store, &spec, &cfg).expect("run"));
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        for (col, (&threads, reps)) in args.threads.iter().zip(cells).enumerate() {
+            let r = median_by_throughput(reps);
+            eprintln!(
+                "[ablate-gc] {label:<14} threads={threads:<3} {:>10.1} ops/s  p90={:.1}us",
+                r.ops_per_sec(),
+                r.p90_latency_us()
+            );
+            table.set(label, col, Metric::KopsPerSec.extract(&r));
+        }
+    }
+    if let Some(path) = &args.trace {
+        let snap = clsm_util::trace::drain();
+        clsm_util::trace::disable();
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("trace dir");
+        }
+        std::fs::write(path, snap.to_chrome_json()).expect("trace");
+        eprintln!("wrote trace {} ({} events)", path.display(), snap.events.len());
+    }
+    table.print();
+    table.to_csv(&args.out_dir).expect("csv");
+}

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use bench::driver::{run_one, Metric};
+use bench::driver::{median_by_throughput, run_one, Metric};
 use bench::report::Table;
 use clsm::{Db, MemtableKind};
 use clsm_baselines::KvStore;
@@ -16,6 +16,7 @@ use clsm_workloads::{Prefill, RunConfig, WorkloadSpec};
 
 fn main() {
     let args = bench::parse_args();
+    bench::driver::warmup(&args);
     let columns: Vec<String> = args.threads.iter().map(|t| t.to_string()).collect();
     let mut write_table = Table::new(
         "Ablation — write throughput by memtable implementation (Kops/s)",
@@ -32,62 +33,84 @@ fn main() {
         (MemtableKind::LockFreeSkipList, "lock-free skiplist"),
         (MemtableKind::LockedBTreeMap, "locked btreemap"),
     ] {
-        // Write-only sweep.
+        // Write-only sweep. Every cell (and every repetition) gets a
+        // fresh store: reusing one store across the thread sweep makes
+        // later cells run against a deeper LSM tree, so the thread
+        // axis measures accumulated compaction work, not concurrency.
         let spec_w = WorkloadSpec::write_only(args.key_space());
         let mut opts = args.store_options();
         opts.memtable_kind = kind;
-        let dir = args
-            .scratch(&format!("ablate-mem-w-{label}"))
-            .expect("scratch");
-        let store: Arc<dyn KvStore> = Arc::new(Db::open(&dir, opts.clone()).expect("open"));
-        for (col, &threads) in args.threads.iter().enumerate() {
-            let cfg = RunConfig {
-                threads,
-                duration: args.cell(),
-                seed: args.seed,
-            };
-            let r = run_one(&store, &spec_w, &cfg).expect("run");
+        // Repetitions are interleaved across thread counts (rep-major,
+        // not cell-major) so that minute-scale machine drift hits every
+        // cell of the sweep equally instead of biasing whichever cell
+        // ran first.
+        let mut cells: Vec<Vec<_>> = vec![Vec::new(); args.threads.len()];
+        for rep in 0..args.repeat {
+            for (col, &threads) in args.threads.iter().enumerate() {
+                let dir = args
+                    .scratch(&format!("ablate-mem-w-{label}-{threads}t-{rep}"))
+                    .expect("scratch");
+                let store: Arc<dyn KvStore> =
+                    Arc::new(Db::open(&dir, opts.clone()).expect("open"));
+                let cfg = RunConfig {
+                    threads,
+                    duration: args.cell(),
+                    seed: args.seed + rep as u64,
+                };
+                cells[col].push(run_one(&store, &spec_w, &cfg).expect("run"));
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        for (col, (&threads, reps)) in args.threads.iter().zip(cells).enumerate() {
+            let r = median_by_throughput(reps);
             eprintln!(
                 "[ablate-mem] {label:<18} write threads={threads:<3} {:>10.1} ops/s",
                 r.ops_per_sec()
             );
             write_table.set(label, col, Metric::KopsPerSec.extract(&r));
         }
-        drop(store);
-        let _ = std::fs::remove_dir_all(&dir);
 
-        // Mixed sweep (prefilled).
+        // Mixed sweep (prefilled), same fresh-store-per-cell protocol.
         let spec_m = WorkloadSpec::mixed(args.key_space());
-        let dir = args
-            .scratch(&format!("ablate-mem-m-{label}"))
-            .expect("scratch");
-        let store: Arc<dyn KvStore> = Arc::new(Db::open(&dir, opts).expect("open"));
-        clsm_workloads::run_workload(
-            &store,
-            &spec_m,
-            &RunConfig {
-                threads: 1,
-                duration: std::time::Duration::from_millis(1),
-                seed: 0,
-            },
-            Prefill::Sequential,
-        )
-        .expect("prefill");
-        for (col, &threads) in args.threads.iter().enumerate() {
-            let cfg = RunConfig {
-                threads,
-                duration: args.cell(),
-                seed: args.seed,
-            };
-            let r = run_one(&store, &spec_m, &cfg).expect("run");
+        let mut cells: Vec<Vec<_>> = vec![Vec::new(); args.threads.len()];
+        for rep in 0..args.repeat {
+            for (col, &threads) in args.threads.iter().enumerate() {
+                let dir = args
+                    .scratch(&format!("ablate-mem-m-{label}-{threads}t-{rep}"))
+                    .expect("scratch");
+                let store: Arc<dyn KvStore> =
+                    Arc::new(Db::open(&dir, opts.clone()).expect("open"));
+                clsm_workloads::run_workload(
+                    &store,
+                    &spec_m,
+                    &RunConfig {
+                        threads: 1,
+                        duration: std::time::Duration::from_millis(1),
+                        seed: 0,
+                    },
+                    Prefill::Sequential,
+                )
+                .expect("prefill");
+                store.quiesce().expect("quiesce");
+                let cfg = RunConfig {
+                    threads,
+                    duration: args.cell(),
+                    seed: args.seed + rep as u64,
+                };
+                cells[col].push(run_one(&store, &spec_m, &cfg).expect("run"));
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        for (col, (&threads, reps)) in args.threads.iter().zip(cells).enumerate() {
+            let r = median_by_throughput(reps);
             eprintln!(
                 "[ablate-mem] {label:<18} mixed threads={threads:<3} {:>10.1} ops/s",
                 r.ops_per_sec()
             );
             mixed_table.set(label, col, Metric::KopsPerSec.extract(&r));
         }
-        drop(store);
-        let _ = std::fs::remove_dir_all(&dir);
     }
     write_table.print();
     mixed_table.print();

@@ -34,6 +34,13 @@ pub struct BenchArgs {
     /// When set, the flight recorder runs for the whole sweep and a
     /// Chrome-trace-format JSON (Perfetto-loadable) lands here.
     pub trace: Option<PathBuf>,
+    /// Group-commit write pipeline on cLSM systems (`--group-commit
+    /// on|off`). On by default; `off` is the per-writer ablation.
+    pub group_commit: bool,
+    /// Repetitions per measured cell (`--repeat N`); binaries that
+    /// honor it report the median rep, which tames scheduler noise on
+    /// small machines.
+    pub repeat: usize,
 }
 
 impl Default for BenchArgs {
@@ -47,6 +54,8 @@ impl Default for BenchArgs {
             seed: 0xc15a,
             shards: 1,
             trace: None,
+            group_commit: true,
+            repeat: 1,
         }
     }
 }
@@ -99,6 +108,20 @@ pub fn parse_args() -> BenchArgs {
                     iter.next().unwrap_or_else(|| usage("--trace needs a path")),
                 ));
             }
+            "--group-commit" => {
+                args.group_commit = match iter.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage("--group-commit needs on|off"),
+                };
+            }
+            "--repeat" => {
+                args.repeat = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--repeat needs a count >= 1"));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -112,7 +135,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: fig* [--quick|--full] [--seconds N] [--threads 1,2,4,...] [--out DIR] [--seed N] \
-         [--shards N] [--trace FILE.json]"
+         [--shards N] [--trace FILE.json] [--group-commit on|off] [--repeat N]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -137,7 +160,15 @@ impl BenchArgs {
     pub fn store_options(&self) -> Options {
         let mut opts = Options::default();
         if self.quick {
-            opts.memtable_bytes = 4 * 1024 * 1024;
+            // Sized so a quick-mode measurement cell stays
+            // memtable-resident, as the paper's 128 MiB default does for
+            // full-length runs. A smaller memtable makes every quick cell
+            // flush-bound, and on a box with few cores the flush thread's
+            // CPU share shrinks as writer threads are added — the sweep
+            // then measures flush starvation, not the write path. The
+            // flush/compaction-bound regimes are measured by fig8, fig11,
+            // and ablate_compaction_threads, which set their own sizes.
+            opts.memtable_bytes = 16 * 1024 * 1024;
             opts.store.table_file_size = 2 * 1024 * 1024;
             opts.store.base_level_bytes = 16 * 1024 * 1024;
             opts.store.block_cache_bytes = 64 * 1024 * 1024;
@@ -146,6 +177,7 @@ impl BenchArgs {
             opts.store.block_cache_bytes = 512 * 1024 * 1024;
         }
         opts.shards = self.shards;
+        opts.group_commit = self.group_commit;
         opts
     }
 
@@ -308,6 +340,41 @@ pub fn run_one(
     cfg: &RunConfig,
 ) -> Result<RunResult> {
     run_workload(store, spec, cfg, Prefill::Skip)
+}
+
+/// Runs one short, unmeasured write cell before a sweep starts. The
+/// first measured cell of a cold process otherwise reads several
+/// percent high — warm caches, CPU boost headroom, no JITted kernel
+/// state from earlier cells — which systematically flatters whichever
+/// configuration happens to run first.
+pub fn warmup(args: &BenchArgs) {
+    let spec = WorkloadSpec::write_only(args.key_space());
+    let dir = args.scratch("warmup").expect("scratch");
+    let store: Arc<dyn KvStore> =
+        Arc::new(clsm::Db::open(&dir, args.store_options()).expect("open"));
+    let cfg = RunConfig {
+        threads: 2,
+        duration: Duration::from_secs(2),
+        seed: args.seed,
+    };
+    run_one(&store, &spec, &cfg).expect("warmup");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Picks the median-throughput run out of `--repeat` repetitions of
+/// one cell. The median is robust against a rep that caught a
+/// background-compaction burst or a scheduler hiccup, which on small
+/// machines swings single runs by ±15%.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty.
+pub fn median_by_throughput(mut runs: Vec<RunResult>) -> RunResult {
+    assert!(!runs.is_empty(), "median of zero runs");
+    runs.sort_by(|a, b| a.ops_per_sec().total_cmp(&b.ops_per_sec()));
+    let mid = runs.len() / 2;
+    runs.swap_remove(mid)
 }
 
 fn figure_slug(figure: &str) -> String {

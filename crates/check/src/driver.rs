@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use clsm_kv::record::{KvEvent, RecordingSession};
-use clsm_kv::{KvStore, RmwDecision, ScanRange};
+use clsm_kv::{KvStore, RmwDecision, ScanRange, WriteBatch, WriteOptions};
 use clsm_workloads::keygen::{KeyDistribution, KeyGen};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -151,18 +151,23 @@ pub fn run_schedule(
                         }
                         // 6% atomic batches over 2-4 distinct keys.
                         80..86 => {
-                            let mut batch: Vec<(Vec<u8>, Option<Vec<u8>>)> = Vec::new();
+                            let mut batch = WriteBatch::new();
+                            let mut used: Vec<Vec<u8>> = Vec::new();
                             let n = rng.random_range(2usize..=4);
                             for j in 0..n {
                                 let k = keys.next_key(&mut rng);
-                                if batch.iter().any(|(bk, _)| *bk == k) {
+                                if used.contains(&k) {
                                     continue;
                                 }
-                                let v = (!rng.random_bool(0.15))
-                                    .then(|| format!("b{t}-{seq}-{j}").into_bytes());
-                                batch.push((k, v));
+                                used.push(k.clone());
+                                match (!rng.random_bool(0.15))
+                                    .then(|| format!("b{t}-{seq}-{j}").into_bytes())
+                                {
+                                    Some(v) => batch.put(k, v),
+                                    None => batch.delete(k),
+                                };
                             }
-                            let _ = recorder.write_batch(&batch);
+                            let _ = recorder.write(batch, &WriteOptions::new());
                         }
                         // 8% snapshot sessions: a couple of point reads
                         // plus one scan through the same snapshot.

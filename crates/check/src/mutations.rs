@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use clsm_kv::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
+use clsm_kv::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions};
 use clsm_util::error::Result;
 use parking_lot::Mutex;
 
@@ -94,8 +94,11 @@ impl KvSnapshot for SharedSnapshot {
 }
 
 impl KvStore for Mutated {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        // `lost-write`: single puts acked but dropped every 8th time.
         if self.bug == Bug::LostWrite
+            && batch.len() == 1
+            && batch.ops()[0].1.is_some()
             && self
                 .counter
                 .fetch_add(1, Ordering::Relaxed)
@@ -104,34 +107,27 @@ impl KvStore for Mutated {
             // Acked, never applied.
             return Ok(());
         }
-        self.inner.put(key, value)
+        // `torn-batch`: entry by entry, with a widened window in
+        // between so a concurrent snapshot reliably lands mid-batch.
+        if self.bug == Bug::TornBatch && batch.len() > 1 {
+            let mut entries = batch.into_iter().peekable();
+            while let Some((key, value)) = entries.next() {
+                let single = match value {
+                    Some(v) => WriteBatch::single_put(&key, &v),
+                    None => WriteBatch::single_delete(&key),
+                };
+                self.inner.write(single, opts)?;
+                if entries.peek().is_some() {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            }
+            return Ok(());
+        }
+        self.inner.write(batch, opts)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.inner.get(key)
-    }
-
-    fn delete(&self, key: &[u8]) -> Result<()> {
-        self.inner.delete(key)
-    }
-
-    fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
-        if self.bug != Bug::TornBatch {
-            return self.inner.write_batch(batch);
-        }
-        // Entry by entry, with a widened window in between so a
-        // concurrent snapshot reliably lands mid-batch.
-        let mut entries = batch.iter().peekable();
-        while let Some((key, value)) = entries.next() {
-            match value {
-                Some(v) => self.inner.put(key, v)?,
-                None => self.inner.delete(key)?,
-            }
-            if entries.peek().is_some() {
-                std::thread::sleep(std::time::Duration::from_micros(200));
-            }
-        }
-        Ok(())
     }
 
     fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {

@@ -30,6 +30,7 @@ pub struct Sut {
 /// Every system name [`open_sut`] accepts.
 pub const SYSTEMS: &[&str] = &[
     "clsm",
+    "clsm-nogc",
     "clsm-sharded-2",
     "clsm-sharded-4",
     "clsm-sharded-8",
@@ -43,7 +44,7 @@ pub const SYSTEMS: &[&str] = &[
 
 /// Systems that support crash-reopen checking (the fault-injecting
 /// [`FaultEnv`] plumbs through their `Options`).
-pub const CRASH_SYSTEMS: &[&str] = &["clsm", "clsm-sharded-2", "clsm-sharded-4"];
+pub const CRASH_SYSTEMS: &[&str] = &["clsm", "clsm-nogc", "clsm-sharded-2", "clsm-sharded-4"];
 
 fn test_options() -> Options {
     let mut opts = Options::small_for_tests();
@@ -65,7 +66,11 @@ pub fn open_sut_with(name: &str, dir: &Path, env: Option<Arc<dyn Env>>, sync: bo
     }
     opts.sync_writes = sync;
 
-    if name == "clsm" {
+    if name == "clsm" || name == "clsm-nogc" {
+        // `clsm-nogc`: the group-commit-off ablation — same store, the
+        // per-writer commit paths instead of the leader pipeline. Kept
+        // in the matrix so both sides of the ablation stay correct.
+        opts.group_commit = name != "clsm-nogc";
         let db = Arc::new(opts.open(dir)?);
         let chaos_db = Arc::clone(&db);
         let tick = std::sync::atomic::AtomicU64::new(0);
@@ -110,7 +115,7 @@ pub fn open_sut_with(name: &str, dir: &Path, env: Option<Arc<dyn Env>>, sync: bo
     let base_caps = SutCaps {
         rmw: true,
         pia: true,
-        atomic_batch: false, // trait-default write_batch is a plain loop
+        atomic_batch: false, // baselines apply batches as a plain loop
         snapshots: true,
     };
     match name {

@@ -11,6 +11,7 @@ use clsm_check::snapcheck::RecoveredState;
 use clsm_check::sut::{open_sut, open_sut_with, CrashSut};
 use clsm_check::{check_history, mutations, CheckMode};
 use clsm_kv::record::RecordingSession;
+use clsm_kv::WriteOptions;
 use clsm_kv::{KvStore, RmwDecision};
 
 static DIRS: AtomicU64 = AtomicU64::new(0);
@@ -214,7 +215,8 @@ mod mutation {
                         (b"ba".to_vec(), Some(format!("x{i}").into_bytes())),
                         (b"bb".to_vec(), Some(format!("y{i}").into_bytes())),
                     ];
-                    rec.write_batch(&batch).unwrap();
+                    rec.write(batch.into_iter().collect(), &WriteOptions::new())
+                        .unwrap();
                     i += 1;
                 }
             })

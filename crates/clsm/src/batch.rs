@@ -1,106 +1,64 @@
-//! Atomic write batches (builder API).
+//! Atomic write batches — re-exported from [`clsm_kv`].
 //!
-//! LevelDB exposes `WriteBatch`; cLSM "continues to block" for batches
-//! by taking the shared-exclusive lock in exclusive mode (§4). This
-//! module provides the ergonomic builder over
-//! [`Db::write_batch`](crate::Db::write_batch).
+//! The batch type used to live here as a cLSM-only builder; it now
+//! lives in the `clsm-kv` crate so the [`KvStore`](crate::KvStore)
+//! trait, the baselines, and cLSM all share one mutation vocabulary.
+//! Apply a batch with [`Db::write`](crate::Db::write):
+//!
+//! ```
+//! use clsm::{Db, Options, WriteBatch, WriteOptions};
+//!
+//! let dir = std::env::temp_dir().join(format!("clsm-batch-doc-{}", std::process::id()));
+//! let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+//! let mut batch = WriteBatch::new();
+//! batch.put(b"a".as_slice(), b"1".as_slice());
+//! batch.put(b"b".as_slice(), b"2".as_slice());
+//! batch.delete(b"c".as_slice());
+//! db.write(batch, &WriteOptions::new()).unwrap();
+//! assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+//! drop(db);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
 
-use clsm_util::error::Result;
-
-use crate::db::Db;
-
-/// A buffered set of writes applied atomically.
-///
-/// # Examples
-///
-/// ```
-/// use clsm::{Db, Options, WriteBatch};
-///
-/// let dir = std::env::temp_dir().join(format!("clsm-batch-doc-{}", std::process::id()));
-/// let db = Db::open(&dir, Options::small_for_tests()).unwrap();
-/// let mut batch = WriteBatch::new();
-/// batch.put(b"a", b"1").put(b"b", b"2").delete(b"c");
-/// db.write(batch).unwrap();
-/// assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
-/// drop(db);
-/// std::fs::remove_dir_all(&dir).unwrap();
-/// ```
-#[derive(Debug, Default, Clone)]
-pub struct WriteBatch {
-    pub(crate) ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
-}
-
-impl WriteBatch {
-    /// Creates an empty batch.
-    pub fn new() -> WriteBatch {
-        WriteBatch::default()
-    }
-
-    /// Adds a put.
-    pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
-        self.ops.push((key.to_vec(), Some(value.to_vec())));
-        self
-    }
-
-    /// Adds a delete.
-    pub fn delete(&mut self, key: &[u8]) -> &mut Self {
-        self.ops.push((key.to_vec(), None));
-        self
-    }
-
-    /// Number of buffered operations.
-    pub fn len(&self) -> usize {
-        self.ops.len()
-    }
-
-    /// Returns `true` when nothing is buffered.
-    pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
-    }
-
-    /// Clears the batch for reuse.
-    pub fn clear(&mut self) {
-        self.ops.clear();
-    }
-}
-
-impl Db {
-    /// Applies a [`WriteBatch`] atomically: all operations receive
-    /// consecutive timestamps under the exclusive lock, so no snapshot
-    /// or scan can observe a partial batch.
-    pub fn write(&self, batch: WriteBatch) -> Result<()> {
-        self.write_batch(&batch.ops)
-    }
-}
+pub use clsm_kv::{WriteBatch, WriteOptions};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Options;
+    use crate::{Db, Options};
 
-    #[test]
-    fn builder_accumulates_and_clears() {
-        let mut b = WriteBatch::new();
-        assert!(b.is_empty());
-        b.put(b"x", b"1").delete(b"y").put(b"z", b"2");
-        assert_eq!(b.len(), 3);
-        b.clear();
-        assert!(b.is_empty());
-    }
-
-    #[test]
-    fn empty_batch_is_a_noop() {
-        let dir = std::env::temp_dir().join(format!(
-            "clsm-batch-{}-{}",
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "clsm-batch-{tag}-{}-{}",
             std::process::id(),
             std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .unwrap()
                 .as_nanos()
-        ));
+        ))
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let dir = tmpdir("empty");
         let db = Db::open(&dir, Options::small_for_tests()).unwrap();
-        db.write(WriteBatch::new()).unwrap();
+        db.write(WriteBatch::new(), &WriteOptions::new()).unwrap();
         assert_eq!(db.stats().puts, 0);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn contradictory_options_are_rejected() {
+        let dir = tmpdir("opts");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(b"k".as_slice(), b"v".as_slice());
+        let bad = WriteOptions {
+            sync: true,
+            disable_wal: true,
+        };
+        assert!(db.write(batch, &bad).is_err());
         drop(db);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -15,6 +15,7 @@ use clsm_util::rcu::RcuCell;
 use clsm_util::shared_lock::SharedExclusiveLock;
 use clsm_util::trace::TraceId;
 
+use clsm_kv::{WriteBatch, WriteOptions};
 use lsm_storage::format::{ValueKind, WriteRecord};
 use lsm_storage::store::{Recovered, RecoveryReport};
 use lsm_storage::wal::SyncMode;
@@ -73,6 +74,9 @@ pub(crate) struct DbInner {
     /// Stall-event sink fed by the watchdog sampler (see
     /// [`crate::watchdog`]).
     pub(crate) watchdog: Watchdog,
+    /// The group-commit write pipeline (see [`crate::write`]); used
+    /// when `Options::group_commit` is on, bypassed otherwise.
+    pub(crate) pipeline: crate::write::CommitPipeline,
 
     pub(crate) shutdown: AtomicBool,
     /// Set while a flush is scheduled or running.
@@ -168,6 +172,7 @@ impl Db {
             pm_prev: RcuCell::new(None),
             metrics,
             watchdog,
+            pipeline: crate::write::CommitPipeline::new(),
             shutdown: AtomicBool::new(false),
             flush_pending: AtomicBool::new(false),
             work_mutex: Mutex::new(()),
@@ -240,25 +245,127 @@ impl Db {
         Ok(Db { inner, workers })
     }
 
-    /// Stores `value` under `key` (Algorithm 2's `put`).
-    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.write_one(key, Some(value))
-    }
-
-    /// Deletes `key` by storing a deletion marker (the paper's ⊥).
-    pub fn delete(&self, key: &[u8]) -> Result<()> {
-        self.write_one(key, None)
-    }
-
-    fn write_one(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+    /// Applies a [`WriteBatch`] under the given [`WriteOptions`] — the
+    /// single mutation entry point every other write API desugars to.
+    ///
+    /// With `Options::group_commit` on (the default) the batch rides
+    /// the leader/follower commit pipeline (see [`crate::write`]): it
+    /// is queued on a lock-free combining queue and one writer commits
+    /// the whole pending group with a single timestamp-block
+    /// acquisition, one coalesced WAL append, and one publish pass.
+    /// With group commit off, single-op batches run the paper's
+    /// per-writer put path and multi-op batches take the exclusive
+    /// lock, exactly as before — the ablation baseline.
+    ///
+    /// An empty batch is a no-op. Multi-op batches are atomic: no
+    /// snapshot ever observes a strict subset, and recovery replays
+    /// them all-or-nothing.
+    pub fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
         let inner = &self.inner;
         if inner.shutdown.load(Ordering::Acquire) {
             return Err(Error::ShuttingDown);
         }
-        if key.is_empty() {
+        opts.validate()?;
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if batch.iter().any(|(key, _)| key.is_empty()) {
+            // The empty key is reserved for batch-commit markers.
             return Err(Error::invalid_argument("empty keys are not supported"));
         }
         let began = Instant::now();
+        // `None` = multi-op batch; `Some(is_put)` = single op.
+        let single_kind = if batch.len() == 1 {
+            Some(batch.ops()[0].1.is_some())
+        } else {
+            None
+        };
+        let sync = opts.sync || (inner.opts.sync_writes && !opts.disable_wal);
+        let ops = batch.into_ops();
+        // Pipeline dispatch. The solo fast path: a writer that wins the
+        // leader election against an empty queue has nobody to combine
+        // with, so it commits through the per-writer path directly —
+        // no request allocation, no queue traffic, no wakeup — and
+        // then serves whoever queued behind the held flag. Writers
+        // that lose the election enqueue for the leader; the pipeline
+        // may hand the ops back (`Submit::Withdrawn`) when no leader
+        // serviced the request promptly. The per-writer paths are safe
+        // to run concurrently with a committing leader — they follow
+        // the same lock/oracle protocol as any individual writer — so
+        // both the fast path and withdrawn requests commit solo
+        // instead of idling.
+        let ops = if inner.opts.group_commit {
+            if inner.pipeline.try_lead_solo() {
+                let result = self.write_ops_direct(&ops, sync, opts.disable_wal);
+                crate::write::drain_as_leader(inner);
+                result?;
+                None
+            } else {
+                match crate::write::submit(inner, ops, sync, opts.disable_wal) {
+                    crate::write::Submit::Done(result) => {
+                        result?;
+                        None
+                    }
+                    crate::write::Submit::Withdrawn(ops) => Some(ops),
+                }
+            }
+        } else {
+            Some(ops)
+        };
+        if let Some(ops) = ops {
+            self.write_ops_direct(&ops, sync, opts.disable_wal)?;
+        }
+        let elapsed = began.elapsed();
+        match single_kind {
+            Some(true) => {
+                inner.metrics.puts.inc();
+                inner.metrics.put_latency.record_duration(elapsed);
+            }
+            Some(false) => {
+                inner.metrics.deletes.inc();
+                inner.metrics.delete_latency.record_duration(elapsed);
+            }
+            None => {
+                // One bump per batch, matching the historical counter
+                // semantics.
+                inner.metrics.puts.inc();
+                inner.metrics.write_batch_latency.record_duration(elapsed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores `value` under `key` (Algorithm 2's `put`).
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.write(WriteBatch::single_put(key, value), &WriteOptions::new())
+    }
+
+    /// Deletes `key` by storing a deletion marker (the paper's ⊥).
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.write(WriteBatch::single_delete(key), &WriteOptions::new())
+    }
+
+    /// Commits `ops` through the per-writer paths: the shared-lock
+    /// single-op path or the exclusive-lock batch path. Used when the
+    /// pipeline is off, by the solo fast path, and for withdrawn
+    /// requests.
+    fn write_ops_direct(
+        &self,
+        ops: &[(Vec<u8>, Option<Vec<u8>>)],
+        sync: bool,
+        disable_wal: bool,
+    ) -> Result<()> {
+        if let Some((key, value)) = ops.first().filter(|_| ops.len() == 1) {
+            self.write_one(key, value.as_deref(), sync, disable_wal)
+        } else {
+            self.write_batch_exclusive(ops, sync, disable_wal)
+        }
+    }
+
+    /// The per-writer put path (the group-commit-off ablation), and the
+    /// fallback for single-op writes when the pipeline is disabled.
+    fn write_one(&self, key: &[u8], value: Option<&[u8]>, sync: bool, disable_wal: bool) -> Result<()> {
+        let inner = &self.inner;
         inner.stall_if_needed();
 
         {
@@ -287,53 +394,40 @@ impl Db {
                     Err(_conflict) => inner.oracle.publish(stamp),
                 }
             };
-            let record = match value {
-                Some(v) => WriteRecord::put(stamp.ts, key, v),
-                None => WriteRecord::delete(stamp.ts, key),
+            let logged = if disable_wal {
+                Ok(())
+            } else {
+                let record = match value {
+                    Some(v) => WriteRecord::put(stamp.ts, key, v),
+                    None => WriteRecord::delete(stamp.ts, key),
+                };
+                inner.store.log(&[record], SyncMode::Async)
             };
-            let logged = inner.store.log(&[record], SyncMode::Async);
             inner.oracle.publish(stamp);
             logged?;
         }
-        if inner.opts.sync_writes {
+        if sync {
             // Group-committed durability wait happens outside the
             // critical section so it never blocks the merge hooks.
             inner.store.sync_wal()?;
-        }
-        let elapsed = began.elapsed();
-        match value {
-            Some(_) => {
-                inner.metrics.puts.inc();
-                inner.metrics.put_latency.record_duration(elapsed);
-            }
-            None => {
-                inner.metrics.deletes.inc();
-                inner.metrics.delete_latency.record_duration(elapsed);
-            }
         }
         inner.maybe_schedule_flush();
         Ok(())
     }
 
-    /// Atomically applies a batch of puts/deletes.
-    ///
-    /// As in the paper (§4), batches take the shared-exclusive lock in
-    /// *exclusive* mode — batched writes are the one operation cLSM
-    /// keeps coarse-grained.
-    pub fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
+    /// The coarse-grained batch path (§4): the shared-exclusive lock in
+    /// *exclusive* mode. Used for multi-op batches when group commit is
+    /// off (the pipeline leader uses the same lock mode for groups
+    /// carrying a multi-op batch).
+    fn write_batch_exclusive(
+        &self,
+        batch: &[(Vec<u8>, Option<Vec<u8>>)],
+        sync: bool,
+        disable_wal: bool,
+    ) -> Result<()> {
         let inner = &self.inner;
-        if inner.shutdown.load(Ordering::Acquire) {
-            return Err(Error::ShuttingDown);
-        }
-        if batch.is_empty() {
-            return Ok(());
-        }
-        if batch.iter().any(|(key, _)| key.is_empty()) {
-            // The empty key is reserved for batch-commit markers.
-            return Err(Error::invalid_argument("empty keys are not supported"));
-        }
-        let began = Instant::now();
         inner.stall_if_needed();
+        let logged;
         {
             let _span = T_WRITE_BATCH.span_with(batch.len() as u64);
             let _excl = inner.lock.lock_exclusive();
@@ -347,7 +441,14 @@ impl Db {
                 });
                 stamps.push(stamp);
             }
-            inner.store.log(&records, SyncMode::Async)?;
+            logged = if disable_wal {
+                Ok(())
+            } else {
+                inner.store.log(&records, SyncMode::Async)
+            };
+            // Insert and publish even when the log append failed: an
+            // unpublished stamp would wedge snapshot creation forever,
+            // and recovery never depends on an unlogged record.
             let pm = inner.pm.load();
             for (record, stamp) in records.iter().zip(stamps) {
                 let value = match record.kind {
@@ -358,17 +459,21 @@ impl Db {
                 inner.oracle.publish(stamp);
             }
         }
-        if inner.opts.sync_writes {
+        logged?;
+        if sync {
             inner.store.sync_wal()?;
         }
-        // One bump per batch, matching the historical counter semantics.
-        inner.metrics.puts.inc();
-        inner
-            .metrics
-            .write_batch_latency
-            .record_duration(began.elapsed());
         inner.maybe_schedule_flush();
         Ok(())
+    }
+
+    /// Atomically applies a batch of puts/deletes.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `WriteBatch` and call `write(batch, &WriteOptions::new())` instead"
+    )]
+    pub fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
+        self.write(WriteBatch::from(batch), &WriteOptions::new())
     }
 
     /// Returns the latest value of `key`, or `None` if absent/deleted.

@@ -55,6 +55,9 @@ pub struct DoctorReport {
     pub cache: Option<(u64, u64)>,
     /// Current WAL file number.
     pub wal_number: u64,
+    /// Backlog of the logging queue at sampling time (persistently
+    /// non-zero means writers outpace the log device).
+    pub wal_queue_depth: usize,
     /// Recent watchdog verdicts, oldest first.
     pub stall_events: Vec<StallEvent>,
 }
@@ -89,6 +92,7 @@ impl Db {
             write_amp: inner.store.write_amp(),
             cache: inner.store.cache_stats(),
             wal_number: inner.store.current_wal_number(),
+            wal_queue_depth: inner.store.wal_queue_depth(),
             stall_events: self.stall_events(),
         }
     }
@@ -116,7 +120,11 @@ impl DoctorReport {
             pct,
             if self.immutable_pending { "yes" } else { "no" }
         );
-        let _ = writeln!(out, "level geometry (wal #{}):", self.wal_number);
+        let _ = writeln!(
+            out,
+            "level geometry (wal #{}, logging-queue depth {}):",
+            self.wal_number, self.wal_queue_depth
+        );
         for l in &self.levels {
             let _ = writeln!(out, "  L{}: {} files, {} bytes", l.level, l.files, l.bytes);
         }

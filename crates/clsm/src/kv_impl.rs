@@ -1,7 +1,7 @@
 //! [`KvStore`] implementation for [`Db`], making cLSM a drop-in peer
 //! of the baseline systems in the workload driver and benchmarks.
 
-use clsm_kv::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
+use clsm_kv::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions};
 use clsm_util::error::Result;
 use clsm_util::metrics::MetricsSnapshot;
 
@@ -10,21 +10,12 @@ use crate::sharded::{ShardedDb, ShardedSnapshot};
 use crate::snapshot::Snapshot;
 
 impl KvStore for Db {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        Db::put(self, key, value)
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        Db::write(self, batch, opts)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         Db::get(self, key)
-    }
-
-    fn delete(&self, key: &[u8]) -> Result<()> {
-        Db::delete(self, key)
-    }
-
-    fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
-        // Atomic, unlike the trait's default loop.
-        Db::write_batch(self, batch)
     }
 
     fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {
@@ -75,21 +66,13 @@ impl KvSnapshot for Snapshot {
 }
 
 impl KvStore for ShardedDb {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        ShardedDb::put(self, key, value)
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        // Atomic even across shards: one shared write timestamp.
+        ShardedDb::write(self, batch, opts)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         ShardedDb::get(self, key)
-    }
-
-    fn delete(&self, key: &[u8]) -> Result<()> {
-        ShardedDb::delete(self, key)
-    }
-
-    fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
-        // Atomic even across shards: one shared write timestamp.
-        ShardedDb::write_batch(self, batch)
     }
 
     fn snapshot(&self) -> Result<Box<dyn KvSnapshot>> {

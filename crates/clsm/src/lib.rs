@@ -18,6 +18,11 @@
 //!   every snapshot a time below every in-flight write.
 //! - **Non-blocking read-modify-write** ([`Db::read_modify_write`]):
 //!   Algorithm 3's optimistic conflict detection in the skip list.
+//! - **Group-committed writes** ([`Db::write`]): every mutation is a
+//!   [`WriteBatch`] applied under [`WriteOptions`]; a leader/follower
+//!   pipeline (the `write` module) commits whole groups of queued
+//!   writes with one timestamp-block acquisition, one coalesced WAL
+//!   append, and one publish pass.
 //!
 //! # Examples
 //!
@@ -52,8 +57,9 @@ mod sharded;
 mod snapshot;
 mod stats;
 mod watchdog;
+mod write;
 
-pub use batch::WriteBatch;
+pub use batch::{WriteBatch, WriteOptions};
 pub use db::Db;
 pub use doctor::{DoctorReport, LevelGeometry};
 pub use mem_component::{LockedMemtable, MemComponent, MemtableKind, VersionedValue};

@@ -58,6 +58,12 @@ pub struct Options {
     /// `true` → snapshots are linearizable (never "read in the past");
     /// `false` (default) → serializable, as in the paper's Algorithm 2.
     pub linearizable_snapshots: bool,
+    /// `true` (default) → writes ride the leader/follower group-commit
+    /// pipeline: concurrent writers are drained into one group that
+    /// pays a single timestamp-block acquisition, one coalesced WAL
+    /// record, and one publish pass. `false` → every writer runs the
+    /// paper's per-writer commit path (the ablation baseline).
+    pub group_commit: bool,
     /// Number of background compaction threads. The paper's cLSM uses a
     /// single compaction thread (§5); the RocksDB comparison (§5.3)
     /// raises this.
@@ -88,6 +94,7 @@ impl Default for Options {
             memtable_bytes: 128 * 1024 * 1024,
             sync_writes: false,
             linearizable_snapshots: false,
+            group_commit: true,
             compaction_threads: 1,
             active_slots: 256,
             shards: 1,
@@ -252,6 +259,13 @@ impl OptionsBuilder {
         self
     }
 
+    /// Whether writes ride the group-commit pipeline (default) or the
+    /// per-writer commit path (the ablation baseline).
+    pub fn group_commit(mut self, enabled: bool) -> Self {
+        self.opts.group_commit = enabled;
+        self
+    }
+
     /// Number of background compaction threads.
     pub fn compaction_threads(mut self, threads: usize) -> Self {
         self.opts.compaction_threads = threads;
@@ -320,6 +334,7 @@ mod tests {
             .memtable_bytes(1 << 20)
             .sync_writes(true)
             .linearizable_snapshots(true)
+            .group_commit(false)
             .compaction_threads(3)
             .active_slots(64)
             .memtable_kind(MemtableKind::LockFreeSkipList)
@@ -332,6 +347,7 @@ mod tests {
         assert_eq!(opts.memtable_bytes, 1 << 20);
         assert!(opts.sync_writes);
         assert!(opts.linearizable_snapshots);
+        assert!(!opts.group_commit);
         assert_eq!(opts.compaction_threads, 3);
         assert_eq!(opts.active_slots, 64);
         assert_eq!(opts.store.block_size, 1024);

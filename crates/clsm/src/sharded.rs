@@ -17,7 +17,7 @@
 //!
 //! - **Point operations** route by range ([`partition_of`]) and run at
 //!   full per-shard concurrency — the Figure 1 throughput win.
-//! - **Cross-shard batches** ([`ShardedDb::write_batch`]) take *one*
+//! - **Cross-shard batches** ([`ShardedDb::write`]) take *one*
 //!   write timestamp for every entry. While that stamp sits in the
 //!   shared `Active` set, no snapshot can be granted a time at or
 //!   above it, so scanners observe either the whole batch or none of
@@ -32,9 +32,11 @@
 //! Both multi-shard operations acquire per-shard locks in **ascending
 //! shard order** and do only non-blocking work while holding them:
 //!
-//! - `write_batch`: lock touched shards (exclusive, ascending — see
-//!   [`ShardedDb::write_batch`] for why exclusive) → `getTS` (one
-//!   stamp) → log + insert on each shard → `publish` → unlock.
+//! - `write` (cross-shard case): lock touched shards (exclusive,
+//!   ascending — see [`ShardedDb::write`] for why exclusive) → `getTS`
+//!   (one stamp) → log + insert on each shard → `publish` → unlock.
+//!   A batch whose keys all land on one shard instead delegates to
+//!   that shard's [`Db::write`], riding its group-commit pipeline.
 //! - `snapshot`: lock all shards (shared, ascending) →
 //!   [`TimestampOracle::get_snap_publish`] (non-blocking half) →
 //!   register → unlock → [`TimestampOracle::wait_snap_visible`].
@@ -50,6 +52,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use clsm_kv::{WriteBatch, WriteOptions};
 use clsm_util::env::Env;
 use clsm_util::error::{Error, Result};
 use clsm_util::metrics::{MetricsRegistry, MetricsSnapshot};
@@ -169,7 +172,7 @@ fn read_manifest(env: &dyn Env, root: &Path) -> Result<Option<Vec<Vec<u8>>>> {
 /// oracle, with serializable cross-shard snapshots.
 ///
 /// Cheap operations (`put`/`get`/`delete`) touch exactly one shard;
-/// [`ShardedDb::snapshot`] and [`ShardedDb::write_batch`] coordinate
+/// [`ShardedDb::snapshot`] and [`ShardedDb::write`] coordinate
 /// through the shared oracle as described in the [module docs]
 /// (crate::sharded).
 ///
@@ -351,9 +354,15 @@ impl ShardedDb {
         self.shard_for(key).read_modify_write(key, f)
     }
 
-    /// Atomically applies a batch that may span shards.
+    /// Applies a [`WriteBatch`] under the given [`WriteOptions`] — the
+    /// single mutation entry point, batch-atomic even across shards.
     ///
-    /// Every entry is written at **one** shared timestamp, acquired
+    /// A batch whose keys all land on one shard (including every
+    /// single-op batch) delegates to that shard's [`Db::write`] and
+    /// rides its group-commit pipeline. Only genuinely cross-shard
+    /// batches take the coarse-grained path below.
+    ///
+    /// Every cross-shard entry is written at **one** shared timestamp, acquired
     /// while holding the touched shards' locks (**exclusive** mode,
     /// ascending order — batches are the one operation cLSM keeps
     /// coarse-grained, as on [`Db`]) and published only after every
@@ -375,7 +384,8 @@ impl ShardedDb {
     /// Duplicate keys keep the last occurrence (all entries share one
     /// timestamp, so "later wins within the batch" must be resolved
     /// here rather than by version order).
-    pub fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
+    pub fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        opts.validate()?;
         if batch.is_empty() {
             return Ok(());
         }
@@ -383,11 +393,22 @@ impl ShardedDb {
             // The empty key is reserved for batch-commit markers.
             return Err(Error::invalid_argument("empty keys are not supported"));
         }
+        // Single-shard fast path: route to the owning shard's pipeline.
+        // Within-batch duplicates resolve by insertion order there (the
+        // shard stamps entries with ascending timestamps), matching the
+        // last-occurrence-wins dedup below.
+        let first_shard = partition_of(&self.boundaries, &batch.ops()[0].0);
+        if batch
+            .iter()
+            .all(|(key, _)| partition_of(&self.boundaries, key) == first_shard)
+        {
+            return self.shards[first_shard].write(batch, opts);
+        }
         let began = Instant::now();
         // Deduplicate (last occurrence wins) and group by shard. The
         // BTreeMap keys double as the ascending lock-acquisition order.
         let mut last = std::collections::BTreeMap::new();
-        for (key, value) in batch {
+        for (key, value) in batch.ops() {
             last.insert(key.as_slice(), value);
         }
         type ShardEntries<'a> = Vec<(&'a [u8], &'a Option<Vec<u8>>)>;
@@ -418,14 +439,14 @@ impl ShardedDb {
         let total_entries: u64 = per_shard.values().map(|v| v.len() as u64).sum();
         'apply: for (&s, entries) in &per_shard {
             let inner = self.shards[s].inner();
-            let mut records: Vec<WriteRecord> = entries
-                .iter()
-                .map(|&(key, value)| match value {
-                    Some(v) => WriteRecord::put(stamp.ts, key, v.clone()),
-                    None => WriteRecord::delete(stamp.ts, key),
-                })
-                .collect();
-            if per_shard.len() > 1 {
+            if !opts.disable_wal {
+                let mut records: Vec<WriteRecord> = entries
+                    .iter()
+                    .map(|&(key, value)| match value {
+                        Some(v) => WriteRecord::put(stamp.ts, key, v.clone()),
+                        None => WriteRecord::delete(stamp.ts, key),
+                    })
+                    .collect();
                 // Batch-commit marker: rides in the same (per-shard
                 // atomic) WAL payload as the entries, carrying the
                 // batch's total entry count. Recovery counts entries
@@ -434,10 +455,10 @@ impl ShardedDb {
                 // tail was lost mid-batch (see
                 // [`audit_cross_shard_batches`]).
                 records.push(WriteRecord::batch_marker(stamp.ts, total_entries));
-            }
-            if let Err(e) = inner.store.log(&records, SyncMode::Async) {
-                result = Err(e);
-                break 'apply;
+                if let Err(e) = inner.store.log(&records, SyncMode::Async) {
+                    result = Err(e);
+                    break 'apply;
+                }
             }
             let pm = inner.pm.load();
             for &(key, value) in entries {
@@ -453,7 +474,7 @@ impl ShardedDb {
 
         for &s in per_shard.keys() {
             let inner = self.shards[s].inner();
-            if inner.opts.sync_writes {
+            if opts.sync || (inner.opts.sync_writes && !opts.disable_wal) {
                 inner.store.sync_wal()?;
             }
             inner.maybe_schedule_flush();
@@ -466,6 +487,15 @@ impl ShardedDb {
             m.write_batch_latency.record_duration(began.elapsed());
         }
         Ok(())
+    }
+
+    /// Atomically applies a batch that may span shards.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `WriteBatch` and call `write(batch, &WriteOptions::new())` instead"
+    )]
+    pub fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
+        self.write(WriteBatch::from(batch), &WriteOptions::new())
     }
 
     /// Creates one serializable snapshot spanning every shard
@@ -832,7 +862,7 @@ impl ShardedDoctorReport {
 ///
 /// A marked timestamp at or below the highest *flushed* timestamp of
 /// any shard is never dropped: a flush can only contain the batch's
-/// entries after `write_batch` finished appending on every shard (the
+/// entries after the cross-shard `write` finished appending on every shard (the
 /// flush's exclusive lock excludes the batch's shared locks), so the
 /// count fell short because a participant's WAL was legitimately
 /// retired, not because data was lost. The converse corner — one shard
@@ -840,7 +870,7 @@ impl ShardedDoctorReport {
 /// vanished — is undetectable from the surviving WALs alone and is the
 /// documented residual risk of asynchronous logging (§4: "a handful of
 /// writes may be lost"); synchronous mode closes it because acked
-/// batches are fsynced on every participant before `write_batch`
+/// batches are fsynced on every participant before the write
 /// returns.
 fn audit_cross_shard_batches(opened: &mut [(Store, Recovered)]) -> Vec<u64> {
     use std::collections::{BTreeMap, BTreeSet};

@@ -1,0 +1,473 @@
+//! The leader/follower group-commit write pipeline.
+//!
+//! Every mutation submitted through [`crate::Db::write`] (when
+//! `Options::group_commit` is on) becomes a [`WriteRequest`] pushed
+//! onto a lock-free [`CombiningQueue`]. One writer — the *leader*,
+//! elected with a single CAS on a flag — drains the queue and commits
+//! the whole group on everyone's behalf:
+//!
+//! 1. one contiguous *block* of timestamps from the oracle
+//!    ([`clsm_util::oracle::TimestampOracle::get_ts_block`]: one
+//!    `fetch_add` + one `Active`-set registration for N writes, with
+//!    the Figure 4 rollback extended to blocks),
+//! 2. all memtable inserts,
+//! 3. one coalesced WAL append through the logging queue's
+//!    group-commit seam,
+//! 4. one publish pass, then wake every follower.
+//!
+//! The per-writer commit path pays the oracle CAS, the WAL enqueue,
+//! and the publish once *per write*; the pipeline pays each once *per
+//! group*, which is what restores monotone write scaling under
+//! contention (ROADMAP item 1).
+//!
+//! # Graceful degradation: withdrawal
+//!
+//! Combining only pays when a leader actually absorbs concurrent
+//! requests. When it can't — one core, so leader and follower never
+//! run simultaneously; or a leader parked in flush admission — a
+//! follower that spends [`SPIN_YIELDS`] reschedules unserviced
+//! *withdraws*: it takes its own ops back (the `Mutex<Option<Vec<..>>>`
+//! around them is the claim token, so the withdrawal races the
+//! leader's drain-time claim and exactly one side wins) and commits
+//! them through the ordinary per-writer path, which is protocol-
+//! compatible with a concurrently committing leader. The pipeline thus
+//! costs at most a bounded wait over the per-writer baseline, while
+//! still combining whenever the scheduler lets writers overlap. Note
+//! the WAL's logging queue group-commits fsyncs below this layer, so
+//! durability batching survives degradation too.
+//!
+//! # Lock mode
+//!
+//! A group containing only single-op requests commits under the
+//! **shared** lock, exactly like individual puts: each insert uses
+//! `insert_as_newest`, and an insert that loses to a concurrent RMW
+//! abandons its block slot (a legal timestamp hole) and restamps with
+//! a fresh `getTS` until it lands newest — the paper's put loop,
+//! amortized. A group containing any multi-op batch commits under the
+//! **exclusive** lock instead: restamping one entry of an atomic batch
+//! under the shared lock could publish the batch with non-contiguous
+//! visibility, letting a snapshot observe it torn. Exclusive mode
+//! excludes RMW entirely, so plain inserts suffice and every entry
+//! keeps its block stamp (the same coarse-grained choice §4 makes for
+//! batches).
+//!
+//! # Durability
+//!
+//! WAL-logged entries of the whole group coalesce into **one** log
+//! payload, so a torn WAL tail drops the group atomically and no
+//! logical batch ever recovers partially. Requests with `sync` wait
+//! for one group-committed fsync issued after the lock is released;
+//! requests with `disable_wal` skip the log (and recovery) entirely.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use clsm_util::combine::CombiningQueue;
+use clsm_util::error::Result;
+use clsm_util::trace::TraceId;
+
+use lsm_storage::format::WriteRecord;
+use lsm_storage::wal::SyncMode;
+
+use crate::db::DbInner;
+
+/// Flight-recorder span on the leader: one committed group (argument =
+/// number of operations in the group).
+static T_COMMIT_LEADER: TraceId = TraceId::new("clsm.commit.leader");
+/// Flight-recorder span on a follower: waiting for a leader to commit
+/// its request.
+static T_COMMIT_FOLLOWER: TraceId = TraceId::new("clsm.commit.follower_wait");
+/// Flight-recorder event: a follower withdrew its request and fell
+/// back to the per-writer commit path.
+static T_COMMIT_WITHDRAW: TraceId = TraceId::new("clsm.commit.withdraw");
+
+/// One writer's pending mutation, parked on the combining queue until
+/// a leader commits it (or the owner withdraws it — see [`submit`]).
+pub(crate) struct WriteRequest {
+    /// The batch body: `(key, Some(value))` puts, `(key, None)` deletes.
+    ///
+    /// Doubles as the *claim token*: whoever `take`s the ops — the
+    /// leader at drain time, or the owner withdrawing — owns the
+    /// commit. A drained request whose ops are already gone was
+    /// withdrawn and is simply dropped.
+    ops: Mutex<Option<Vec<(Vec<u8>, Option<Vec<u8>>)>>>,
+    /// Effective sync: the caller's `WriteOptions::sync` or the store's
+    /// `sync_writes` mode.
+    sync: bool,
+    /// Skip the WAL for this request.
+    disable_wal: bool,
+    /// The commit outcome, set exactly once by the committing leader.
+    done: Mutex<Option<Result<()>>>,
+    cv: Condvar,
+}
+
+impl WriteRequest {
+    fn complete(&self, result: Result<()>) {
+        let mut done = self.done.lock();
+        *done = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// The per-[`crate::Db`] pipeline state: the combining queue plus the
+/// leader-election flag.
+pub(crate) struct CommitPipeline {
+    queue: CombiningQueue<Arc<WriteRequest>>,
+    /// `true` while some writer is draining the queue as leader.
+    leader: AtomicBool,
+}
+
+impl CommitPipeline {
+    pub(crate) fn new() -> Self {
+        CommitPipeline {
+            queue: CombiningQueue::new(),
+            leader: AtomicBool::new(false),
+        }
+    }
+
+    /// Tries to become leader with nobody waiting — the solo fast
+    /// path's election. On success the caller commits its own batch
+    /// directly and MUST afterwards call [`drain_as_leader`] to serve
+    /// anyone who queued behind the held flag and release it. (A push
+    /// can land between the emptiness check and the CAS; the mandatory
+    /// drain afterwards is what keeps that writer from waiting a full
+    /// withdrawal cycle.)
+    pub(crate) fn try_lead_solo(&self) -> bool {
+        self.queue.is_empty()
+            && self
+                .leader
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+    }
+}
+
+impl std::fmt::Debug for CommitPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitPipeline")
+            .field("leader", &self.leader.load(Ordering::Relaxed))
+            .field("queue_empty", &self.queue.is_empty())
+            .finish()
+    }
+}
+
+/// What happened to a batch handed to [`submit`].
+pub(crate) enum Submit {
+    /// A leader (possibly the calling thread) committed the batch.
+    Done(Result<()>),
+    /// The owner withdrew the batch before any leader claimed it: the
+    /// caller gets its ops back and must commit them through the
+    /// per-writer path. This is the pipeline's graceful degradation —
+    /// when the leader can't service us promptly (few cores, or a
+    /// leader parked in a slow flush admission), committing solo at
+    /// per-writer cost beats idling in the queue.
+    Withdrawn(Vec<(Vec<u8>, Option<Vec<u8>>)>),
+}
+
+/// Submits one validated, non-empty batch to the pipeline and blocks
+/// until a leader (possibly this thread) commits it — or until the
+/// wait stops being worth it, in which case the batch is withdrawn and
+/// returned to the caller (see [`Submit::Withdrawn`]).
+pub(crate) fn submit(
+    inner: &DbInner,
+    ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    sync: bool,
+    disable_wal: bool,
+) -> Submit {
+    debug_assert!(!ops.is_empty());
+    let req = Arc::new(WriteRequest {
+        ops: Mutex::new(Some(ops)),
+        sync,
+        disable_wal,
+        done: Mutex::new(None),
+        cv: Condvar::new(),
+    });
+    inner.pipeline.queue.push(Arc::clone(&req));
+    loop {
+        if let Some(result) = req.done.lock().take() {
+            return Submit::Done(result);
+        }
+        if inner
+            .pipeline
+            .leader
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // Leader: drain and commit groups until the queue is empty.
+            // Our own request is in some group — ours or an earlier
+            // leader's — so the done-check above terminates the loop.
+            run_leader(inner);
+            continue;
+        }
+        // Follower: a leader exists; give it a few reschedules to
+        // commit us. Each yield cedes the CPU to the leader, so on a
+        // loaded machine the result is usually ready within one or two
+        // and the follower never parks (a parked follower costs two
+        // context switches per write: the futex sleep and the wake).
+        let _span = T_COMMIT_FOLLOWER.span();
+        for _ in 0..SPIN_YIELDS {
+            std::thread::yield_now();
+            if let Some(result) = req.done.lock().take() {
+                return Submit::Done(result);
+            }
+            if !inner.pipeline.leader.load(Ordering::Acquire) {
+                // The leader stepped down without committing us (we
+                // pushed after its final drain); re-run the election.
+                break;
+            }
+        }
+        if let Some(result) = req.done.lock().take() {
+            return Submit::Done(result);
+        }
+        // The leader isn't servicing us. Try to withdraw: taking our
+        // own ops back races the leader's drain-time claim, and the
+        // `Mutex<Option<_>>` arbitrates — exactly one side wins, so
+        // the batch commits exactly once.
+        if let Some(ops) = req.ops.lock().take() {
+            T_COMMIT_WITHDRAW.instant(1);
+            return Submit::Withdrawn(ops);
+        }
+        // A leader claimed our ops between the spin and the withdraw,
+        // so completion is guaranteed — park until it arrives. The
+        // timed wait is only a backstop against a missed notify; the
+        // claiming leader always signals the condvar.
+        let mut done = req.done.lock();
+        loop {
+            if let Some(result) = done.take() {
+                return Submit::Done(result);
+            }
+            req.cv.wait_for(&mut done, Duration::from_millis(1));
+        }
+    }
+}
+
+/// How many times a follower yields to the leader before withdrawing
+/// its request. Yields are cheap relative to a futex sleep + wake, and
+/// a leader that is going to service us at all typically does so
+/// within the first couple.
+const SPIN_YIELDS: usize = 8;
+
+/// A claimed request: the Arc (for completion) plus its taken ops.
+type Claimed = (Arc<WriteRequest>, Vec<(Vec<u8>, Option<Vec<u8>>)>);
+
+/// Claims every drained request's ops; a request whose ops are already
+/// gone was withdrawn by its owner and is dropped.
+fn claim(drained: Vec<Arc<WriteRequest>>) -> Vec<Claimed> {
+    drained
+        .into_iter()
+        .filter_map(|req| {
+            let ops = req.ops.lock().take();
+            ops.map(|ops| (req, ops))
+        })
+        .collect()
+}
+
+/// Entry for the solo fast path in [`crate::Db::write`]: the caller
+/// won the leader CAS with an empty queue and committed its own batch
+/// through the per-writer path; this drains whoever queued behind the
+/// held flag, then steps down.
+pub(crate) fn drain_as_leader(inner: &DbInner) {
+    run_leader(inner);
+}
+
+/// Drains and commits groups until the queue is empty, then steps down.
+fn run_leader(inner: &DbInner) {
+    // Requests a shared-mode commit popped but could not absorb (see
+    // `commit_group`'s late-arrival pass); they head the next group.
+    let mut carry: Vec<Claimed> = Vec::new();
+    loop {
+        let group = if carry.is_empty() {
+            let drained = inner.pipeline.queue.pop_all();
+            if drained.is_empty() {
+                inner.pipeline.leader.store(false, Ordering::Release);
+                // A producer may have pushed between the drain and the
+                // release and seen the flag still set (so it parked as
+                // a follower); re-claim leadership for it.
+                if inner.pipeline.queue.is_empty()
+                    || inner
+                        .pipeline
+                        .leader
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+            claim(drained)
+        } else {
+            std::mem::take(&mut carry)
+        };
+        if group.is_empty() {
+            continue;
+        }
+        carry = commit_group(inner, group);
+    }
+}
+
+/// Upper bound on operations absorbed into one group, so a steady
+/// stream of late arrivals can't stretch a single commit (and the
+/// latency of its sync waiters) without bound.
+const MAX_GROUP_OPS: u64 = 4096;
+
+/// Commits one claimed group: stamps, inserts, logs, publishes, syncs,
+/// and wakes every member. While it holds the lock it also absorbs
+/// *late arrivals* — requests pushed mid-commit (on few cores: while
+/// the leader was preempted mid-commit) join this group's WAL append
+/// and publish pass instead of paying their own, which is where the
+/// combining actually comes from on a loaded machine.
+///
+/// Returns the late arrivals it popped but could not absorb (multi-op
+/// batches need the exclusive lock a shared-mode commit doesn't hold);
+/// the caller commits them as the next group.
+fn commit_group(inner: &DbInner, mut group: Vec<Claimed>) -> Vec<Claimed> {
+    let mut total: u64 = group.iter().map(|(_, ops)| ops.len() as u64).sum();
+    let _span = T_COMMIT_LEADER.span_with(total);
+    // One admission check for the whole group (the stall-aware
+    // scheduling seam: the leader is the single point where a stalled
+    // store backpressures every queued writer at once).
+    inner.stall_if_needed();
+
+    let any_multi = group.iter().any(|(_, ops)| ops.len() > 1);
+    let mut leftover: Vec<Claimed> = Vec::new();
+
+    let mut records: Vec<WriteRecord> = Vec::with_capacity(total as usize);
+    let log_result: Result<()>;
+    {
+        // See the module docs: shared mode for single-op-only groups
+        // (coexists with RMW via restamp-on-conflict), exclusive when
+        // any atomic multi-op batch is aboard.
+        let (_shared, _excl);
+        if any_multi {
+            _excl = Some(inner.lock.lock_exclusive());
+            _shared = None;
+        } else {
+            _shared = Some(inner.lock.lock_shared());
+            _excl = None;
+        }
+        let pm = inner.pm.load();
+        // Timestamp blocks (one per stamping pass) and restamped
+        // (conflict-retried) singles; all published after the log
+        // append, exactly like the per-writer path.
+        let mut blocks = Vec::with_capacity(1);
+        let mut extra_stamps = Vec::new();
+        // Stamps and inserts `group[from..]`, appending WAL records.
+        let mut insert_tail = |group: &[Claimed], from: usize, records: &mut Vec<WriteRecord>| {
+            let count: u64 = group[from..].iter().map(|(_, ops)| ops.len() as u64).sum();
+            let block = inner.oracle.get_ts_block(count);
+            let mut slot = 0u64;
+            for (req, ops) in &group[from..] {
+                for (key, value) in ops {
+                    let ts = block.ts(slot);
+                    slot += 1;
+                    let final_ts = if any_multi {
+                        // Exclusive: no concurrent writer can exist, so
+                        // the block stamp is trivially the newest
+                        // version.
+                        pm.insert(key, ts, value.as_deref());
+                        ts
+                    } else {
+                        match pm.insert_as_newest(key, ts, value.as_deref()) {
+                            Ok(()) => ts,
+                            // Lost to a concurrent RMW: abandon the
+                            // block slot (a legal timestamp hole) and
+                            // restamp fresh until the insert lands
+                            // newest.
+                            Err(_conflict) => loop {
+                                let stamp = inner.oracle.get_ts();
+                                match pm.insert_as_newest(key, stamp.ts, value.as_deref()) {
+                                    Ok(()) => {
+                                        let ts = stamp.ts;
+                                        extra_stamps.push(stamp);
+                                        break ts;
+                                    }
+                                    Err(_conflict) => inner.oracle.publish(stamp),
+                                }
+                            },
+                        }
+                    };
+                    if !req.disable_wal {
+                        records.push(match value {
+                            Some(v) => WriteRecord::put(final_ts, key.clone(), v.clone()),
+                            None => WriteRecord::delete(final_ts, key.clone()),
+                        });
+                    }
+                }
+            }
+            blocks.push(block);
+        };
+        insert_tail(&group, 0, &mut records);
+        // Late-arrival absorption: keep draining while writers are
+        // pushing. A shared-mode commit can only take single-op lates
+        // (a multi-op batch needs the exclusive lock); those go to
+        // `leftover` and the absorption stops, since anything popped
+        // after them must also wait its turn to keep FIFO-ish order.
+        while total < MAX_GROUP_OPS && leftover.is_empty() {
+            let late = claim(inner.pipeline.queue.pop_all());
+            if late.is_empty() {
+                break;
+            }
+            let mut absorbed = Vec::with_capacity(late.len());
+            let mut late_iter = late.into_iter();
+            for (req, ops) in late_iter.by_ref() {
+                if any_multi || ops.len() == 1 {
+                    absorbed.push((req, ops));
+                } else {
+                    leftover.push((req, ops));
+                    break;
+                }
+            }
+            leftover.extend(late_iter);
+            if absorbed.is_empty() {
+                break;
+            }
+            total += absorbed.iter().map(|(_, ops)| ops.len() as u64).sum::<u64>();
+            let from = group.len();
+            group.extend(absorbed);
+            insert_tail(&group, from, &mut records);
+        }
+        // One coalesced payload for the whole group: recovery sees the
+        // group all-or-nothing, so no member's logical batch can ever
+        // come back torn.
+        log_result = if records.is_empty() {
+            Ok(())
+        } else {
+            inner.store.log(&records, SyncMode::Async)
+        };
+        // Publish only after every insert is visible — a snapshot
+        // granted now sees the whole group. Publish even on a failed
+        // log append: an unpublished stamp would wedge snapshot
+        // creation forever (the WAL is poisoned and surfaces the error
+        // on its own).
+        for stamp in extra_stamps {
+            inner.oracle.publish(stamp);
+        }
+        for block in blocks {
+            inner.oracle.publish_block(block);
+        }
+    }
+
+    // One group-committed fsync for every sync requester, outside the
+    // lock so it never blocks the merge hooks.
+    let any_sync = group.iter().any(|(req, _)| req.sync);
+    let sync_result = if any_sync && log_result.is_ok() {
+        inner.store.sync_wal()
+    } else {
+        Ok(())
+    };
+
+    for (req, _) in &group {
+        let result = if let (Err(e), false) = (&log_result, req.disable_wal) {
+            Err(e.clone())
+        } else if req.sync {
+            sync_result.clone()
+        } else {
+            Ok(())
+        };
+        req.complete(result);
+    }
+    inner.maybe_schedule_flush();
+    leftover
+}

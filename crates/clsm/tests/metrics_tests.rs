@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use clsm::{Db, Options, OptionsBuilder, RmwDecision};
+use clsm::{Db, Options, OptionsBuilder, RmwDecision, WriteBatch, WriteOptions};
 
 struct TempDir(std::path::PathBuf);
 
@@ -79,10 +79,10 @@ fn mixed_workload(db: &Arc<Db>) {
             }
         });
     });
-    db.write_batch(&[
+    db.write(WriteBatch::from(&[
         (b"wb-a".to_vec(), Some(b"1".to_vec())),
         (b"wb-b".to_vec(), None),
-    ])
+    ][..]), &WriteOptions::new())
     .unwrap();
     db.compact_to_quiescence().unwrap();
 }

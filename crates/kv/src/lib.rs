@@ -9,9 +9,15 @@
 //!
 //! Design notes:
 //!
-//! - Point operations (`put`/`get`/`delete`) mirror the paper's API.
-//! - [`KvStore::write_batch`] defaults to a non-atomic loop; systems
-//!   with atomic batches (cLSM) override it.
+//! - [`KvStore::write`] is the single real mutation entry point: a
+//!   [`WriteBatch`] (one or many puts/deletes) plus per-call
+//!   [`WriteOptions`]. `put`/`delete` are provided shims over it, so
+//!   workloads written against the point API automatically route
+//!   through each system's batch path (for cLSM, the group-commit
+//!   pipeline). Whether a multi-entry batch applies *atomically* is a
+//!   per-system capability, not a trait guarantee.
+//! - [`KvStore::write_batch`] is a deprecated shim retained for one
+//!   release; migrate to [`KvStore::write`].
 //! - [`KvStore::snapshot`] returns a boxed [`KvSnapshot`] — a
 //!   consistent read-only view. For cLSM this is a real multi-version
 //!   snapshot; baselines capture their visible sequence number, which
@@ -28,6 +34,9 @@ pub use clsm_util::error::{Error, Result};
 pub use clsm_util::metrics::MetricsSnapshot;
 
 pub mod record;
+mod write;
+
+pub use write::{WriteBatch, WriteOptions};
 
 /// What a read-modify-write function wants done with the key.
 ///
@@ -231,28 +240,36 @@ pub trait KvSnapshot: Send + Sync {
 /// `scan` corresponds to the paper's range queries (Figure 7b);
 /// `put_if_absent` to the RMW benchmark (Figure 9).
 pub trait KvStore: Send + Sync {
-    /// Stores `value` under `key`.
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+    /// Applies `batch` — the **single real mutation entry point**.
+    ///
+    /// Every other mutator (`put`, `delete`, the deprecated
+    /// `write_batch`) is a thin shim over this method. Whether a
+    /// multi-entry batch applies atomically is a per-system capability:
+    /// cLSM batches are atomic (one stamp block, one WAL record);
+    /// baselines apply entries one at a time under their own writer
+    /// synchronization.
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()>;
+
+    /// Stores `value` under `key` (shim over [`KvStore::write`]).
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.write(WriteBatch::single_put(key, value), &WriteOptions::new())
+    }
 
     /// Returns the latest value of `key`.
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
 
-    /// Deletes `key`.
-    fn delete(&self, key: &[u8]) -> Result<()>;
+    /// Deletes `key` (shim over [`KvStore::write`]).
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        self.write(WriteBatch::single_delete(key), &WriteOptions::new())
+    }
 
     /// Applies a batch of puts (`Some`) and deletes (`None`).
-    ///
-    /// The default implementation applies the entries one by one and is
-    /// therefore **not atomic**; systems with atomic batch support
-    /// override it.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `WriteBatch` and call `write(batch, &WriteOptions::new())` instead"
+    )]
     fn write_batch(&self, batch: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<()> {
-        for (key, value) in batch {
-            match value {
-                Some(v) => self.put(key, v)?,
-                None => self.delete(key)?,
-            }
-        }
-        Ok(())
+        self.write(WriteBatch::from(batch), &WriteOptions::new())
     }
 
     /// Creates a consistent read-only view of the store.
@@ -266,7 +283,17 @@ pub trait KvStore: Send + Sync {
 
     /// Atomically stores `value` if `key` is absent; returns `true` if
     /// stored.
-    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool>;
+    ///
+    /// Default shim over [`KvStore::read_modify_write`]; systems whose
+    /// conditional-put protocol differs from their RMW path (or that
+    /// have no atomic RMW at all) override it.
+    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
+        let result = self.read_modify_write(key, &mut |current| match current {
+            Some(_) => RmwDecision::Abort,
+            None => RmwDecision::Update(value.to_vec()),
+        })?;
+        Ok(result.committed)
+    }
 
     /// Atomically applies `f` to the current value of `key` (the
     /// paper's Algorithm 3 for cLSM; baselines use whatever writer

@@ -28,7 +28,7 @@ use std::sync::Arc;
 use clsm_util::error::Result;
 use clsm_util::eventlog::{EventLog, EventLogHandle};
 
-use crate::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange};
+use crate::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions};
 
 /// The decision a committed (or aborted) RMW actually applied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -339,21 +339,29 @@ impl Recorder {
         r
     }
 
-    /// Recorded `write_batch`. Returns the session-unique batch id the
-    /// event was tagged with.
-    pub fn write_batch(&mut self, entries: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<u64> {
-        let batch = self.session.batch_ids.fetch_add(1, Ordering::Relaxed);
+    /// Recorded `write` (the unified batch entry point). Returns the
+    /// session-unique batch id the event was tagged with.
+    pub fn write(&mut self, batch: WriteBatch, opts: &WriteOptions) -> Result<u64> {
+        let id = self.session.batch_ids.fetch_add(1, Ordering::Relaxed);
+        let entries = batch.ops().to_vec();
         let invoke = self.handle.tick();
-        let r = self.session.store.write_batch(entries);
+        let r = self.session.store.write(batch, opts);
         self.record(
             invoke,
             r.is_ok(),
-            KvOp::WriteBatch {
-                batch,
-                entries: entries.to_vec(),
-            },
+            KvOp::WriteBatch { batch: id, entries },
         );
-        r.map(|()| batch)
+        r.map(|()| id)
+    }
+
+    /// Recorded `write_batch`. Returns the session-unique batch id the
+    /// event was tagged with.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `WriteBatch` and call `write(batch, &WriteOptions::new())` instead"
+    )]
+    pub fn write_batch(&mut self, entries: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<u64> {
+        self.write(WriteBatch::from(entries), &WriteOptions::new())
     }
 
     /// Recorded store-level `scan` (implicit snapshot: the scan's own

@@ -446,6 +446,12 @@ impl Store {
         self.wal_number.load(Ordering::SeqCst)
     }
 
+    /// Backlog of the logging queue (records enqueued, not yet handed
+    /// to the logger thread). Racy diagnostic sample.
+    pub fn wal_queue_depth(&self) -> usize {
+        self.wal.depth()
+    }
+
     /// Flushes a sorted memtable stream into level-0 tables.
     ///
     /// `watermark` is the oldest live snapshot; `max_ts` the highest

@@ -139,6 +139,13 @@ impl LogQueue {
     pub fn poisoned(&self) -> Option<Error> {
         self.shared.error.lock().clone()
     }
+
+    /// Messages currently waiting for the logger thread — the logging
+    /// queue's backlog. Sampled racily; a persistently non-zero depth
+    /// means writers outpace the log device.
+    pub fn depth(&self) -> usize {
+        self.tx.len()
+    }
 }
 
 impl Clone for LogQueue {

@@ -128,6 +128,33 @@ pub struct WriteStamp {
     ticket: ActiveTicket,
 }
 
+/// A contiguous block of write timestamps `[base, base + len)` acquired
+/// with one `fetch_add` (the group-commit amortization: one counter
+/// round-trip and one `Active`-set registration cover N writes).
+///
+/// Only `base` is registered in the `Active` set: `getSnap` picks a
+/// time strictly below the minimum active stamp, so holding the block's
+/// minimum active shields every stamp in the block. The holder must
+/// call [`TimestampOracle::publish_block`] once *all* writes carrying
+/// stamps from the block are visible — publishing early would let a
+/// snapshot observe a partially applied group.
+#[derive(Debug)]
+pub struct BlockStamp {
+    /// First (smallest) timestamp in the block.
+    pub base: u64,
+    /// Number of timestamps in the block.
+    pub len: u64,
+    ticket: ActiveTicket,
+}
+
+impl BlockStamp {
+    /// The `i`-th timestamp of the block (`i < len`).
+    pub fn ts(&self, i: u64) -> u64 {
+        debug_assert!(i < self.len);
+        self.base + i
+    }
+}
+
 /// The cLSM timestamp oracle (Algorithm 2).
 #[derive(Debug)]
 pub struct TimestampOracle {
@@ -196,6 +223,48 @@ impl TimestampOracle {
     /// visible, unblocking snapshots waiting on it.
     pub fn publish(&self, stamp: WriteStamp) {
         self.active.remove(stamp.ticket);
+    }
+
+    /// Group-commit variant of `getTS`: acquires `n` contiguous
+    /// timestamps with one `fetch_add`, registering only the block base
+    /// in the `Active` set (the base is the block's minimum, so holding
+    /// it active shields every stamp in the block from `getSnap`).
+    ///
+    /// The Figure 4 race extends to blocks unchanged: if a snapshot was
+    /// promised a time at or above `base` between the counter bump and
+    /// the `Active` registration, the *whole block* rolls back and a
+    /// fresh one is drawn. Timestamp holes left by rollback are legal —
+    /// recovery and reads only care about relative order.
+    ///
+    /// `n` must be nonzero.
+    pub fn get_ts_block(&self, n: u64) -> BlockStamp {
+        assert!(n > 0, "empty timestamp blocks are not allowed");
+        loop {
+            let end = self.time_counter.fetch_add(n, Ordering::SeqCst) + n;
+            let base = end - n + 1;
+            let ticket = self.active.add(base);
+            if base <= self.snap_time.load(Ordering::SeqCst) {
+                self.active.remove(ticket);
+                T_GETTS_ROLLBACK.instant(base);
+            } else {
+                return BlockStamp {
+                    base,
+                    len: n,
+                    ticket,
+                };
+            }
+        }
+    }
+
+    /// Marks every write carrying a stamp from `block` as visible.
+    ///
+    /// Must only be called once *all* of the block's writes are in the
+    /// in-memory component: the block publishes atomically, so a
+    /// snapshot granted afterwards sees either none or all of them
+    /// (with respect to the `Active`-set wait; per-stamp visibility
+    /// still follows timestamp order).
+    pub fn publish_block(&self, block: BlockStamp) {
+        self.active.remove(block.ticket);
     }
 
     /// Algorithm 2, `getSnap` (minus the snapshot-registry bookkeeping,
@@ -557,6 +626,97 @@ mod tests {
         oracle.wait_snap_visible(wts);
         assert!(oracle.active().is_empty());
         publisher.join().unwrap();
+    }
+
+    #[test]
+    fn block_stamps_are_contiguous_and_fresh() {
+        let oracle = TimestampOracle::default();
+        let single = oracle.get_ts();
+        assert_eq!(single.ts, 1);
+        oracle.publish(single);
+        let block = oracle.get_ts_block(4);
+        assert_eq!((block.base, block.len), (2, 4));
+        assert_eq!(block.ts(0), 2);
+        assert_eq!(block.ts(3), 5);
+        oracle.publish_block(block);
+        // The counter moved past the whole block.
+        let next = oracle.get_ts();
+        assert_eq!(next.ts, 6);
+        oracle.publish(next);
+    }
+
+    #[test]
+    fn snapshot_excludes_whole_active_block() {
+        let oracle = TimestampOracle::default();
+        let block = oracle.get_ts_block(3); // ts 1..=3 in flight
+        assert_eq!(block.base, 1);
+        // Only the base is registered, but the snapshot time must still
+        // exclude every stamp in the block: min(active) - 1 = 0.
+        let snap = oracle.get_snap();
+        assert_eq!(snap, 0);
+        oracle.publish_block(block);
+        assert_eq!(oracle.get_snap(), 3);
+    }
+
+    #[test]
+    fn block_rolls_back_below_snap_time() {
+        let oracle = TimestampOracle::default();
+        for _ in 0..5 {
+            let s = oracle.get_ts();
+            oracle.publish(s);
+        }
+        let snap = oracle.get_snap();
+        assert_eq!(snap, 5);
+        // A block drawn now starts at 6 > snapTime, no rollback needed;
+        // exercise the rollback path by rewinding the counter to force
+        // base <= snapTime on the first draw.
+        oracle.time_counter.store(2, Ordering::SeqCst);
+        let block = oracle.get_ts_block(2);
+        // First draw gave base 3 <= snapTime 5 and was rolled back; the
+        // retry keeps adding until base exceeds snapTime.
+        assert!(block.base > snap);
+        oracle.publish_block(block);
+    }
+
+    #[test]
+    fn blocks_interleave_with_single_stamps() {
+        let oracle = Arc::new(TimestampOracle::new(64));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let o = Arc::clone(&oracle);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let b = o.get_ts_block(4);
+                    assert!(b.base > o.snap_time());
+                    o.publish_block(b);
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let o = Arc::clone(&oracle);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let s = o.get_ts();
+                    assert!(s.ts > o.snap_time());
+                    o.publish(s);
+                }
+            }));
+        }
+        let o = Arc::clone(&oracle);
+        handles.push(std::thread::spawn(move || {
+            let mut last = 0;
+            for _ in 0..500 {
+                let snap = o.get_snap();
+                assert!(snap >= last);
+                last = snap;
+            }
+        }));
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 2 threads × 1000 blocks × 4 + 2 threads × 1000 singles, minus
+        // rollback holes — the counter must cover at least that many.
+        assert!(oracle.current_time() >= 10_000);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use clsm_repro::clsm::{Db, Options};
+use clsm_repro::clsm::{Db, Options, WriteBatch, WriteOptions};
 
 const ACCOUNTS: u64 = 200;
 const INITIAL_BALANCE: u64 = 1_000;
@@ -66,7 +66,7 @@ fn main() -> clsm_repro::clsm::Result<()> {
                     let to_bal =
                         u64::from_le_bytes(db.get(&account_key(to))?.unwrap().try_into().unwrap());
                     // Atomic batch: both legs of the transfer or neither.
-                    db.write_batch(&[
+                    db.write(WriteBatch::from(&[
                         (
                             account_key(from),
                             Some((from_bal - amount).to_le_bytes().to_vec()),
@@ -75,7 +75,7 @@ fn main() -> clsm_repro::clsm::Result<()> {
                             account_key(to),
                             Some((to_bal + amount).to_le_bytes().to_vec()),
                         ),
-                    ])?;
+                    ][..]), &WriteOptions::new())?;
                     transfers += 1;
                 }
                 Ok(transfers)
