@@ -19,7 +19,9 @@ use parking_lot::Mutex;
 use clsm::Options;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions};
+use crate::common::{
+    KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions,
+};
 use crate::core::BaselineCore;
 
 /// A bLSM-style store: single writer, gear-throttled against merges.

@@ -9,7 +9,9 @@
 
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions};
+use crate::common::{
+    KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions,
+};
 
 /// N stores, each owning a contiguous key range.
 pub struct Partitioned<S: KvStore> {

@@ -15,7 +15,9 @@ use clsm::Options;
 use clsm_util::bloom::hash_seeded;
 use clsm_util::error::Result;
 
-use crate::common::{KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions};
+use crate::common::{
+    KvSnapshot, KvStore, RmwDecision, RmwResult, ScanRange, WriteBatch, WriteOptions,
+};
 use crate::leveldb_like::LevelDbLike;
 
 /// Number of stripes (a power of two).

@@ -6,10 +6,10 @@ use std::ops::Bound;
 use std::sync::Arc;
 
 use clsm::Options;
-use clsm_kv::{WriteBatch, WriteOptions};
 use clsm_baselines::{
     BlsmLike, HyperLike, KvStore, LevelDbLike, Partitioned, RocksLike, ScanRange, StripedRmw,
 };
+use clsm_kv::{WriteBatch, WriteOptions};
 
 struct TempDir(std::path::PathBuf);
 
@@ -179,11 +179,16 @@ fn exercise(store: &dyn KvStore) {
     // Batched writes: puts and deletes land; atomicity is only
     // guaranteed by systems that override the default (cLSM).
     store
-        .write(WriteBatch::from(&[
-            (b"batch-a".to_vec(), Some(b"1".to_vec())),
-            (b"batch-b".to_vec(), Some(b"2".to_vec())),
-            (b"batch-a".to_vec(), None),
-        ][..]), &WriteOptions::new())
+        .write(
+            WriteBatch::from(
+                &[
+                    (b"batch-a".to_vec(), Some(b"1".to_vec())),
+                    (b"batch-b".to_vec(), Some(b"2".to_vec())),
+                    (b"batch-a".to_vec(), None),
+                ][..],
+            ),
+            &WriteOptions::new(),
+        )
         .unwrap();
     assert_eq!(store.get(b"batch-a").unwrap(), None, "{}", store.name());
     assert_eq!(

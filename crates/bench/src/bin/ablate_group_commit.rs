@@ -44,8 +44,7 @@ fn main() {
                 let dir = args
                     .scratch(&format!("ablate-gc-{label}-{threads}t-{rep}"))
                     .expect("scratch");
-                let store: Arc<dyn KvStore> =
-                    Arc::new(Db::open(&dir, opts.clone()).expect("open"));
+                let store: Arc<dyn KvStore> = Arc::new(Db::open(&dir, opts.clone()).expect("open"));
                 let cfg = RunConfig {
                     threads,
                     duration: args.cell(),
@@ -73,7 +72,11 @@ fn main() {
             std::fs::create_dir_all(dir).expect("trace dir");
         }
         std::fs::write(path, snap.to_chrome_json()).expect("trace");
-        eprintln!("wrote trace {} ({} events)", path.display(), snap.events.len());
+        eprintln!(
+            "wrote trace {} ({} events)",
+            path.display(),
+            snap.events.len()
+        );
     }
     table.print();
     table.to_csv(&args.out_dir).expect("csv");

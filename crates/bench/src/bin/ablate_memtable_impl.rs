@@ -50,8 +50,7 @@ fn main() {
                 let dir = args
                     .scratch(&format!("ablate-mem-w-{label}-{threads}t-{rep}"))
                     .expect("scratch");
-                let store: Arc<dyn KvStore> =
-                    Arc::new(Db::open(&dir, opts.clone()).expect("open"));
+                let store: Arc<dyn KvStore> = Arc::new(Db::open(&dir, opts.clone()).expect("open"));
                 let cfg = RunConfig {
                     threads,
                     duration: args.cell(),
@@ -79,8 +78,7 @@ fn main() {
                 let dir = args
                     .scratch(&format!("ablate-mem-m-{label}-{threads}t-{rep}"))
                     .expect("scratch");
-                let store: Arc<dyn KvStore> =
-                    Arc::new(Db::open(&dir, opts.clone()).expect("open"));
+                let store: Arc<dyn KvStore> = Arc::new(Db::open(&dir, opts.clone()).expect("open"));
                 clsm_workloads::run_workload(
                     &store,
                     &spec_m,

@@ -47,6 +47,8 @@ fn run(argv: &[String]) -> Result<()> {
     let mut shards: usize = 1;
     let mut replay: Option<PathBuf> = None;
     let mut crash_audit = false;
+    let mut watch_ms: Option<u64> = None;
+    let mut watch_count: Option<u64> = None;
 
     let mut iter = argv.iter();
     while let Some(a) = iter.next() {
@@ -72,6 +74,21 @@ fn run(argv: &[String]) -> Result<()> {
                     .unwrap_or_else(|| usage("--shards needs a count >= 1"));
             }
             "--crash-audit" => crash_audit = true,
+            "--watch" => {
+                watch_ms = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&ms| ms >= 1)
+                        .unwrap_or_else(|| usage("--watch needs an interval in ms >= 1")),
+                );
+            }
+            "--watch-count" => {
+                watch_count = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--watch-count needs a count")),
+                );
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             path => {
@@ -86,7 +103,10 @@ fn run(argv: &[String]) -> Result<()> {
     match (dir, replay) {
         (None, Some(trace)) => replay_trace(&trace),
         (Some(dir), None) if crash_audit => audit_db(&dir, shards),
-        (Some(dir), None) => examine_db(&dir, populate, shards),
+        (Some(dir), None) => match watch_ms {
+            Some(ms) => watch_db(&dir, populate, shards, ms, watch_count),
+            None => examine_db(&dir, populate, shards),
+        },
         _ => usage("pass exactly one of <db-dir> or --replay FILE"),
     }
 }
@@ -95,7 +115,10 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: clsm-doctor <db-dir> [--populate N] [--shards N] [--crash-audit]");
+    eprintln!(
+        "usage: clsm-doctor <db-dir> [--populate N] [--shards N] [--crash-audit] \
+         [--watch MS [--watch-count N]]"
+    );
     eprintln!("       clsm-doctor --replay <trace.json>");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -124,6 +147,68 @@ fn examine_db(dir: &std::path::Path, populate: u64, shards: usize) -> Result<()>
         db.compact_to_quiescence()?;
     }
     print_all(&db.doctor().render())
+}
+
+/// Live dashboard mode (`--watch MS`): samples the store's metrics
+/// every `interval_ms` and prints one rates/p99 line per tick (see
+/// [`clsm::watch_dashboard_line`] for column semantics). With
+/// `--populate N` the keys are written by a background thread while
+/// the dashboard runs, and the watch ends when the writer finishes;
+/// `--watch-count N` caps the tick count instead (and without either
+/// bound the watch runs until interrupted).
+fn watch_db(
+    dir: &std::path::Path,
+    populate: u64,
+    shards: usize,
+    interval_ms: u64,
+    watch_count: Option<u64>,
+) -> Result<()> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let store: Arc<dyn clsm::KvStore> = if shards > 1 || dir.join("SHARDS").exists() {
+        let mut opts = Options::small_for_tests();
+        opts.shards = shards;
+        Arc::new(ShardedDb::open(dir, opts)?)
+    } else {
+        Arc::new(Db::open(dir, Options::small_for_tests())?)
+    };
+
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = (populate > 0).then(|| {
+        let store = Arc::clone(&store);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let r = populate_keys(populate, |k, v| store.put(k, v));
+            done.store(true, Ordering::Release);
+            r
+        })
+    });
+
+    print_all(&format!("{}\n", clsm::watch_dashboard_header()))?;
+    let interval = Duration::from_millis(interval_ms);
+    let mut prev = store.stats();
+    let mut ticks = 0u64;
+    loop {
+        std::thread::sleep(interval);
+        let cur = store.stats();
+        print_all(&format!(
+            "{}\n",
+            clsm::watch_dashboard_line(&prev, &cur, interval)
+        ))?;
+        prev = cur;
+        ticks += 1;
+        if watch_count.is_some_and(|n| ticks >= n) {
+            break;
+        }
+        if watch_count.is_none() && populate > 0 && done.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    if let Some(writer) = writer {
+        writer.join().expect("populate thread panicked")?;
+    }
+    Ok(())
 }
 
 /// Opens the database and prints what recovery found: WALs replayed,

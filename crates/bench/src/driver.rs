@@ -308,6 +308,11 @@ pub fn emit_metrics(args: &BenchArgs, figure: &str, store: &dyn KvStore) -> Resu
         store.name(),
         snapshot.to_text()
     );
+    // For sharded systems `stats()` is the bucket-merged snapshot, so
+    // this breakdown reads as one system-wide write path.
+    if let Some(wp) = crate::report::render_write_path(&snapshot) {
+        eprintln!("[{}] {} write path:\n{}", figure, store.name(), wp);
+    }
     let path = crate::report::write_metrics_json(
         &args.out_dir,
         &format!("{}-{}", figure_slug(figure), figure_slug(store.name())),

@@ -14,6 +14,7 @@
 
 pub mod driver;
 pub mod report;
+pub mod suite;
 pub mod systems;
 
 pub use driver::{parse_args, BenchArgs};

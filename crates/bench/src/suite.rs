@@ -1,0 +1,1043 @@
+//! The canonical perf suite behind the `bench-suite` binary:
+//! a fixed matrix of measured cells emitted as one machine-readable
+//! `BENCH_<label>.json`, plus the comparator that turns two such files
+//! into per-metric deltas and a pass/fail regression verdict.
+//!
+//! The JSON schema is versioned ([`SCHEMA_VERSION`]); the comparator
+//! refuses to diff files written under a different version, so a
+//! schema change can never silently report "no regression". Everything
+//! is hand-rolled — the workspace has no serde, and the subset of JSON
+//! the suite needs (objects, arrays, strings, numbers, bools) fits in
+//! the small recursive-descent parser at the bottom of this module.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use clsm::{Options, WritePathReport};
+use clsm_baselines::KvStore;
+use clsm_util::error::{Error, Result};
+use clsm_workloads::runner::prefill_store;
+use clsm_workloads::{run_workload, Prefill, RunConfig, RunResult, WorkloadSpec};
+
+/// Version stamp written into every `BENCH_*.json`. Bump on any field
+/// change; [`compare`] rejects mismatched versions outright.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One cell of the canonical matrix: a workload at a fixed
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Workload name (`write-100` or `mixed-50-50`).
+    pub workload: &'static str,
+    /// Worker threads driving the store.
+    pub threads: usize,
+    /// Range shards (1 = a single `Db`).
+    pub shards: usize,
+    /// Group-commit pipeline on or off.
+    pub group_commit: bool,
+}
+
+impl CellSpec {
+    /// Stable cell identifier; [`compare`] matches cells by this.
+    pub fn id(&self) -> String {
+        format!(
+            "{}.t{}.gc-{}.s{}",
+            self.workload,
+            self.threads,
+            if self.group_commit { "on" } else { "off" },
+            self.shards
+        )
+    }
+}
+
+/// The canonical matrix. `smoke` is the CI-sized subset: write-only at
+/// 1–2 threads across {group commit on, off} × {1, 4 shards}, plus one
+/// mixed cell. The full matrix sweeps 1→8 threads and runs the mixed
+/// workload on both shard counts.
+pub fn canonical_matrix(smoke: bool) -> Vec<CellSpec> {
+    let write_threads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mixed_threads: &[usize] = if smoke { &[2] } else { &[1, 2, 4, 8] };
+    let mut cells = Vec::new();
+    for &shards in &[1usize, 4] {
+        for &group_commit in &[true, false] {
+            for &threads in write_threads {
+                cells.push(CellSpec {
+                    workload: "write-100",
+                    threads,
+                    shards,
+                    group_commit,
+                });
+            }
+        }
+    }
+    // Mixed 50/50 runs under the default configuration (group commit
+    // on); smoke keeps a single mixed cell.
+    for &shards in &[1usize, 4] {
+        if smoke && shards != 1 {
+            continue;
+        }
+        for &threads in mixed_threads {
+            cells.push(CellSpec {
+                workload: "mixed-50-50",
+                threads,
+                shards,
+                group_commit: true,
+            });
+        }
+    }
+    cells
+}
+
+/// Suite-wide knobs resolved from the CLI.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// CI-sized matrix and durations.
+    pub smoke: bool,
+    /// Label baked into the artifact name and JSON.
+    pub label: String,
+    /// Seconds per measured cell.
+    pub seconds: f64,
+    /// RNG seed for the workload drivers.
+    pub seed: u64,
+    /// Distinct keys per cell.
+    pub key_space: u64,
+}
+
+impl SuiteConfig {
+    /// Defaults for the given mode (`--seconds` can override).
+    pub fn new(smoke: bool, label: &str) -> SuiteConfig {
+        SuiteConfig {
+            smoke,
+            label: label.to_string(),
+            seconds: if smoke { 0.2 } else { 1.0 },
+            seed: 0xc15a,
+            key_space: if smoke { 20_000 } else { 60_000 },
+        }
+    }
+}
+
+/// One write-path stage's summary inside a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRow {
+    /// Stage name (`queue_wait` … `wake`, plus `total`).
+    pub name: String,
+    /// Samples recorded during the cell.
+    pub count: u64,
+    /// Aggregate nanoseconds spent in the stage.
+    pub sum_ns: u64,
+    /// Mean nanoseconds per sample.
+    pub mean_ns: f64,
+    /// Median nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Commit-mode counters for a cell (see `db.commit.*`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommitModes {
+    /// Solo fast-path commits.
+    pub solo: u64,
+    /// Requests whose submitter led a group.
+    pub leader: u64,
+    /// Requests committed by another thread's leader.
+    pub follower: u64,
+    /// Requests withdrawn from the pipeline.
+    pub withdrawn: u64,
+    /// Groups committed.
+    pub groups: u64,
+    /// Requests committed as group members.
+    pub grouped: u64,
+}
+
+/// One measured cell's results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Stable cell id ([`CellSpec::id`]).
+    pub id: String,
+    /// Workload name.
+    pub workload: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Range shards.
+    pub shards: usize,
+    /// Group-commit pipeline state.
+    pub group_commit: bool,
+    /// Completed operations.
+    pub ops: u64,
+    /// Measured wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Throughput in thousands of operations per second.
+    pub kops_per_sec: f64,
+    /// Median operation latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile operation latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile operation latency, microseconds.
+    pub p999_us: f64,
+    /// Per-stage write-path breakdown (empty when attribution is off).
+    pub stages: Vec<StageRow>,
+    /// Commit-mode distribution.
+    pub commit: CommitModes,
+}
+
+impl CellResult {
+    /// Builds a cell result from the run and the store's (merged)
+    /// metrics snapshot taken right after it.
+    pub fn new(
+        spec: &CellSpec,
+        run: &RunResult,
+        snapshot: &clsm_util::metrics::MetricsSnapshot,
+    ) -> CellResult {
+        let wp = WritePathReport::from_snapshot(snapshot);
+        let mut stages: Vec<StageRow> = wp
+            .stages
+            .iter()
+            .map(|s| StageRow {
+                name: s.name.to_string(),
+                count: s.summary.count,
+                sum_ns: s.summary.sum,
+                mean_ns: s.summary.mean,
+                p50_ns: s.summary.p50,
+                p99_ns: s.summary.p99,
+            })
+            .collect();
+        if let Some(total) = &wp.total {
+            stages.push(StageRow {
+                name: "total".to_string(),
+                count: total.count,
+                sum_ns: total.sum,
+                mean_ns: total.mean,
+                p50_ns: total.p50,
+                p99_ns: total.p99,
+            });
+        }
+        CellResult {
+            id: spec.id(),
+            workload: spec.workload.to_string(),
+            threads: spec.threads,
+            shards: spec.shards,
+            group_commit: spec.group_commit,
+            ops: run.ops,
+            elapsed_s: run.elapsed.as_secs_f64(),
+            kops_per_sec: run.ops_per_sec() / 1000.0,
+            p50_us: run.latency.percentile(50.0) as f64 / 1000.0,
+            p99_us: run.latency.percentile(99.0) as f64 / 1000.0,
+            p999_us: run.latency.percentile(99.9) as f64 / 1000.0,
+            stages,
+            commit: CommitModes {
+                solo: wp.solo,
+                leader: wp.leader_requests,
+                follower: wp.follower_requests,
+                withdrawn: wp.withdrawn,
+                groups: wp.groups,
+                grouped: wp.group_requests,
+            },
+        }
+    }
+}
+
+/// Environment fingerprint written into the artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFingerprint {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available parallelism at run time.
+    pub cpus: usize,
+    /// `true` for a debug (unoptimized) build.
+    pub debug: bool,
+}
+
+impl EnvFingerprint {
+    /// Samples the current process's environment.
+    pub fn current() -> EnvFingerprint {
+        EnvFingerprint {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(1, usize::from),
+            debug: cfg!(debug_assertions),
+        }
+    }
+}
+
+/// A whole suite run: everything `BENCH_<label>.json` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReport {
+    /// Artifact label (`BENCH_<label>.json`).
+    pub label: String,
+    /// `smoke` or `full`.
+    pub mode: String,
+    /// Seconds per measured cell.
+    pub seconds: f64,
+    /// Distinct keys per cell.
+    pub key_space: u64,
+    /// Where the run happened.
+    pub env: EnvFingerprint,
+    /// The measured cells, in matrix order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Runs one cell on a fresh store under `data_dir` (removed
+/// afterwards), returning its measurements plus stage breakdown.
+pub fn run_cell(spec: &CellSpec, cfg: &SuiteConfig, data_dir: &Path) -> Result<CellResult> {
+    let dir = data_dir.join(spec.id());
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    std::fs::create_dir_all(&dir)?;
+    let mut opts = suite_store_options();
+    opts.shards = spec.shards;
+    opts.group_commit = spec.group_commit;
+    let store: Arc<dyn KvStore> = if spec.shards > 1 {
+        Arc::new(clsm::ShardedDb::open(&dir, opts)?)
+    } else {
+        Arc::new(clsm::Db::open(&dir, opts)?)
+    };
+    let workload = match spec.workload {
+        "mixed-50-50" => WorkloadSpec::mixed(cfg.key_space),
+        _ => WorkloadSpec::write_only(cfg.key_space),
+    };
+    prefill_store(store.as_ref(), &workload)?;
+    let run = run_workload(
+        &store,
+        &workload,
+        &RunConfig {
+            threads: spec.threads,
+            duration: Duration::from_secs_f64(cfg.seconds),
+            seed: cfg.seed,
+        },
+        Prefill::Skip,
+    )?;
+    // `stats()` is the merged snapshot for sharded stores, so stage
+    // histograms cover every shard. A fresh store per cell keeps the
+    // cumulative counters scoped to this cell (plus its prefill).
+    let snapshot = store.stats();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(CellResult::new(spec, &run, &snapshot))
+}
+
+/// Runs the whole matrix, with progress on stderr.
+pub fn run_suite(cfg: &SuiteConfig, data_dir: &Path) -> Result<SuiteReport> {
+    let matrix = canonical_matrix(cfg.smoke);
+    let mut cells = Vec::with_capacity(matrix.len());
+    for (i, spec) in matrix.iter().enumerate() {
+        eprintln!(
+            "[bench-suite] cell {}/{}: {}",
+            i + 1,
+            matrix.len(),
+            spec.id()
+        );
+        let cell = run_cell(spec, cfg, data_dir)?;
+        eprintln!(
+            "[bench-suite]   {:.1} kops/s  p99={:.1}µs",
+            cell.kops_per_sec, cell.p99_us
+        );
+        cells.push(cell);
+    }
+    Ok(SuiteReport {
+        label: cfg.label.clone(),
+        mode: if cfg.smoke { "smoke" } else { "full" }.to_string(),
+        seconds: cfg.seconds,
+        key_space: cfg.key_space,
+        env: EnvFingerprint::current(),
+        cells,
+    })
+}
+
+/// Store options for suite cells: the quick-mode bench sizes, so a
+/// smoke cell stays memtable-resident instead of flush-bound.
+fn suite_store_options() -> Options {
+    let mut opts = Options {
+        memtable_bytes: 16 * 1024 * 1024,
+        ..Options::default()
+    };
+    opts.store.table_file_size = 2 * 1024 * 1024;
+    opts.store.base_level_bytes = 16 * 1024 * 1024;
+    opts.store.block_cache_bytes = 64 * 1024 * 1024;
+    opts
+}
+
+impl SuiteReport {
+    /// Serializes the report (the `BENCH_<label>.json` contents).
+    /// Scalar fields sit one per line so line tools (`grep`, `sed`)
+    /// can read and rewrite individual metrics.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", SCHEMA_VERSION);
+        let _ = writeln!(out, "  \"label\": {},", json_str(&self.label));
+        let _ = writeln!(out, "  \"mode\": {},", json_str(&self.mode));
+        let _ = writeln!(out, "  \"seconds\": {},", json_f64(self.seconds));
+        let _ = writeln!(out, "  \"key_space\": {},", self.key_space);
+        out.push_str("  \"env\": {\n");
+        let _ = writeln!(out, "    \"os\": {},", json_str(&self.env.os));
+        let _ = writeln!(out, "    \"arch\": {},", json_str(&self.env.arch));
+        let _ = writeln!(out, "    \"cpus\": {},", self.env.cpus);
+        let _ = writeln!(out, "    \"debug\": {}", self.env.debug);
+        out.push_str("  },\n");
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"id\": {},", json_str(&c.id));
+            let _ = writeln!(out, "      \"workload\": {},", json_str(&c.workload));
+            let _ = writeln!(out, "      \"threads\": {},", c.threads);
+            let _ = writeln!(out, "      \"shards\": {},", c.shards);
+            let _ = writeln!(out, "      \"group_commit\": {},", c.group_commit);
+            let _ = writeln!(out, "      \"ops\": {},", c.ops);
+            let _ = writeln!(out, "      \"elapsed_s\": {},", json_f64(c.elapsed_s));
+            let _ = writeln!(out, "      \"kops_per_sec\": {},", json_f64(c.kops_per_sec));
+            let _ = writeln!(out, "      \"p50_us\": {},", json_f64(c.p50_us));
+            let _ = writeln!(out, "      \"p99_us\": {},", json_f64(c.p99_us));
+            let _ = writeln!(out, "      \"p999_us\": {},", json_f64(c.p999_us));
+            out.push_str("      \"stages\": [\n");
+            for (j, s) in c.stages.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"name\": {}, \"count\": {}, \"sum_ns\": {}, \
+                     \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                    json_str(&s.name),
+                    s.count,
+                    s.sum_ns,
+                    json_f64(s.mean_ns),
+                    s.p50_ns,
+                    s.p99_ns
+                );
+                out.push_str(if j + 1 < c.stages.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ],\n");
+            let _ = writeln!(
+                out,
+                "      \"commit\": {{\"solo\": {}, \"leader\": {}, \"follower\": {}, \
+                 \"withdrawn\": {}, \"groups\": {}, \"grouped\": {}}}",
+                c.commit.solo,
+                c.commit.leader,
+                c.commit.follower,
+                c.commit.withdrawn,
+                c.commit.groups,
+                c.commit.grouped
+            );
+            out.push_str("    }");
+            out.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a `BENCH_*.json`, rejecting unknown schema versions.
+    pub fn from_json(text: &str) -> Result<SuiteReport> {
+        let root = json::parse(text).map_err(|e| Error::invalid_argument(&e))?;
+        let version = root
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| Error::invalid_argument("missing schema_version"))?;
+        if version != u64::from(SCHEMA_VERSION) {
+            return Err(Error::invalid_argument(format!(
+                "schema_version {version} != supported {SCHEMA_VERSION}; \
+                 re-baseline instead of comparing across schemas"
+            )));
+        }
+        let str_of = |j: &Json, key: &str| {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| Error::invalid_argument(format!("missing field {key}")))
+        };
+        let num_of = |j: &Json, key: &str| {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| Error::invalid_argument(format!("missing field {key}")))
+        };
+        let env = root
+            .get("env")
+            .ok_or_else(|| Error::invalid_argument("missing env"))?;
+        let mut cells = Vec::new();
+        for cell in root
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| Error::invalid_argument("missing cells"))?
+        {
+            let mut stages = Vec::new();
+            for s in cell.get("stages").and_then(Json::as_arr).unwrap_or(&[]) {
+                stages.push(StageRow {
+                    name: str_of(s, "name")?,
+                    count: num_of(s, "count")? as u64,
+                    sum_ns: num_of(s, "sum_ns")? as u64,
+                    mean_ns: num_of(s, "mean_ns")?,
+                    p50_ns: num_of(s, "p50_ns")? as u64,
+                    p99_ns: num_of(s, "p99_ns")? as u64,
+                });
+            }
+            let commit = cell
+                .get("commit")
+                .ok_or_else(|| Error::invalid_argument("missing commit"))?;
+            cells.push(CellResult {
+                id: str_of(cell, "id")?,
+                workload: str_of(cell, "workload")?,
+                threads: num_of(cell, "threads")? as usize,
+                shards: num_of(cell, "shards")? as usize,
+                group_commit: cell.get("group_commit").and_then(Json::as_bool) == Some(true),
+                ops: num_of(cell, "ops")? as u64,
+                elapsed_s: num_of(cell, "elapsed_s")?,
+                kops_per_sec: num_of(cell, "kops_per_sec")?,
+                p50_us: num_of(cell, "p50_us")?,
+                p99_us: num_of(cell, "p99_us")?,
+                p999_us: num_of(cell, "p999_us")?,
+                stages,
+                commit: CommitModes {
+                    solo: num_of(commit, "solo")? as u64,
+                    leader: num_of(commit, "leader")? as u64,
+                    follower: num_of(commit, "follower")? as u64,
+                    withdrawn: num_of(commit, "withdrawn")? as u64,
+                    groups: num_of(commit, "groups")? as u64,
+                    grouped: num_of(commit, "grouped")? as u64,
+                },
+            });
+        }
+        Ok(SuiteReport {
+            label: str_of(&root, "label")?,
+            mode: str_of(&root, "mode")?,
+            seconds: num_of(&root, "seconds")?,
+            key_space: num_of(&root, "key_space")? as u64,
+            env: EnvFingerprint {
+                os: str_of(env, "os")?,
+                arch: str_of(env, "arch")?,
+                cpus: num_of(env, "cpus")? as usize,
+                debug: env.get("debug").and_then(Json::as_bool) == Some(true),
+            },
+            cells,
+        })
+    }
+}
+
+/// Outcome of comparing two suite reports.
+#[derive(Debug)]
+pub struct CompareOutcome {
+    /// Full per-metric delta listing.
+    pub text: String,
+    /// Metric comparisons performed.
+    pub compared: usize,
+    /// Comparisons beyond the threshold.
+    pub regressions: usize,
+    /// Cells present in only one report.
+    pub unmatched: usize,
+}
+
+impl CompareOutcome {
+    /// `true` when the new report is acceptable.
+    pub fn passed(&self) -> bool {
+        self.regressions == 0
+    }
+}
+
+/// Compares `new` against the `old` baseline, cell by cell (matched on
+/// id). `threshold` is the allowed *fractional* worsening: 1.0 lets a
+/// metric get up to 2x worse before it counts as a regression.
+/// Throughput regresses downward; latency percentiles regress upward.
+pub fn compare(old: &SuiteReport, new: &SuiteReport, threshold: f64) -> CompareOutcome {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== bench-suite compare: old '{}' ({}) vs new '{}' ({}), threshold {:.2}x ==",
+        old.label,
+        old.mode,
+        new.label,
+        new.mode,
+        1.0 + threshold
+    );
+    if old.mode != new.mode {
+        let _ = writeln!(
+            text,
+            "warning: comparing different modes ({} vs {})",
+            old.mode, new.mode
+        );
+    }
+    let new_by_id: BTreeMap<&str, &CellResult> =
+        new.cells.iter().map(|c| (c.id.as_str(), c)).collect();
+    let mut compared = 0;
+    let mut regressions = 0;
+    let mut unmatched = 0;
+    for old_cell in &old.cells {
+        let Some(new_cell) = new_by_id.get(old_cell.id.as_str()) else {
+            let _ = writeln!(text, "cell {}: missing from new report", old_cell.id);
+            unmatched += 1;
+            continue;
+        };
+        let _ = writeln!(text, "cell {}", old_cell.id);
+        // (name, old, new, higher_is_better)
+        let metrics = [
+            (
+                "kops_per_sec",
+                old_cell.kops_per_sec,
+                new_cell.kops_per_sec,
+                true,
+            ),
+            ("p50_us", old_cell.p50_us, new_cell.p50_us, false),
+            ("p99_us", old_cell.p99_us, new_cell.p99_us, false),
+        ];
+        for (name, old_v, new_v, higher_better) in metrics {
+            if old_v <= 0.0 && new_v <= 0.0 {
+                continue;
+            }
+            compared += 1;
+            // Worsening factor: >1 means new is worse.
+            let factor = if higher_better {
+                if new_v <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    old_v / new_v
+                }
+            } else if old_v <= 0.0 {
+                f64::INFINITY
+            } else {
+                new_v / old_v
+            };
+            let delta_pct = if old_v > 0.0 {
+                (new_v - old_v) / old_v * 100.0
+            } else {
+                f64::INFINITY
+            };
+            let verdict = if factor > 1.0 + threshold {
+                regressions += 1;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                text,
+                "  {name:<14} old={old_v:<12.2} new={new_v:<12.2} delta={delta_pct:+.1}% {verdict}"
+            );
+        }
+    }
+    let new_ids: std::collections::BTreeSet<&str> =
+        new.cells.iter().map(|c| c.id.as_str()).collect();
+    let old_ids: std::collections::BTreeSet<&str> =
+        old.cells.iter().map(|c| c.id.as_str()).collect();
+    for extra in new_ids.difference(&old_ids) {
+        let _ = writeln!(text, "cell {extra}: new (no baseline)");
+        unmatched += 1;
+    }
+    let _ = writeln!(
+        text,
+        "bench-suite compare: {} regression(s) / {} comparison(s), {} unmatched cell(s): {}",
+        regressions,
+        compared,
+        unmatched,
+        if regressions == 0 { "PASS" } else { "FAIL" }
+    );
+    CompareOutcome {
+        text,
+        compared,
+        regressions,
+        unmatched,
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Inf).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers are valid JSON numbers, but keep a decimal
+        // point so the field reads as what it is.
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "0.0".to_string()
+    }
+}
+
+use json::Json;
+
+/// Minimal recursive-descent JSON parser — just enough for
+/// `BENCH_*.json` (no serde in the workspace, by design).
+mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (parsed as `f64`).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object.
+        Obj(BTreeMap<String, Json>),
+    }
+
+    impl Json {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(m) => m.get(key),
+                _ => None,
+            }
+        }
+
+        /// The value as a float, if it is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The value as a non-negative integer, if it is one.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an array slice.
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The value as a bool.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document; trailing garbage is an error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_obj(b, pos),
+            Some(b'[') => parse_arr(b, pos),
+            Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+            Some(_) => parse_num(b, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            *pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through intact.
+                    let s = &b[*pos..];
+                    let len = match s[0] {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = s.get(..len).ok_or("truncated utf-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "bad utf-8")?);
+                    *pos += len;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(b, pos, b'{')?;
+        let mut map = BTreeMap::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            let value = parse_value(b, pos)?;
+            map.insert(key, value);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(b, pos, b'[')?;
+        let mut arr = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Json::Arr(arr));
+        }
+        loop {
+            arr.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Json::Arr(arr));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SuiteReport {
+        SuiteReport {
+            label: "seed".to_string(),
+            mode: "smoke".to_string(),
+            seconds: 0.2,
+            key_space: 20_000,
+            env: EnvFingerprint {
+                os: "linux".to_string(),
+                arch: "x86_64".to_string(),
+                cpus: 8,
+                debug: false,
+            },
+            cells: vec![CellResult {
+                id: "write-100.t1.gc-on.s1".to_string(),
+                workload: "write-100".to_string(),
+                threads: 1,
+                shards: 1,
+                group_commit: true,
+                ops: 100_000,
+                elapsed_s: 0.2,
+                kops_per_sec: 500.0,
+                p50_us: 1.5,
+                p99_us: 9.0,
+                p999_us: 30.0,
+                stages: vec![StageRow {
+                    name: "stamp".to_string(),
+                    count: 100_000,
+                    sum_ns: 5_000_000,
+                    mean_ns: 50.0,
+                    p50_ns: 48,
+                    p99_ns: 90,
+                }],
+                commit: CommitModes {
+                    solo: 100_000,
+                    ..CommitModes::default()
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_report() {
+        let report = sample_report();
+        let parsed = SuiteReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn from_json_rejects_other_schema_versions() {
+        let text = sample_report()
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let err = SuiteReport::from_json(&text).unwrap_err();
+        assert!(err.to_string().contains("schema_version"));
+    }
+
+    #[test]
+    fn compare_passes_identical_reports() {
+        let report = sample_report();
+        let outcome = compare(&report, &report, 1.0);
+        assert!(outcome.passed());
+        assert_eq!(outcome.regressions, 0);
+        assert!(outcome.compared >= 3);
+        assert!(outcome.text.contains("PASS"));
+    }
+
+    #[test]
+    fn compare_flags_injected_regression() {
+        let old = sample_report();
+        let mut new = old.clone();
+        // 4x throughput collapse: beyond the 2x threshold.
+        new.cells[0].kops_per_sec /= 4.0;
+        let outcome = compare(&old, &new, 1.0);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions, 1);
+        assert!(outcome.text.contains("REGRESSION"));
+        assert!(outcome.text.contains("FAIL"));
+
+        // A latency blow-up is caught too.
+        let mut slow = old.clone();
+        slow.cells[0].p99_us *= 3.0;
+        assert!(!compare(&old, &slow, 1.0).passed());
+
+        // Within threshold: a 30% dip passes at 2x.
+        let mut dip = old.clone();
+        dip.cells[0].kops_per_sec *= 0.7;
+        assert!(compare(&old, &dip, 1.0).passed());
+    }
+
+    #[test]
+    fn compare_reports_unmatched_cells() {
+        let old = sample_report();
+        let mut new = old.clone();
+        new.cells[0].id = "write-100.t2.gc-on.s1".to_string();
+        let outcome = compare(&old, &new, 1.0);
+        assert_eq!(outcome.unmatched, 2); // one missing + one new
+        assert!(outcome.text.contains("missing from new report"));
+    }
+
+    #[test]
+    fn smoke_matrix_covers_acceptance_grid() {
+        let matrix = canonical_matrix(true);
+        for shards in [1, 4] {
+            for gc in [true, false] {
+                assert!(
+                    matrix.iter().any(|c| c.workload == "write-100"
+                        && c.shards == shards
+                        && c.group_commit == gc),
+                    "smoke matrix missing write cell gc={gc} shards={shards}"
+                );
+            }
+        }
+        assert!(matrix.iter().any(|c| c.workload == "mixed-50-50"));
+        // Ids are unique — compare() matches on them.
+        let ids: std::collections::BTreeSet<String> = matrix.iter().map(CellSpec::id).collect();
+        assert_eq!(ids.len(), matrix.len());
+        // The full matrix sweeps to 8 threads.
+        assert!(canonical_matrix(false)
+            .iter()
+            .any(|c| c.threads == 8 && c.workload == "mixed-50-50"));
+    }
+}

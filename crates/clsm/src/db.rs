@@ -13,7 +13,7 @@ use clsm_util::metrics::MetricsSnapshot;
 use clsm_util::oracle::{SnapshotRegistry, TimestampOracle};
 use clsm_util::rcu::RcuCell;
 use clsm_util::shared_lock::SharedExclusiveLock;
-use clsm_util::trace::TraceId;
+use clsm_util::trace::{now_ns, TraceId};
 
 use clsm_kv::{WriteBatch, WriteOptions};
 use lsm_storage::format::{ValueKind, WriteRecord};
@@ -249,7 +249,7 @@ impl Db {
     /// single mutation entry point every other write API desugars to.
     ///
     /// With `Options::group_commit` on (the default) the batch rides
-    /// the leader/follower commit pipeline (see [`crate::write`]): it
+    /// the leader/follower commit pipeline (the `write` module): it
     /// is queued on a lock-free combining queue and one writer commits
     /// the whole pending group with a single timestamp-block
     /// acquisition, one coalesced WAL append, and one publish pass.
@@ -296,6 +296,7 @@ impl Db {
         // instead of idling.
         let ops = if inner.opts.group_commit {
             if inner.pipeline.try_lead_solo() {
+                inner.metrics.write_path.solo.inc();
                 let result = self.write_ops_direct(&ops, sync, opts.disable_wal);
                 crate::write::drain_as_leader(inner);
                 result?;
@@ -316,6 +317,9 @@ impl Db {
             self.write_ops_direct(&ops, sync, opts.disable_wal)?;
         }
         let elapsed = began.elapsed();
+        if let Some(wp) = inner.write_path() {
+            wp.rec_total(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        }
         match single_kind {
             Some(true) => {
                 inner.metrics.puts.inc();
@@ -364,9 +368,16 @@ impl Db {
 
     /// The per-writer put path (the group-commit-off ablation), and the
     /// fallback for single-op writes when the pipeline is disabled.
-    fn write_one(&self, key: &[u8], value: Option<&[u8]>, sync: bool, disable_wal: bool) -> Result<()> {
+    fn write_one(
+        &self,
+        key: &[u8],
+        value: Option<&[u8]>,
+        sync: bool,
+        disable_wal: bool,
+    ) -> Result<()> {
         let inner = &self.inner;
         inner.stall_if_needed();
+        let wp = inner.write_path();
 
         {
             // Algorithm 2, put: shared lock → getTS → insert → log →
@@ -387,13 +398,28 @@ impl Db {
             // leaves the recovered image unchanged.
             let _span = T_PUT.span_with(key.len() as u64);
             let _shared = inner.lock.lock_shared();
+            // Attribution: accumulated `get_ts` time is the stamp
+            // stage; the rest of the loop (inserts, plus the rare
+            // abandoned-stamp publish on conflict) is the memtable
+            // stage.
+            let loop_start = if wp.is_some() { now_ns() } else { 0 };
+            let mut stamp_ns = 0u64;
             let stamp = loop {
+                let t0 = if wp.is_some() { now_ns() } else { 0 };
                 let stamp = inner.oracle.get_ts();
+                if wp.is_some() {
+                    stamp_ns += now_ns().saturating_sub(t0);
+                }
                 match inner.pm.load().insert_as_newest(key, stamp.ts, value) {
                     Ok(()) => break stamp,
                     Err(_conflict) => inner.oracle.publish(stamp),
                 }
             };
+            if let Some(wp) = wp {
+                let loop_ns = now_ns().saturating_sub(loop_start);
+                wp.rec_stamp(stamp_ns);
+                wp.rec_memtable(loop_ns.saturating_sub(stamp_ns));
+            }
             let logged = if disable_wal {
                 Ok(())
             } else {
@@ -401,15 +427,30 @@ impl Db {
                     Some(v) => WriteRecord::put(stamp.ts, key, v),
                     None => WriteRecord::delete(stamp.ts, key),
                 };
-                inner.store.log(&[record], SyncMode::Async)
+                let wal_start = if wp.is_some() { now_ns() } else { 0 };
+                let r = inner.store.log(&[record], SyncMode::Async);
+                if let Some(wp) = wp {
+                    wp.rec_wal_enqueue(now_ns().saturating_sub(wal_start));
+                }
+                r
             };
+            let publish_start = if wp.is_some() { now_ns() } else { 0 };
             inner.oracle.publish(stamp);
+            if let Some(wp) = wp {
+                wp.rec_publish(now_ns().saturating_sub(publish_start));
+            }
             logged?;
         }
         if sync {
             // Group-committed durability wait happens outside the
             // critical section so it never blocks the merge hooks.
-            inner.store.sync_wal()?;
+            if let Some(wp) = wp {
+                let sync_start = now_ns();
+                let durable_ns = inner.store.sync_wal_timed()?;
+                wp.rec_durable(durable_ns.saturating_sub(sync_start));
+            } else {
+                inner.store.sync_wal()?;
+            }
         }
         inner.maybe_schedule_flush();
         Ok(())
@@ -427,10 +468,12 @@ impl Db {
     ) -> Result<()> {
         let inner = &self.inner;
         inner.stall_if_needed();
+        let wp = inner.write_path();
         let logged;
         {
             let _span = T_WRITE_BATCH.span_with(batch.len() as u64);
             let _excl = inner.lock.lock_exclusive();
+            let stamp_start = if wp.is_some() { now_ns() } else { 0 };
             let mut records = Vec::with_capacity(batch.len());
             let mut stamps = Vec::with_capacity(batch.len());
             for (key, value) in batch {
@@ -441,14 +484,26 @@ impl Db {
                 });
                 stamps.push(stamp);
             }
+            if let Some(wp) = wp {
+                wp.rec_stamp(now_ns().saturating_sub(stamp_start));
+            }
             logged = if disable_wal {
                 Ok(())
             } else {
-                inner.store.log(&records, SyncMode::Async)
+                let wal_start = if wp.is_some() { now_ns() } else { 0 };
+                let r = inner.store.log(&records, SyncMode::Async);
+                if let Some(wp) = wp {
+                    wp.rec_wal_enqueue(now_ns().saturating_sub(wal_start));
+                }
+                r
             };
             // Insert and publish even when the log append failed: an
             // unpublished stamp would wedge snapshot creation forever,
             // and recovery never depends on an unlogged record.
+            // Attribution: inserts and publishes interleave per entry
+            // here, so the publish stage is folded into the memtable
+            // stage (see `WritePathMetrics`).
+            let mem_start = if wp.is_some() { now_ns() } else { 0 };
             let pm = inner.pm.load();
             for (record, stamp) in records.iter().zip(stamps) {
                 let value = match record.kind {
@@ -458,10 +513,19 @@ impl Db {
                 pm.insert(&record.key, record.ts, value);
                 inner.oracle.publish(stamp);
             }
+            if let Some(wp) = wp {
+                wp.rec_memtable(now_ns().saturating_sub(mem_start));
+            }
         }
         logged?;
         if sync {
-            inner.store.sync_wal()?;
+            if let Some(wp) = wp {
+                let sync_start = now_ns();
+                let durable_ns = inner.store.sync_wal_timed()?;
+                wp.rec_durable(durable_ns.saturating_sub(sync_start));
+            } else {
+                inner.store.sync_wal()?;
+            }
         }
         inner.maybe_schedule_flush();
         Ok(())
@@ -575,6 +639,16 @@ impl Db {
     /// [`MetricsSnapshot::to_text`] or [`MetricsSnapshot::to_json`].
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.metrics.registry.snapshot()
+    }
+
+    /// Write-path latency attribution: the per-stage histograms
+    /// (enqueue → claim → stamp → memtable → WAL-enqueue → publish →
+    /// durable → wake) plus the group-size and
+    /// leader/follower/withdraw distributions, extracted from
+    /// [`Db::metrics`]. Stage histograms are empty unless
+    /// [`Options::write_path_attribution`] is on.
+    pub fn write_path_report(&self) -> crate::WritePathReport {
+        crate::WritePathReport::from_snapshot(&self.metrics())
     }
 
     /// Blocks until the memtable is flushed and no compaction is due
@@ -702,6 +776,18 @@ impl std::fmt::Debug for Db {
 }
 
 impl DbInner {
+    /// The write-path attribution handles, or `None` when
+    /// `Options::write_path_attribution` is off — this single branch is
+    /// all a disabled stage-recording site costs.
+    #[inline]
+    pub(crate) fn write_path(&self) -> Option<&crate::stats::WritePathMetrics> {
+        if self.opts.write_path_attribution {
+            Some(&self.metrics.write_path)
+        } else {
+            None
+        }
+    }
+
     /// Read at a snapshot time: `Pm → P'm → Pd` (Algorithm 1's get).
     pub(crate) fn get_at(&self, key: &[u8], max_ts: u64) -> Result<Option<Vec<u8>>> {
         let pm = self.pm.load();

@@ -8,8 +8,11 @@
 
 use std::time::Duration;
 
+use clsm_util::metrics::MetricsSnapshot;
+
 use crate::db::Db;
 use crate::watchdog::{StallEvent, StallKind};
+use crate::write_report::WritePathReport;
 
 /// One level's shape in the report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +63,13 @@ pub struct DoctorReport {
     pub wal_queue_depth: usize,
     /// Recent watchdog verdicts, oldest first.
     pub stall_events: Vec<StallEvent>,
+    /// Whether the group-commit pipeline is enabled
+    /// ([`crate::Options::group_commit`]).
+    pub group_commit: bool,
+    /// Commit-mode distribution, group-size stats, and (when
+    /// [`crate::Options::write_path_attribution`] is on) per-stage
+    /// write latency, extracted from the metrics snapshot.
+    pub write_path: WritePathReport,
 }
 
 impl Db {
@@ -94,6 +104,8 @@ impl Db {
             wal_number: inner.store.current_wal_number(),
             wal_queue_depth: inner.store.wal_queue_depth(),
             stall_events: self.stall_events(),
+            group_commit: inner.opts.group_commit,
+            write_path: WritePathReport::from_snapshot(&self.metrics()),
         }
     }
 }
@@ -164,6 +176,12 @@ impl DoctorReport {
                 "block cache: {hits} hits / {misses} misses ({rate:.1}% hit rate)"
             );
         }
+        let _ = writeln!(
+            out,
+            "group commit: {}",
+            if self.group_commit { "on" } else { "off" }
+        );
+        out.push_str(&self.write_path.render());
         if self.stall_events.is_empty() {
             let _ = writeln!(out, "watchdog: no stall events");
         } else {
@@ -191,4 +209,68 @@ impl DoctorReport {
     pub fn events_of(&self, kind: StallKind) -> usize {
         self.stall_events.iter().filter(|e| e.kind == kind).count()
     }
+}
+
+/// Column header for the `clsm-doctor --watch` live dashboard
+/// (pairs with [`watch_dashboard_line`]).
+pub fn watch_dashboard_header() -> String {
+    format!(
+        "{:>10} {:>10} {:>9} {:>8} {:>8} {:>12} {:>11} {:>6} {:>8}",
+        "puts/s",
+        "gets/s",
+        "groups/s",
+        "avg-grp",
+        "wdraw/s",
+        "p99-wr(us)",
+        "p99-rd(us)",
+        "flush",
+        "compact"
+    )
+}
+
+/// One `--watch` dashboard line from two metric snapshots taken
+/// `interval` apart.
+///
+/// Counter columns (`puts/s`, `gets/s`, `groups/s`, `wdraw/s`,
+/// `flush`, `compact`) are deltas between the snapshots — per-second
+/// rates except the last two, which are raw per-interval counts.
+/// `avg-grp` is the mean committed group size over the interval.
+/// The p99 columns (`write_path.total_ns` / `op.get.latency_ns`) are
+/// cumulative since open: snapshots carry histogram *summaries*,
+/// which cannot be subtracted.
+pub fn watch_dashboard_line(
+    prev: &MetricsSnapshot,
+    cur: &MetricsSnapshot,
+    interval: Duration,
+) -> String {
+    let secs = interval.as_secs_f64().max(1e-9);
+    let counter =
+        |snap: &MetricsSnapshot, name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let delta = |name: &str| counter(cur, name).saturating_sub(counter(prev, name));
+    let rate = |name: &str| delta(name) as f64 / secs;
+    let groups = delta("db.commit.groups");
+    let grouped = delta("db.commit.group_requests");
+    let avg_grp = if groups == 0 {
+        0.0
+    } else {
+        grouped as f64 / groups as f64
+    };
+    let p99_us = |name: &str| {
+        cur.histograms
+            .get(name)
+            .map(|h| h.p99 as f64 / 1000.0)
+            .unwrap_or(0.0)
+    };
+    format!(
+        "{:>10.0} {:>10.0} {:>9.0} {:>8.1} {:>8.0} {:>12.1} {:>11.1} {:>6} {:>8}",
+        rate("db.puts"),
+        rate("db.gets"),
+        groups as f64 / secs,
+        avg_grp,
+        rate("db.commit.withdrawn"),
+        p99_us("write_path.total_ns"),
+        p99_us("op.get.latency_ns"),
+        delta("db.flushes"),
+        delta("db.compactions")
+    )
 }

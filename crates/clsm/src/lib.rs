@@ -58,10 +58,11 @@ mod snapshot;
 mod stats;
 mod watchdog;
 mod write;
+mod write_report;
 
 pub use batch::{WriteBatch, WriteOptions};
 pub use db::Db;
-pub use doctor::{DoctorReport, LevelGeometry};
+pub use doctor::{watch_dashboard_header, watch_dashboard_line, DoctorReport, LevelGeometry};
 pub use mem_component::{LockedMemtable, MemComponent, MemtableKind, VersionedValue};
 pub use memtable::Memtable;
 pub use options::{Options, OptionsBuilder};
@@ -70,6 +71,7 @@ pub use sharded::{partition_of, ShardedDb, ShardedDoctorReport, ShardedIter, Sha
 pub use snapshot::{Snapshot, SnapshotIter};
 pub use stats::StatsSnapshot;
 pub use watchdog::{StallEvent, StallKind, WatchdogOptions};
+pub use write_report::{WritePathReport, WriteStage, WRITE_PATH_STAGES};
 
 pub use clsm_kv::{KvSnapshot, KvStore, ScanRange};
 pub use clsm_util::error::{Error, Result};

@@ -64,6 +64,15 @@ pub struct Options {
     /// record, and one publish pass. `false` → every writer runs the
     /// paper's per-writer commit path (the ablation baseline).
     pub group_commit: bool,
+    /// `true` (default) → each write records per-stage latencies
+    /// (queue wait, stamp, memtable, WAL enqueue, publish, durable,
+    /// wake) into the `write_path.*` histograms behind
+    /// `Db::write_path_report()`. The cost is a handful of monotonic
+    /// clock reads plus thread-striped histogram updates per write — no
+    /// locks. `false` → the stage recording sites reduce to a single
+    /// branch (commit-mode counters stay on; they are plain relaxed
+    /// atomics).
+    pub write_path_attribution: bool,
     /// Number of background compaction threads. The paper's cLSM uses a
     /// single compaction thread (§5); the RocksDB comparison (§5.3)
     /// raises this.
@@ -95,6 +104,7 @@ impl Default for Options {
             sync_writes: false,
             linearizable_snapshots: false,
             group_commit: true,
+            write_path_attribution: true,
             compaction_threads: 1,
             active_slots: 256,
             shards: 1,
@@ -263,6 +273,13 @@ impl OptionsBuilder {
     /// per-writer commit path (the ablation baseline).
     pub fn group_commit(mut self, enabled: bool) -> Self {
         self.opts.group_commit = enabled;
+        self
+    }
+
+    /// Whether writes record per-stage latency attribution (see
+    /// [`Options::write_path_attribution`]).
+    pub fn write_path_attribution(mut self, enabled: bool) -> Self {
+        self.opts.write_path_attribution = enabled;
         self
     }
 

@@ -57,6 +57,7 @@ use clsm_util::env::Env;
 use clsm_util::error::{Error, Result};
 use clsm_util::metrics::{MetricsRegistry, MetricsSnapshot};
 use clsm_util::oracle::{SnapshotRegistry, TimestampOracle};
+use clsm_util::trace::now_ns;
 
 use lsm_storage::format::WriteRecord;
 use lsm_storage::store::{Recovered, RecoveryReport};
@@ -427,6 +428,16 @@ impl ShardedDb {
             self.shards[s].inner().stall_if_needed();
         }
 
+        // Attribution for the cross-shard path lands on the first
+        // touched shard, matching the counter bump below (the merged
+        // snapshot sums it all back together anyway).
+        let wp = per_shard
+            .keys()
+            .next()
+            .and_then(|&s| self.shards[s].inner().write_path());
+        let mut wal_ns = 0u64;
+        let mut mem_ns = 0u64;
+
         // Ascending exclusive locks on every touched shard, then one
         // stamp for the whole batch. Everything under the locks is
         // non-blocking (see the module docs' deadlock argument).
@@ -434,7 +445,11 @@ impl ShardedDb {
             .keys()
             .map(|&s| self.shards[s].inner().lock.lock_exclusive())
             .collect();
+        let stamp_start = if wp.is_some() { now_ns() } else { 0 };
         let stamp = self.oracle.get_ts();
+        if let Some(wp) = wp {
+            wp.rec_stamp(now_ns().saturating_sub(stamp_start));
+        }
         let mut result = Ok(());
         let total_entries: u64 = per_shard.values().map(|v| v.len() as u64).sum();
         'apply: for (&s, entries) in &per_shard {
@@ -455,29 +470,60 @@ impl ShardedDb {
                 // tail was lost mid-batch (see
                 // [`audit_cross_shard_batches`]).
                 records.push(WriteRecord::batch_marker(stamp.ts, total_entries));
-                if let Err(e) = inner.store.log(&records, SyncMode::Async) {
+                let wal_start = if wp.is_some() { now_ns() } else { 0 };
+                let logged = inner.store.log(&records, SyncMode::Async);
+                if wp.is_some() {
+                    wal_ns += now_ns().saturating_sub(wal_start);
+                }
+                if let Err(e) = logged {
                     result = Err(e);
                     break 'apply;
                 }
             }
+            let mem_start = if wp.is_some() { now_ns() } else { 0 };
             let pm = inner.pm.load();
             for &(key, value) in entries {
                 pm.insert(key, stamp.ts, value.as_deref());
             }
+            if wp.is_some() {
+                mem_ns += now_ns().saturating_sub(mem_start);
+            }
+        }
+        if let Some(wp) = wp {
+            if !opts.disable_wal {
+                wp.rec_wal_enqueue(wal_ns);
+            }
+            wp.rec_memtable(mem_ns);
         }
         // Publish even on a failed log append — an unpublished stamp
         // would wedge every future snapshot. The failed shard's WAL is
         // poisoned and will surface the error on its own.
+        let publish_start = if wp.is_some() { now_ns() } else { 0 };
         self.oracle.publish(stamp);
+        if let Some(wp) = wp {
+            wp.rec_publish(now_ns().saturating_sub(publish_start));
+        }
         drop(guards);
         result?;
 
+        let mut durable_ns = 0u64;
+        let mut synced = false;
         for &s in per_shard.keys() {
             let inner = self.shards[s].inner();
             if opts.sync || (inner.opts.sync_writes && !opts.disable_wal) {
+                let sync_start = if wp.is_some() { now_ns() } else { 0 };
                 inner.store.sync_wal()?;
+                if wp.is_some() {
+                    durable_ns += now_ns().saturating_sub(sync_start);
+                }
+                synced = true;
             }
             inner.maybe_schedule_flush();
+        }
+        if synced {
+            if let Some(wp) = wp {
+                wp.rec_durable(durable_ns);
+            }
         }
         // One bump on the first touched shard, matching `Db`'s
         // one-per-batch counter semantics after aggregation.
@@ -485,6 +531,9 @@ impl ShardedDb {
             let m = &self.shards[s].inner().metrics;
             m.puts.inc();
             m.write_batch_latency.record_duration(began.elapsed());
+            if let Some(wp) = wp {
+                wp.rec_total(u64::try_from(began.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
         }
         Ok(())
     }
@@ -580,6 +629,14 @@ impl ShardedDb {
                 .iter()
                 .map(|s| s.inner().metrics.registry.as_ref()),
         )
+    }
+
+    /// Write-path latency attribution across all shards, extracted
+    /// from the bucket-merged [`ShardedDb::metrics`] snapshot: stage
+    /// histograms are merged at bucket level and commit-mode counters
+    /// summed, so the report reads as one system-wide write path.
+    pub fn write_path_report(&self) -> crate::WritePathReport {
+        crate::WritePathReport::from_snapshot(&self.metrics())
     }
 
     /// Per-shard metric snapshots, labeled `shard-000`, `shard-001`, …

@@ -11,6 +11,24 @@
 use std::sync::Arc;
 
 use clsm_util::metrics::{ConcurrentHistogram, Counter, MetricsRegistry};
+use clsm_util::trace::TraceId;
+
+/// Flight-recorder instants mirroring the write-path stage histograms
+/// (argument = stage duration in ns), so a Perfetto trace and the
+/// `write_path.*` histograms tell the same story. Each emission is one
+/// relaxed load + branch when tracing is disabled.
+mod stage_trace {
+    use super::TraceId;
+
+    pub static QUEUE_WAIT: TraceId = TraceId::new("clsm.write.queue_wait");
+    pub static STAMP: TraceId = TraceId::new("clsm.write.stamp");
+    pub static MEMTABLE: TraceId = TraceId::new("clsm.write.memtable");
+    pub static WAL_ENQUEUE: TraceId = TraceId::new("clsm.write.wal_enqueue");
+    pub static PUBLISH: TraceId = TraceId::new("clsm.write.publish");
+    pub static DURABLE: TraceId = TraceId::new("clsm.write.durable");
+    pub static WAKE: TraceId = TraceId::new("clsm.write.wake");
+    pub static TOTAL: TraceId = TraceId::new("clsm.write.total");
+}
 
 /// Pre-registered metrics handles of one open database.
 ///
@@ -45,6 +63,137 @@ pub(crate) struct DbMetrics {
 
     /// Total nanoseconds writers spent stalled on a full memtable.
     pub write_stall_ns: Arc<Counter>,
+
+    /// Write-path latency attribution (stage histograms and
+    /// commit-mode distribution counters).
+    pub write_path: WritePathMetrics,
+}
+
+/// Pre-registered write-path attribution handles.
+///
+/// The stage histograms (`write_path.*_ns`) are recorded only when
+/// `Options::write_path_attribution` is on — the disabled path is a
+/// single branch with no clock reads. The commit-mode counters and the
+/// group-size histogram are always on: they cost one relaxed atomic op
+/// per write (or per group) and feed the doctor's group-commit section
+/// regardless of the attribution flag.
+///
+/// Stage boundaries, in pipeline order (a write visits a subset):
+/// enqueue → leader-claim (`queue_wait`) → stamped (`stamp`) →
+/// memtable-done (`memtable`) → WAL-enqueued (`wal_enqueue`) →
+/// published (`publish`) → durable fsync (`durable`, sync writes only)
+/// → requester woken (`wake`). `total` spans `Db::write` entry to
+/// return. Counts differ per stage by design: `queue_wait`/`wake` are
+/// per pipelined request, group stages are once per committed group,
+/// `durable` only for sync writes.
+#[derive(Debug)]
+pub(crate) struct WritePathMetrics {
+    /// Request push → leader claim (per pipelined request).
+    pub queue_wait: Arc<ConcurrentHistogram>,
+    /// Timestamp-block / per-op timestamp acquisition.
+    pub stamp: Arc<ConcurrentHistogram>,
+    /// Memtable insert pass (includes restamp retries in shared mode;
+    /// the exclusive batch path folds publish into this stage).
+    pub memtable: Arc<ConcurrentHistogram>,
+    /// WAL record encode + logging-queue enqueue (`Store::log`).
+    pub wal_enqueue: Arc<ConcurrentHistogram>,
+    /// Oracle publish pass (makes stamped writes visible to readers).
+    pub publish: Arc<ConcurrentHistogram>,
+    /// Sync-wait start → logger-thread fsync completion (sync writes
+    /// only; uses the WAL durable-ack timestamp, so cross-thread wake
+    /// latency is excluded).
+    pub durable: Arc<ConcurrentHistogram>,
+    /// Leader marked the request done → requester observed it.
+    pub wake: Arc<ConcurrentHistogram>,
+    /// `Db::write` entry → return (every write, any path).
+    pub total: Arc<ConcurrentHistogram>,
+
+    /// Operations per leader-committed group (always on).
+    pub group_size: Arc<ConcurrentHistogram>,
+    /// Requests committed on the solo fast path (empty queue, CAS won).
+    pub solo: Arc<Counter>,
+    /// Pipelined requests whose submitter became the leader.
+    pub leader_requests: Arc<Counter>,
+    /// Pipelined requests committed by another thread's leader.
+    pub follower_requests: Arc<Counter>,
+    /// Pipelined requests withdrawn and committed by their own writer.
+    pub withdrawn: Arc<Counter>,
+    /// Groups committed by leaders.
+    pub groups: Arc<Counter>,
+    /// Requests committed as members of a group (leader's own plus
+    /// followers); equals `leader_requests + follower_requests` at
+    /// quiescence.
+    pub group_requests: Arc<Counter>,
+}
+
+impl WritePathMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        WritePathMetrics {
+            queue_wait: registry.histogram("write_path.queue_wait_ns"),
+            stamp: registry.histogram("write_path.stamp_ns"),
+            memtable: registry.histogram("write_path.memtable_ns"),
+            wal_enqueue: registry.histogram("write_path.wal_enqueue_ns"),
+            publish: registry.histogram("write_path.publish_ns"),
+            durable: registry.histogram("write_path.durable_ns"),
+            wake: registry.histogram("write_path.wake_ns"),
+            total: registry.histogram("write_path.total_ns"),
+            group_size: registry.histogram("write_path.group_size"),
+            solo: registry.counter("db.commit.solo"),
+            leader_requests: registry.counter("db.commit.leader_requests"),
+            follower_requests: registry.counter("db.commit.follower_requests"),
+            withdrawn: registry.counter("db.commit.withdrawn"),
+            groups: registry.counter("db.commit.groups"),
+            group_requests: registry.counter("db.commit.group_requests"),
+        }
+    }
+
+    /// Records one stage sample and mirrors it to the flight recorder.
+    pub fn rec_queue_wait(&self, ns: u64) {
+        self.queue_wait.record(ns);
+        stage_trace::QUEUE_WAIT.instant(ns);
+    }
+
+    /// See [`rec_queue_wait`](Self::rec_queue_wait).
+    pub fn rec_stamp(&self, ns: u64) {
+        self.stamp.record(ns);
+        stage_trace::STAMP.instant(ns);
+    }
+
+    /// See [`rec_queue_wait`](Self::rec_queue_wait).
+    pub fn rec_memtable(&self, ns: u64) {
+        self.memtable.record(ns);
+        stage_trace::MEMTABLE.instant(ns);
+    }
+
+    /// See [`rec_queue_wait`](Self::rec_queue_wait).
+    pub fn rec_wal_enqueue(&self, ns: u64) {
+        self.wal_enqueue.record(ns);
+        stage_trace::WAL_ENQUEUE.instant(ns);
+    }
+
+    /// See [`rec_queue_wait`](Self::rec_queue_wait).
+    pub fn rec_publish(&self, ns: u64) {
+        self.publish.record(ns);
+        stage_trace::PUBLISH.instant(ns);
+    }
+
+    /// See [`rec_queue_wait`](Self::rec_queue_wait).
+    pub fn rec_durable(&self, ns: u64) {
+        self.durable.record(ns);
+        stage_trace::DURABLE.instant(ns);
+    }
+
+    /// See [`rec_queue_wait`](Self::rec_queue_wait).
+    pub fn rec_wake(&self, ns: u64) {
+        self.wake.record(ns);
+        stage_trace::WAKE.instant(ns);
+    }
+
+    /// See [`rec_queue_wait`](Self::rec_queue_wait).
+    pub fn rec_total(&self, ns: u64) {
+        self.total.record(ns);
+        stage_trace::TOTAL.instant(ns);
+    }
 }
 
 impl DbMetrics {
@@ -69,6 +218,7 @@ impl DbMetrics {
             snapshot_latency: registry.histogram("op.snapshot.latency_ns"),
             scan_latency: registry.histogram("op.scan.latency_ns"),
             write_stall_ns: registry.counter("db.write_stall_ns"),
+            write_path: WritePathMetrics::new(&registry),
             registry,
         }
     }

@@ -59,7 +59,7 @@
 //! for one group-committed fsync issued after the lock is released;
 //! requests with `disable_wal` skip the log (and recovery) entirely.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -67,7 +67,7 @@ use parking_lot::{Condvar, Mutex};
 
 use clsm_util::combine::CombiningQueue;
 use clsm_util::error::Result;
-use clsm_util::trace::TraceId;
+use clsm_util::trace::{now_ns, TraceId};
 
 use lsm_storage::format::WriteRecord;
 use lsm_storage::wal::SyncMode;
@@ -84,6 +84,9 @@ static T_COMMIT_FOLLOWER: TraceId = TraceId::new("clsm.commit.follower_wait");
 /// back to the per-writer commit path.
 static T_COMMIT_WITHDRAW: TraceId = TraceId::new("clsm.commit.withdraw");
 
+/// One batch body: `(key, Some(value))` puts, `(key, None)` deletes.
+type BatchOps = Vec<(Vec<u8>, Option<Vec<u8>>)>;
+
 /// One writer's pending mutation, parked on the combining queue until
 /// a leader commits it (or the owner withdraws it — see [`submit`]).
 pub(crate) struct WriteRequest {
@@ -93,7 +96,7 @@ pub(crate) struct WriteRequest {
     /// leader at drain time, or the owner withdrawing — owns the
     /// commit. A drained request whose ops are already gone was
     /// withdrawn and is simply dropped.
-    ops: Mutex<Option<Vec<(Vec<u8>, Option<Vec<u8>>)>>>,
+    ops: Mutex<Option<BatchOps>>,
     /// Effective sync: the caller's `WriteOptions::sync` or the store's
     /// `sync_writes` mode.
     sync: bool,
@@ -102,10 +105,22 @@ pub(crate) struct WriteRequest {
     /// The commit outcome, set exactly once by the committing leader.
     done: Mutex<Option<Result<()>>>,
     cv: Condvar,
+    /// Attribution stamp: `trace::now_ns()` at queue push, or 0 when
+    /// `Options::write_path_attribution` is off. The leader diffs it at
+    /// claim time into `write_path.queue_wait_ns`.
+    enqueued_at: u64,
+    /// Attribution stamp: set by [`complete`](Self::complete) just
+    /// before the outcome is published; the submitter diffs it on
+    /// observing `done` into `write_path.wake_ns`. Only written when
+    /// `enqueued_at != 0`, so the disabled path stays clock-free.
+    completed_at: AtomicU64,
 }
 
 impl WriteRequest {
     fn complete(&self, result: Result<()>) {
+        if self.enqueued_at != 0 {
+            self.completed_at.store(now_ns(), Ordering::Relaxed);
+        }
         let mut done = self.done.lock();
         *done = Some(result);
         self.cv.notify_all();
@@ -163,19 +178,14 @@ pub(crate) enum Submit {
     /// when the leader can't service us promptly (few cores, or a
     /// leader parked in a slow flush admission), committing solo at
     /// per-writer cost beats idling in the queue.
-    Withdrawn(Vec<(Vec<u8>, Option<Vec<u8>>)>),
+    Withdrawn(BatchOps),
 }
 
 /// Submits one validated, non-empty batch to the pipeline and blocks
 /// until a leader (possibly this thread) commits it — or until the
 /// wait stops being worth it, in which case the batch is withdrawn and
 /// returned to the caller (see [`Submit::Withdrawn`]).
-pub(crate) fn submit(
-    inner: &DbInner,
-    ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
-    sync: bool,
-    disable_wal: bool,
-) -> Submit {
+pub(crate) fn submit(inner: &DbInner, ops: BatchOps, sync: bool, disable_wal: bool) -> Submit {
     debug_assert!(!ops.is_empty());
     let req = Arc::new(WriteRequest {
         ops: Mutex::new(Some(ops)),
@@ -183,11 +193,20 @@ pub(crate) fn submit(
         disable_wal,
         done: Mutex::new(None),
         cv: Condvar::new(),
+        enqueued_at: if inner.write_path().is_some() {
+            now_ns()
+        } else {
+            0
+        },
+        completed_at: AtomicU64::new(0),
     });
     inner.pipeline.queue.push(Arc::clone(&req));
+    // Whether this thread ever held the leader flag — splits committed
+    // requests into `db.commit.leader_requests` vs `follower_requests`.
+    let mut was_leader = false;
     loop {
         if let Some(result) = req.done.lock().take() {
-            return Submit::Done(result);
+            return committed(inner, &req, was_leader, result);
         }
         if inner
             .pipeline
@@ -198,6 +217,7 @@ pub(crate) fn submit(
             // Leader: drain and commit groups until the queue is empty.
             // Our own request is in some group — ours or an earlier
             // leader's — so the done-check above terminates the loop.
+            was_leader = true;
             run_leader(inner);
             continue;
         }
@@ -210,7 +230,7 @@ pub(crate) fn submit(
         for _ in 0..SPIN_YIELDS {
             std::thread::yield_now();
             if let Some(result) = req.done.lock().take() {
-                return Submit::Done(result);
+                return committed(inner, &req, was_leader, result);
             }
             if !inner.pipeline.leader.load(Ordering::Acquire) {
                 // The leader stepped down without committing us (we
@@ -219,7 +239,7 @@ pub(crate) fn submit(
             }
         }
         if let Some(result) = req.done.lock().take() {
-            return Submit::Done(result);
+            return committed(inner, &req, was_leader, result);
         }
         // The leader isn't servicing us. Try to withdraw: taking our
         // own ops back races the leader's drain-time claim, and the
@@ -227,6 +247,7 @@ pub(crate) fn submit(
         // the batch commits exactly once.
         if let Some(ops) = req.ops.lock().take() {
             T_COMMIT_WITHDRAW.instant(1);
+            inner.metrics.write_path.withdrawn.inc();
             return Submit::Withdrawn(ops);
         }
         // A leader claimed our ops between the spin and the withdraw,
@@ -236,11 +257,30 @@ pub(crate) fn submit(
         let mut done = req.done.lock();
         loop {
             if let Some(result) = done.take() {
-                return Submit::Done(result);
+                drop(done);
+                return committed(inner, &req, was_leader, result);
             }
             req.cv.wait_for(&mut done, Duration::from_millis(1));
         }
     }
+}
+
+/// Books a leader-committed request: bumps the leader/follower split
+/// and, with attribution on, records the wake stage (outcome published
+/// → submitter observed it).
+fn committed(inner: &DbInner, req: &WriteRequest, was_leader: bool, result: Result<()>) -> Submit {
+    if was_leader {
+        inner.metrics.write_path.leader_requests.inc();
+    } else {
+        inner.metrics.write_path.follower_requests.inc();
+    }
+    if let Some(wp) = inner.write_path() {
+        let completed_at = req.completed_at.load(Ordering::Relaxed);
+        if completed_at != 0 {
+            wp.rec_wake(now_ns().saturating_sub(completed_at));
+        }
+    }
+    Submit::Done(result)
 }
 
 /// How many times a follower yields to the leader before withdrawing
@@ -250,16 +290,26 @@ pub(crate) fn submit(
 const SPIN_YIELDS: usize = 8;
 
 /// A claimed request: the Arc (for completion) plus its taken ops.
-type Claimed = (Arc<WriteRequest>, Vec<(Vec<u8>, Option<Vec<u8>>)>);
+type Claimed = (Arc<WriteRequest>, BatchOps);
 
 /// Claims every drained request's ops; a request whose ops are already
-/// gone was withdrawn by its owner and is dropped.
-fn claim(drained: Vec<Arc<WriteRequest>>) -> Vec<Claimed> {
+/// gone was withdrawn by its owner and is dropped. With attribution
+/// on, this is the leader-claim stage boundary: each claimed request's
+/// time on the queue lands in `write_path.queue_wait_ns`.
+fn claim(inner: &DbInner, drained: Vec<Arc<WriteRequest>>) -> Vec<Claimed> {
+    let claimed_at = inner.write_path().map(|wp| (wp, now_ns()));
     drained
         .into_iter()
         .filter_map(|req| {
             let ops = req.ops.lock().take();
-            ops.map(|ops| (req, ops))
+            ops.map(|ops| {
+                if let Some((wp, now)) = &claimed_at {
+                    if req.enqueued_at != 0 {
+                        wp.rec_queue_wait(now.saturating_sub(req.enqueued_at));
+                    }
+                }
+                (req, ops)
+            })
         })
         .collect()
 }
@@ -296,7 +346,7 @@ fn run_leader(inner: &DbInner) {
                 }
                 continue;
             }
-            claim(drained)
+            claim(inner, drained)
         } else {
             std::mem::take(&mut carry)
         };
@@ -333,6 +383,7 @@ fn commit_group(inner: &DbInner, mut group: Vec<Claimed>) -> Vec<Claimed> {
     let any_multi = group.iter().any(|(_, ops)| ops.len() > 1);
     let mut leftover: Vec<Claimed> = Vec::new();
 
+    let wp = inner.write_path();
     let mut records: Vec<WriteRecord> = Vec::with_capacity(total as usize);
     let log_result: Result<()>;
     {
@@ -356,7 +407,18 @@ fn commit_group(inner: &DbInner, mut group: Vec<Claimed>) -> Vec<Claimed> {
         // Stamps and inserts `group[from..]`, appending WAL records.
         let mut insert_tail = |group: &[Claimed], from: usize, records: &mut Vec<WriteRecord>| {
             let count: u64 = group[from..].iter().map(|(_, ops)| ops.len() as u64).sum();
+            let stamp_start = if wp.is_some() { now_ns() } else { 0 };
             let block = inner.oracle.get_ts_block(count);
+            // Stamp stage ends / memtable stage begins here; restamp
+            // retries inside the insert loop below are charged to the
+            // memtable stage (they are rare conflict fallout).
+            let mem_start = if let Some(wp) = wp {
+                let t = now_ns();
+                wp.rec_stamp(t.saturating_sub(stamp_start));
+                t
+            } else {
+                0
+            };
             let mut slot = 0u64;
             for (req, ops) in &group[from..] {
                 for (key, value) in ops {
@@ -396,6 +458,9 @@ fn commit_group(inner: &DbInner, mut group: Vec<Claimed>) -> Vec<Claimed> {
                     }
                 }
             }
+            if let Some(wp) = wp {
+                wp.rec_memtable(now_ns().saturating_sub(mem_start));
+            }
             blocks.push(block);
         };
         insert_tail(&group, 0, &mut records);
@@ -405,7 +470,7 @@ fn commit_group(inner: &DbInner, mut group: Vec<Claimed>) -> Vec<Claimed> {
         // `leftover` and the absorption stops, since anything popped
         // after them must also wait its turn to keep FIFO-ish order.
         while total < MAX_GROUP_OPS && leftover.is_empty() {
-            let late = claim(inner.pipeline.queue.pop_all());
+            let late = claim(inner, inner.pipeline.queue.pop_all());
             if late.is_empty() {
                 break;
             }
@@ -423,7 +488,10 @@ fn commit_group(inner: &DbInner, mut group: Vec<Claimed>) -> Vec<Claimed> {
             if absorbed.is_empty() {
                 break;
             }
-            total += absorbed.iter().map(|(_, ops)| ops.len() as u64).sum::<u64>();
+            total += absorbed
+                .iter()
+                .map(|(_, ops)| ops.len() as u64)
+                .sum::<u64>();
             let from = group.len();
             group.extend(absorbed);
             insert_tail(&group, from, &mut records);
@@ -434,18 +502,27 @@ fn commit_group(inner: &DbInner, mut group: Vec<Claimed>) -> Vec<Claimed> {
         log_result = if records.is_empty() {
             Ok(())
         } else {
-            inner.store.log(&records, SyncMode::Async)
+            let wal_start = if wp.is_some() { now_ns() } else { 0 };
+            let r = inner.store.log(&records, SyncMode::Async);
+            if let Some(wp) = wp {
+                wp.rec_wal_enqueue(now_ns().saturating_sub(wal_start));
+            }
+            r
         };
         // Publish only after every insert is visible — a snapshot
         // granted now sees the whole group. Publish even on a failed
         // log append: an unpublished stamp would wedge snapshot
         // creation forever (the WAL is poisoned and surfaces the error
         // on its own).
+        let publish_start = if wp.is_some() { now_ns() } else { 0 };
         for stamp in extra_stamps {
             inner.oracle.publish(stamp);
         }
         for block in blocks {
             inner.oracle.publish_block(block);
+        }
+        if let Some(wp) = wp {
+            wp.rec_publish(now_ns().saturating_sub(publish_start));
         }
     }
 
@@ -453,10 +530,31 @@ fn commit_group(inner: &DbInner, mut group: Vec<Claimed>) -> Vec<Claimed> {
     // lock so it never blocks the merge hooks.
     let any_sync = group.iter().any(|(req, _)| req.sync);
     let sync_result = if any_sync && log_result.is_ok() {
-        inner.store.sync_wal()
+        if let Some(wp) = wp {
+            // The durable-ack timestamp is taken on the logger thread
+            // right after the fsync, so the stage excludes the time it
+            // took to wake this leader back up.
+            let sync_start = now_ns();
+            inner.store.sync_wal_timed().map(|durable_ns| {
+                wp.rec_durable(durable_ns.saturating_sub(sync_start));
+            })
+        } else {
+            inner.store.sync_wal()
+        }
     } else {
         Ok(())
     };
+
+    // Group-shape bookkeeping (always on; feeds the doctor's
+    // group-commit section): one group, `group.len()` member requests,
+    // `total` operations.
+    inner.metrics.write_path.groups.inc();
+    inner
+        .metrics
+        .write_path
+        .group_requests
+        .add(group.len() as u64);
+    inner.metrics.write_path.group_size.record(total);
 
     for (req, _) in &group {
         let result = if let (Err(e), false) = (&log_result, req.disable_wal) {

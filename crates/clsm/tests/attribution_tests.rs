@@ -1,0 +1,273 @@
+//! Write-path latency attribution invariants: stage sums stay inside
+//! the measured end-to-end latency, commit-mode counters reconcile
+//! under a multi-threaded hammer, merged snapshots bucket-merge the
+//! stage histograms, and the disabled path records nothing.
+
+use std::sync::Arc;
+
+use clsm::{Db, Options, ShardedDb, WriteBatch, WriteOptions, WritePathReport, WRITE_PATH_STAGES};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "clsm-attr-{}-{}-{}",
+            std::process::id(),
+            name,
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Sum of aggregate nanoseconds across every stage histogram.
+fn stage_sum(report: &WritePathReport) -> u64 {
+    report.stages.iter().map(|s| s.summary.sum).sum()
+}
+
+/// Single-writer Db: every stage fires where expected, and the time
+/// attributed to stages never exceeds (and covers a meaningful share
+/// of) the end-to-end `write_path.total_ns` it decomposes.
+#[test]
+fn stage_sums_bounded_by_end_to_end_latency() {
+    let dir = TempDir::new("bounds");
+    let db = Db::open(&dir.0, Options::small_for_tests()).unwrap();
+
+    let writes = 400u32;
+    for i in 0..writes {
+        db.put(format!("k{i:06}").as_bytes(), b"value").unwrap();
+    }
+    // A few durable writes so the `durable` stage records.
+    let sync_writes = 5u32;
+    for i in 0..sync_writes {
+        let mut batch = WriteBatch::new();
+        batch.put(format!("sync{i}"), "v");
+        db.write(batch, &WriteOptions::durable()).unwrap();
+    }
+
+    let report = db.write_path_report();
+    assert!(report.has_samples());
+    let total = report.total.as_ref().expect("total histogram registered");
+    assert_eq!(total.count, u64::from(writes + sync_writes));
+
+    let by_name = |name: &str| {
+        report
+            .stages
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("stage {name} missing"))
+            .summary
+            .clone()
+    };
+    // stamp and memtable are recorded at the same sites on every path.
+    let stamp = by_name("stamp");
+    let memtable = by_name("memtable");
+    assert!(stamp.count > 0);
+    assert_eq!(stamp.count, memtable.count);
+    assert!(by_name("wal_enqueue").count > 0);
+    assert!(by_name("publish").count > 0);
+    assert!(by_name("durable").count >= u64::from(sync_writes));
+
+    // Every stage interval lies inside some request's measured
+    // end-to-end interval, so the aggregate can never exceed it; and
+    // on this workload the stages should explain a non-trivial share.
+    let stages = stage_sum(&report);
+    assert!(
+        stages <= total.sum,
+        "stage sum {stages} exceeds end-to-end sum {}",
+        total.sum
+    );
+    assert!(
+        stages >= total.sum / 100,
+        "stage sum {stages} explains <1% of end-to-end sum {}",
+        total.sum
+    );
+
+    // The doctor report carries the same data.
+    let rendered = db.doctor().render();
+    assert!(rendered.contains("group commit: on"));
+    assert!(rendered.contains("write path stages (ns):"));
+    assert!(rendered.contains("commit modes: "));
+}
+
+/// 8-thread hammer with the group-commit pipeline on: every request
+/// commits exactly once, and the per-mode counters reconcile with the
+/// request and group counts.
+#[test]
+fn commit_mode_counters_reconcile_under_hammer() {
+    let dir = TempDir::new("hammer");
+    let db = Arc::new(Db::open(&dir.0, Options::small_for_tests()).unwrap());
+    let threads = 8u64;
+    let per_thread = 300u64;
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    db.put(format!("t{t}-{i:06}").as_bytes(), b"v").unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let report = db.write_path_report();
+    let committed =
+        report.solo + report.leader_requests + report.follower_requests + report.withdrawn;
+    assert_eq!(
+        committed,
+        threads * per_thread,
+        "every request commits exactly once: solo={} leader={} follower={} withdrawn={}",
+        report.solo,
+        report.leader_requests,
+        report.follower_requests,
+        report.withdrawn
+    );
+    // Group membership is exactly the leader+follower population.
+    assert_eq!(
+        report.group_requests,
+        report.leader_requests + report.follower_requests
+    );
+    assert!(report.groups <= report.group_requests);
+    assert!(report.withdraw_rate() <= 1.0);
+
+    let snap = db.metrics();
+    // One group-size sample per committed group.
+    assert_eq!(
+        snap.histograms["write_path.group_size"].count,
+        report.groups
+    );
+    // queue_wait and wake fire once per claimed (leader or follower)
+    // request and never for solo or withdrawn ones.
+    assert_eq!(
+        snap.histograms["write_path.queue_wait_ns"].count,
+        report.group_requests
+    );
+    assert_eq!(
+        snap.histograms["write_path.wake_ns"].count,
+        report.group_requests
+    );
+    // End-to-end latency is recorded for every request.
+    assert_eq!(
+        snap.histograms["write_path.total_ns"].count,
+        threads * per_thread
+    );
+}
+
+/// Cross-shard batches attribute their stages into the merged
+/// snapshot, and the bound against end-to-end latency holds there too.
+#[test]
+fn sharded_cross_shard_writes_are_attributed() {
+    let dir = TempDir::new("xshard");
+    let db =
+        ShardedDb::open_with_boundaries(&dir.0, Options::small_for_tests(), vec![b"m".to_vec()])
+            .unwrap();
+
+    let batches = 50u64;
+    for i in 0..batches {
+        let mut batch = WriteBatch::new();
+        batch.put(format!("a{i:06}"), "left");
+        batch.put(format!("z{i:06}"), "right");
+        db.write(batch, &WriteOptions::new()).unwrap();
+    }
+
+    let report = db.write_path_report();
+    assert!(report.has_samples());
+    let total = report.total.as_ref().expect("total histogram");
+    assert_eq!(total.count, batches);
+    let stamp = report
+        .stages
+        .iter()
+        .find(|s| s.name == "stamp")
+        .expect("stamp stage");
+    assert_eq!(stamp.summary.count, batches);
+    let stages = stage_sum(&report);
+    assert!(stages <= total.sum);
+    assert!(stages > 0);
+}
+
+/// `ShardedDb::metrics` bucket-merges the new stage histograms: the
+/// merged count equals the sum of the per-shard counts.
+#[test]
+fn merged_snapshot_merges_stage_histograms() {
+    let dir = TempDir::new("merge");
+    let db =
+        ShardedDb::open_with_boundaries(&dir.0, Options::small_for_tests(), vec![b"m".to_vec()])
+            .unwrap();
+
+    // Single-shard writes delegate to each shard's own pipeline, so
+    // both shard registries record independently.
+    for i in 0..40 {
+        db.put(format!("a{i:04}").as_bytes(), b"v").unwrap();
+    }
+    for i in 0..25 {
+        db.put(format!("z{i:04}").as_bytes(), b"v").unwrap();
+    }
+
+    let per_shard: Vec<u64> = db
+        .shard_metrics()
+        .iter()
+        .map(|(_, snap)| snap.histograms["write_path.total_ns"].count)
+        .collect();
+    assert_eq!(per_shard, vec![40, 25]);
+    let merged = db.metrics();
+    assert_eq!(merged.histograms["write_path.total_ns"].count, 40 + 25);
+    // Aggregate time merges too (sums are exact, not averaged).
+    let sum_of_sums: u64 = db
+        .shard_metrics()
+        .iter()
+        .map(|(_, snap)| snap.histograms["write_path.total_ns"].sum)
+        .sum();
+    assert_eq!(merged.histograms["write_path.total_ns"].sum, sum_of_sums);
+}
+
+/// With `write_path_attribution` off, no stage histogram records a
+/// single sample — while the always-on commit-mode counters still
+/// work (they cost no clock reads).
+#[test]
+fn disabled_attribution_records_no_stage_samples() {
+    let dir = TempDir::new("disabled");
+    let opts = Options::builder()
+        .write_path_attribution(false)
+        .memtable_bytes(64 * 1024)
+        .build()
+        .unwrap();
+    let db = Db::open(&dir.0, opts).unwrap();
+
+    for i in 0..100 {
+        db.put(format!("k{i:04}").as_bytes(), b"v").unwrap();
+    }
+    let mut batch = WriteBatch::new();
+    batch.put("sync", "v");
+    db.write(batch, &WriteOptions::durable()).unwrap();
+
+    let snap = db.metrics();
+    for &(_, metric) in WRITE_PATH_STAGES {
+        assert_eq!(
+            snap.histograms[metric].count, 0,
+            "{metric} recorded with attribution disabled"
+        );
+    }
+    assert_eq!(snap.histograms["write_path.total_ns"].count, 0);
+
+    let report = db.write_path_report();
+    assert_eq!(
+        report.solo + report.leader_requests + report.follower_requests + report.withdrawn,
+        101,
+        "commit-mode counters stay on when attribution is off"
+    );
+}

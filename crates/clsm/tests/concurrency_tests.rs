@@ -221,10 +221,15 @@ fn snapshots_see_atomic_batches() {
     // (serializability of scans, §3.2).
     let dir = TempDir::new("snap-atomic");
     let db = Arc::new(Db::open(&dir.0, Options::small_for_tests()).unwrap());
-    db.write(WriteBatch::from(&[
-        (b"a".to_vec(), Some(0u64.to_le_bytes().to_vec())),
-        (b"b".to_vec(), Some(0u64.to_le_bytes().to_vec())),
-    ][..]), &WriteOptions::new())
+    db.write(
+        WriteBatch::from(
+            &[
+                (b"a".to_vec(), Some(0u64.to_le_bytes().to_vec())),
+                (b"b".to_vec(), Some(0u64.to_le_bytes().to_vec())),
+            ][..],
+        ),
+        &WriteOptions::new(),
+    )
     .unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -236,10 +241,15 @@ fn snapshots_see_atomic_batches() {
             let mut n = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 n += 1;
-                db.write(WriteBatch::from(&[
-                    (b"a".to_vec(), Some(n.to_le_bytes().to_vec())),
-                    (b"b".to_vec(), Some(n.to_le_bytes().to_vec())),
-                ][..]), &WriteOptions::new())
+                db.write(
+                    WriteBatch::from(
+                        &[
+                            (b"a".to_vec(), Some(n.to_le_bytes().to_vec())),
+                            (b"b".to_vec(), Some(n.to_le_bytes().to_vec())),
+                        ][..],
+                    ),
+                    &WriteOptions::new(),
+                )
                 .unwrap();
             }
         }));

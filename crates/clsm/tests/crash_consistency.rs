@@ -93,10 +93,14 @@ impl Sys {
         match (self, op) {
             (Sys::Mono(db), Op::Put(k, v)) => db.put(k, v),
             (Sys::Mono(db), Op::Del(k)) => db.delete(k),
-            (Sys::Mono(db), Op::Batch(b)) => db.write(WriteBatch::from(b.as_slice()), &WriteOptions::new()),
+            (Sys::Mono(db), Op::Batch(b)) => {
+                db.write(WriteBatch::from(b.as_slice()), &WriteOptions::new())
+            }
             (Sys::Sharded(db), Op::Put(k, v)) => db.put(k, v),
             (Sys::Sharded(db), Op::Del(k)) => db.delete(k),
-            (Sys::Sharded(db), Op::Batch(b)) => db.write(WriteBatch::from(b.as_slice()), &WriteOptions::new()),
+            (Sys::Sharded(db), Op::Batch(b)) => {
+                db.write(WriteBatch::from(b.as_slice()), &WriteOptions::new())
+            }
         }
     }
 

@@ -297,11 +297,16 @@ fn write_batch_is_atomic_with_respect_to_snapshots() {
     let dir = TempDir::new("batch");
     let db = open_small(&dir);
     db.put(b"a", b"0").unwrap();
-    db.write(WriteBatch::from(&[
-        (b"a".to_vec(), Some(b"1".to_vec())),
-        (b"b".to_vec(), Some(b"1".to_vec())),
-        (b"c".to_vec(), None),
-    ][..]), &WriteOptions::new())
+    db.write(
+        WriteBatch::from(
+            &[
+                (b"a".to_vec(), Some(b"1".to_vec())),
+                (b"b".to_vec(), Some(b"1".to_vec())),
+                (b"c".to_vec(), None),
+            ][..],
+        ),
+        &WriteOptions::new(),
+    )
     .unwrap();
     assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
     assert_eq!(db.get(b"b").unwrap(), Some(b"1".to_vec()));

@@ -62,9 +62,7 @@ fn contended_key_hammer_loses_no_updates() {
             for _ in 0..increments {
                 let r = db
                     .read_modify_write(b"ctr", |cur| {
-                        let n = cur.map_or(0u64, |v| {
-                            u64::from_le_bytes(v.try_into().unwrap())
-                        });
+                        let n = cur.map_or(0u64, |v| u64::from_le_bytes(v.try_into().unwrap()));
                         RmwDecision::Update((n + 1).to_le_bytes().to_vec())
                     })
                     .unwrap();
@@ -173,12 +171,7 @@ fn batches_are_atomic_under_concurrent_snapshots() {
     for i in 1..=500u64 {
         let v = i.to_le_bytes().to_vec();
         db.write(
-            WriteBatch::from(
-                &[
-                    (b"a".to_vec(), Some(v.clone())),
-                    (b"b".to_vec(), Some(v)),
-                ][..],
-            ),
+            WriteBatch::from(&[(b"a".to_vec(), Some(v.clone())), (b"b".to_vec(), Some(v))][..]),
             &WriteOptions::new(),
         )
         .unwrap();
@@ -210,8 +203,11 @@ fn disable_wal_skips_the_log_and_sync_survives() {
         },
     )
     .unwrap();
-    db.write(WriteBatch::single_put(b"durable", b"2"), &WriteOptions::durable())
-        .unwrap();
+    db.write(
+        WriteBatch::single_put(b"durable", b"2"),
+        &WriteOptions::durable(),
+    )
+    .unwrap();
     // Both are readable while the process lives.
     assert_eq!(db.get(b"ephemeral").unwrap(), Some(b"1".to_vec()));
     assert_eq!(db.get(b"durable").unwrap(), Some(b"2".to_vec()));

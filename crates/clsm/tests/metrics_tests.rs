@@ -79,10 +79,15 @@ fn mixed_workload(db: &Arc<Db>) {
             }
         });
     });
-    db.write(WriteBatch::from(&[
-        (b"wb-a".to_vec(), Some(b"1".to_vec())),
-        (b"wb-b".to_vec(), None),
-    ][..]), &WriteOptions::new())
+    db.write(
+        WriteBatch::from(
+            &[
+                (b"wb-a".to_vec(), Some(b"1".to_vec())),
+                (b"wb-b".to_vec(), None),
+            ][..],
+        ),
+        &WriteOptions::new(),
+    )
     .unwrap();
     db.compact_to_quiescence().unwrap();
 }

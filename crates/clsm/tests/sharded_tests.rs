@@ -61,16 +61,21 @@ fn cross_shard_batches_are_never_torn() {
 
     // Seed sequence 0 so scanners always find both keys.
     for t in 0..WRITERS {
-        db.write(WriteBatch::from(&[
-            (
-                format!("a-pair-{t}").into_bytes(),
-                Some(0u64.to_be_bytes().to_vec()),
+        db.write(
+            WriteBatch::from(
+                &[
+                    (
+                        format!("a-pair-{t}").into_bytes(),
+                        Some(0u64.to_be_bytes().to_vec()),
+                    ),
+                    (
+                        format!("z-pair-{t}").into_bytes(),
+                        Some(0u64.to_be_bytes().to_vec()),
+                    ),
+                ][..],
             ),
-            (
-                format!("z-pair-{t}").into_bytes(),
-                Some(0u64.to_be_bytes().to_vec()),
-            ),
-        ][..]), &WriteOptions::new())
+            &WriteOptions::new(),
+        )
         .unwrap();
     }
 
@@ -81,10 +86,15 @@ fn cross_shard_batches_are_never_torn() {
             scope.spawn(move || {
                 for seq in 1..=BATCHES {
                     let v = seq.to_be_bytes().to_vec();
-                    db.write(WriteBatch::from(&[
-                        (format!("a-pair-{t}").into_bytes(), Some(v.clone())),
-                        (format!("z-pair-{t}").into_bytes(), Some(v)),
-                    ][..]), &WriteOptions::new())
+                    db.write(
+                        WriteBatch::from(
+                            &[
+                                (format!("a-pair-{t}").into_bytes(), Some(v.clone())),
+                                (format!("z-pair-{t}").into_bytes(), Some(v)),
+                            ][..],
+                        ),
+                        &WriteOptions::new(),
+                    )
                     .unwrap();
                 }
             });
@@ -149,17 +159,27 @@ fn cross_shard_snapshot_is_frozen_and_ordered() {
     let dir = TempDir::new("frozen");
     let db = open_four(&dir.0);
 
-    db.write(WriteBatch::from(&[
-        (b"apple".to_vec(), Some(b"1".to_vec())),
-        (b"zebra".to_vec(), Some(b"1".to_vec())),
-    ][..]), &WriteOptions::new())
+    db.write(
+        WriteBatch::from(
+            &[
+                (b"apple".to_vec(), Some(b"1".to_vec())),
+                (b"zebra".to_vec(), Some(b"1".to_vec())),
+            ][..],
+        ),
+        &WriteOptions::new(),
+    )
     .unwrap();
     let snap = db.snapshot().unwrap();
-    db.write(WriteBatch::from(&[
-        (b"apple".to_vec(), Some(b"2".to_vec())),
-        (b"grape".to_vec(), Some(b"2".to_vec())),
-        (b"zebra".to_vec(), None),
-    ][..]), &WriteOptions::new())
+    db.write(
+        WriteBatch::from(
+            &[
+                (b"apple".to_vec(), Some(b"2".to_vec())),
+                (b"grape".to_vec(), Some(b"2".to_vec())),
+                (b"zebra".to_vec(), None),
+            ][..],
+        ),
+        &WriteOptions::new(),
+    )
     .unwrap();
 
     assert_eq!(snap.get(b"apple").unwrap(), Some(b"1".to_vec()));
@@ -236,10 +256,15 @@ fn sharded_reopen_recovers_manifest_and_oracle() {
     let dir = TempDir::new("reopen");
     {
         let db = open_four(&dir.0);
-        db.write(WriteBatch::from(&[
-            (b"apple".to_vec(), Some(b"old".to_vec())),
-            (b"zebra".to_vec(), Some(b"old".to_vec())),
-        ][..]), &WriteOptions::new())
+        db.write(
+            WriteBatch::from(
+                &[
+                    (b"apple".to_vec(), Some(b"old".to_vec())),
+                    (b"zebra".to_vec(), Some(b"old".to_vec())),
+                ][..],
+            ),
+            &WriteOptions::new(),
+        )
         .unwrap();
     }
     // Ask for 2 shards: the on-disk manifest (4 shards) wins.

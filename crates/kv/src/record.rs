@@ -346,11 +346,7 @@ impl Recorder {
         let entries = batch.ops().to_vec();
         let invoke = self.handle.tick();
         let r = self.session.store.write(batch, opts);
-        self.record(
-            invoke,
-            r.is_ok(),
-            KvOp::WriteBatch { batch: id, entries },
-        );
+        self.record(invoke, r.is_ok(), KvOp::WriteBatch { batch: id, entries });
         r.map(|()| id)
     }
 

@@ -197,10 +197,7 @@ mod tests {
 
     #[test]
     fn batch_from_iterator_and_back() {
-        let entries = vec![
-            (b"x".to_vec(), Some(b"1".to_vec())),
-            (b"y".to_vec(), None),
-        ];
+        let entries = vec![(b"x".to_vec(), Some(b"1".to_vec())), (b"y".to_vec(), None)];
         let batch: WriteBatch = entries.clone().into_iter().collect();
         assert_eq!(batch.iter().count(), 2);
         assert_eq!((&batch).into_iter().count(), 2);

@@ -393,9 +393,18 @@ impl Store {
 
     /// Forces everything logged so far to disk.
     pub fn sync_wal(&self) -> Result<()> {
+        self.sync_wal_timed().map(|_durable_ns| ())
+    }
+
+    /// Like [`sync_wal`](Self::sync_wal), but returns the logger
+    /// thread's `trace::now_ns()` reading taken right after the
+    /// covering fsync — the instant durability was reached, before any
+    /// cross-thread wake-up latency. Write-path attribution uses it to
+    /// bound the durable stage by actual fsync completion.
+    pub fn sync_wal_timed(&self) -> Result<u64> {
         let _span = T_WAL_SYNC.span();
         let start = self.metrics.get().map(|_| Instant::now());
-        let result = self.wal.sync();
+        let result = self.wal.sync_timed();
         if let (Some(m), Some(start)) = (self.metrics.get(), start) {
             m.wal_sync_ns.record_duration(start.elapsed());
         }

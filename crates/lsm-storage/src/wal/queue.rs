@@ -20,7 +20,7 @@ use clsm_util::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use clsm_util::error::{Error, Result};
-use clsm_util::trace::TraceId;
+use clsm_util::trace::{now_ns, TraceId};
 
 use super::LogWriter;
 
@@ -38,17 +38,24 @@ pub enum SyncMode {
     Sync,
 }
 
+/// A durability acknowledgement: the value is the logger thread's
+/// [`now_ns`] reading taken immediately after the covering fsync
+/// returned — the instant the data actually became durable, before any
+/// cross-thread wake-up latency. Write-path attribution uses it to
+/// separate fsync time from ack/wake overhead.
+type DurableAck = Sender<Result<u64>>;
+
 enum Msg {
     Append {
         payload: Vec<u8>,
-        ack: Option<Sender<Result<()>>>,
+        ack: Option<DurableAck>,
     },
     Rotate {
         writer: Box<LogWriter>,
-        ack: Sender<Result<()>>,
+        ack: DurableAck,
     },
     Flush {
-        ack: Sender<Result<()>>,
+        ack: DurableAck,
     },
 }
 
@@ -107,7 +114,10 @@ impl LogQueue {
                         ack: Some(ack_tx),
                     })
                     .map_err(|_| Error::ShuttingDown)?;
-                ack_rx.recv().map_err(|_| Error::ShuttingDown)?
+                ack_rx
+                    .recv()
+                    .map_err(|_| Error::ShuttingDown)?
+                    .map(|_durable_ns| ())
             }
         }
     }
@@ -123,11 +133,22 @@ impl LogQueue {
                 ack: ack_tx,
             })
             .map_err(|_| Error::ShuttingDown)?;
-        ack_rx.recv().map_err(|_| Error::ShuttingDown)?
+        ack_rx
+            .recv()
+            .map_err(|_| Error::ShuttingDown)?
+            .map(|_durable_ns| ())
     }
 
     /// Waits until everything enqueued so far is flushed and fsync'd.
     pub fn sync(&self) -> Result<()> {
+        self.sync_timed().map(|_durable_ns| ())
+    }
+
+    /// Like [`sync`](Self::sync), but returns the logger thread's
+    /// [`now_ns`] reading taken right after the covering fsync — the
+    /// instant durability was reached, excluding the time it took to
+    /// wake this caller.
+    pub fn sync_timed(&self) -> Result<u64> {
         let (ack_tx, ack_rx) = bounded(1);
         self.tx
             .send(Msg::Flush { ack: ack_tx })
@@ -181,7 +202,7 @@ impl std::fmt::Debug for LogQueue {
 }
 
 fn logger_loop(mut writer: LogWriter, rx: Receiver<Msg>, error: Arc<ErrorSlot>) {
-    let mut pending_acks: Vec<Sender<Result<()>>> = Vec::new();
+    let mut pending_acks: Vec<DurableAck> = Vec::new();
     let mut dirty = false;
 
     let fail = |error: &ErrorSlot, e: &Error| {
@@ -230,9 +251,12 @@ fn logger_loop(mut writer: LogWriter, rx: Receiver<Msg>, error: Arc<ErrorSlot>) 
                 } => {
                     // Seal the old file; records already written to it
                     // are durable from here on, so their acks can fire.
-                    let res = writer.sync().inspect_err(|e| {
-                        fail(&error, e);
-                    });
+                    let res = writer
+                        .sync()
+                        .inspect_err(|e| {
+                            fail(&error, e);
+                        })
+                        .map(|()| now_ns());
                     for pending in pending_acks.drain(..) {
                         let _ = pending.send(res.clone());
                     }
@@ -246,9 +270,12 @@ fn logger_loop(mut writer: LogWriter, rx: Receiver<Msg>, error: Arc<ErrorSlot>) 
 
         if need_sync {
             let _span = T_GROUP_COMMIT.span_with(pending_acks.len() as u64);
-            let res = writer.sync().inspect_err(|e| {
-                fail(&error, e);
-            });
+            let res = writer
+                .sync()
+                .inspect_err(|e| {
+                    fail(&error, e);
+                })
+                .map(|()| now_ns());
             dirty = false;
             for ack in pending_acks.drain(..) {
                 let _ = ack.send(res.clone());

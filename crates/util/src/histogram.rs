@@ -120,6 +120,11 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Mean of the recorded samples (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

@@ -386,6 +386,9 @@ impl std::fmt::Debug for MetricsRegistry {
 pub struct HistogramSummary {
     /// Number of samples.
     pub count: u64,
+    /// Sum of all samples (saturating). Lets consumers compute exact
+    /// aggregate time spent per stage (`mean * count` loses precision).
+    pub sum: u64,
     /// Arithmetic mean.
     pub mean: f64,
     /// Smallest sample.
@@ -407,6 +410,7 @@ impl HistogramSummary {
     pub fn from_histogram(h: &Histogram) -> Self {
         HistogramSummary {
             count: h.count(),
+            sum: h.sum(),
             mean: h.mean(),
             min: h.min(),
             max: h.max(),
@@ -504,10 +508,11 @@ impl MetricsSnapshot {
             .iter()
             .map(|(k, h)| {
                 format!(
-                    "\"{}\":{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\
+                    "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\
                      \"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
                     json_escape(k),
                     h.count,
+                    h.sum,
                     json_f64(h.mean),
                     h.min,
                     h.max,

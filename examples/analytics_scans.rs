@@ -66,16 +66,21 @@ fn main() -> clsm_repro::clsm::Result<()> {
                     let to_bal =
                         u64::from_le_bytes(db.get(&account_key(to))?.unwrap().try_into().unwrap());
                     // Atomic batch: both legs of the transfer or neither.
-                    db.write(WriteBatch::from(&[
-                        (
-                            account_key(from),
-                            Some((from_bal - amount).to_le_bytes().to_vec()),
+                    db.write(
+                        WriteBatch::from(
+                            &[
+                                (
+                                    account_key(from),
+                                    Some((from_bal - amount).to_le_bytes().to_vec()),
+                                ),
+                                (
+                                    account_key(to),
+                                    Some((to_bal + amount).to_le_bytes().to_vec()),
+                                ),
+                            ][..],
                         ),
-                        (
-                            account_key(to),
-                            Some((to_bal + amount).to_le_bytes().to_vec()),
-                        ),
-                    ][..]), &WriteOptions::new())?;
+                        &WriteOptions::new(),
+                    )?;
                     transfers += 1;
                 }
                 Ok(transfers)

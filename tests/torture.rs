@@ -56,10 +56,15 @@ fn torture_duration() -> Duration {
 fn randomized_torture_with_invariant_audits() {
     let dir = TempDir::new("main");
     let db = Arc::new(Db::open(&dir.0, Options::small_for_tests()).unwrap());
-    db.write(WriteBatch::from(&[
-        (b"inv:a".to_vec(), Some(0u64.to_le_bytes().to_vec())),
-        (b"inv:b".to_vec(), Some(0u64.to_le_bytes().to_vec())),
-    ][..]), &WriteOptions::new())
+    db.write(
+        WriteBatch::from(
+            &[
+                (b"inv:a".to_vec(), Some(0u64.to_le_bytes().to_vec())),
+                (b"inv:b".to_vec(), Some(0u64.to_le_bytes().to_vec())),
+            ][..],
+        ),
+        &WriteOptions::new(),
+    )
     .unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -107,10 +112,15 @@ fn randomized_torture_with_invariant_audits() {
                         // Atomic invariant batch.
                         batch_n += 1;
                         let v = (t << 48 | batch_n).to_le_bytes().to_vec();
-                        db.write(WriteBatch::from(&[
-                            (b"inv:a".to_vec(), Some(v.clone())),
-                            (b"inv:b".to_vec(), Some(v)),
-                        ][..]), &WriteOptions::new())
+                        db.write(
+                            WriteBatch::from(
+                                &[
+                                    (b"inv:a".to_vec(), Some(v.clone())),
+                                    (b"inv:b".to_vec(), Some(v)),
+                                ][..],
+                            ),
+                            &WriteOptions::new(),
+                        )
                         .unwrap();
                     }
                     85..=92 => {
