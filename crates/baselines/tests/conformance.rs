@@ -319,6 +319,38 @@ fn clsm_conforms_to_the_same_contract() {
 }
 
 #[test]
+fn clsm_with_tiered_compaction_conforms() {
+    let dir = TempDir::new("clsm-tiered");
+    let mut opts = Options::small_for_tests();
+    opts.store.compaction_policy = clsm::CompactionPolicyKind::Tiered;
+    let store = clsm::Db::open(&dir.0, opts).unwrap();
+    exercise(&store);
+}
+
+#[test]
+fn clsm_with_hybrid_partial_compaction_conforms() {
+    let dir = TempDir::new("clsm-hybrid");
+    let mut opts = Options::small_for_tests();
+    opts.store.compaction_policy = clsm::CompactionPolicyKind::HybridPartial;
+    let store = clsm::Db::open(&dir.0, opts).unwrap();
+    exercise(&store);
+}
+
+#[test]
+fn clsm_with_io_rate_limit_conforms() {
+    // A tight-but-livable budget: the whole checklist's write volume
+    // fits in a few seconds of refill, so correctness is exercised
+    // under real throttle waits.
+    let dir = TempDir::new("clsm-ratelimited");
+    let opts = clsm::OptionsBuilder::from_options(Options::small_for_tests())
+        .io_rate_limit(4 << 20, 1 << 20)
+        .build()
+        .unwrap();
+    let store = clsm::Db::open(&dir.0, opts).unwrap();
+    exercise(&store);
+}
+
+#[test]
 fn sharded_clsm_single_shard_conforms() {
     let dir = TempDir::new("sharded1");
     let store = clsm::ShardedDb::open(&dir.0, Options::small_for_tests()).unwrap();

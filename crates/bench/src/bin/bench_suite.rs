@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! bench-suite [--smoke] [--label NAME] [--out DIR] [--data DIR]
-//!             [--seconds F] [--seed N]
+//!             [--seconds F] [--seed N] [--stability]
+//!             [--stability-ablation]
 //!             [--compare OLD.json] [--threshold F]
 //! bench-suite --compare-only OLD.json NEW.json [--threshold F]
 //! ```
@@ -15,6 +16,13 @@
 //! the per-stage write-path breakdown, commit-mode counts, and an
 //! environment fingerprint, under a versioned schema.
 //!
+//! `--stability` appends the long-run stability cell to the artifact:
+//! per-window throughput and p999 time series against an undersized,
+//! I/O-rate-limited store, plus the variance/spike summary the
+//! comparator gates on. `--stability-ablation` also runs the
+//! admission-off shim (the pre-ramp stall cliff) for side-by-side
+//! numbers; ablation cells are printed but carry no baseline.
+//!
 //! `--compare OLD.json` additionally diffs the fresh run against a
 //! baseline file and exits nonzero when any metric worsened beyond
 //! `--threshold` (fractional: the default 1.0 tolerates up to 2x).
@@ -23,6 +31,7 @@
 
 use std::path::PathBuf;
 
+use bench::stability::{run_stability, StabilityConfig};
 use bench::suite::{compare, run_suite, SuiteConfig, SuiteReport};
 use clsm_util::error::Result;
 
@@ -49,12 +58,19 @@ fn run(argv: &[String]) -> Result<bool> {
     let mut compare_to: Option<PathBuf> = None;
     let mut compare_only: Option<(PathBuf, PathBuf)> = None;
     let mut threshold = 1.0f64;
+    let mut stability = false;
+    let mut stability_ablation = false;
 
     let mut iter = argv.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--full" => smoke = false,
+            "--stability" => stability = true,
+            "--stability-ablation" => {
+                stability = true;
+                stability_ablation = true;
+            }
             "--label" => {
                 label = iter
                     .next()
@@ -133,7 +149,23 @@ fn run(argv: &[String]) -> Result<bool> {
         cfg.seconds,
         cfg.key_space
     );
-    let report = run_suite(&cfg, &data_dir)?;
+    let mut report = run_suite(&cfg, &data_dir)?;
+    if stability {
+        let mut variants = vec![true];
+        if stability_ablation {
+            variants.push(false);
+        }
+        for admission in variants {
+            let scfg = StabilityConfig::new(smoke, admission);
+            eprintln!("[bench-suite] stability cell: {}", scfg.id());
+            let cell = run_stability(&scfg, &data_dir)?;
+            eprintln!(
+                "[bench-suite]   {:.1} kops/s  cv={:.3} p999max={:.0}µs hard_stalls={}",
+                cell.kops_per_sec, cell.throughput_cv, cell.p999_max_us, cell.hard_stalls
+            );
+            report.stability.push(cell);
+        }
+    }
     let _ = std::fs::remove_dir_all(&data_dir);
 
     std::fs::create_dir_all(&out_dir)?;
@@ -144,6 +176,20 @@ fn run(argv: &[String]) -> Result<bool> {
         println!(
             "  {:<28} {:>9.1} kops/s  p50={:<8.1} p99={:<8.1} p999={:.1} µs",
             cell.id, cell.kops_per_sec, cell.p50_us, cell.p99_us, cell.p999_us
+        );
+    }
+    for s in &report.stability {
+        println!(
+            "  {:<36} {:>7.1} kops/s  cv={:.3} worst={:.2} p999max={:.0}µs \
+             stalls={} delayed={} slowdowns={}",
+            s.id,
+            s.kops_per_sec,
+            s.throughput_cv,
+            s.worst_window_frac,
+            s.p999_max_us,
+            s.hard_stalls,
+            s.delayed_writes,
+            s.sustained_slowdowns
         );
     }
 
@@ -164,7 +210,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: bench-suite [--smoke|--full] [--label NAME] [--out DIR] [--data DIR] \
-         [--seconds F] [--seed N] [--compare OLD.json] [--threshold F]"
+         [--seconds F] [--seed N] [--stability] [--stability-ablation] \
+         [--compare OLD.json] [--threshold F]"
     );
     eprintln!("       bench-suite --compare-only OLD.json NEW.json [--threshold F]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

@@ -14,6 +14,7 @@
 
 pub mod driver;
 pub mod report;
+pub mod stability;
 pub mod suite;
 pub mod systems;
 

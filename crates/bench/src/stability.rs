@@ -1,0 +1,290 @@
+//! The long-run stability cell behind `bench-suite --stability`.
+//!
+//! Where the matrix cells measure *how fast* the store goes, this cell
+//! measures *how evenly*: a sustained write workload against a
+//! deliberately undersized, I/O-rate-limited store, sampled in fixed
+//! windows. Each window contributes one throughput point and one p999
+//! point to a time series; the summary condenses the series into the
+//! variance/spike numbers [`crate::suite::compare`] gates on
+//! (throughput CV, worst-window fraction, max p999, hard-stall count).
+//!
+//! The cell runs with the graduated admission ramp on by default; the
+//! `admission: false` variant is the ablation shim — the pre-ramp
+//! stall cliff — which the kill-test uses to prove the watchdog still
+//! sees the cliff when the ramp is disabled, and that enabling it
+//! makes the hard stalls (mostly) disappear.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use clsm::{AdmissionOptions, Db, IoRateLimiter, Options, StallKind};
+use clsm_util::error::Result;
+use clsm_util::histogram::Histogram;
+
+/// Configuration for one stability cell.
+#[derive(Debug, Clone)]
+pub struct StabilityConfig {
+    /// Total measured duration.
+    pub seconds: f64,
+    /// Sampling window (one time-series point per window).
+    pub window: Duration,
+    /// Writer threads.
+    pub threads: usize,
+    /// Distinct keys (small, so the run is flush-bound, not
+    /// memtable-resident).
+    pub key_space: u64,
+    /// Value payload size in bytes.
+    pub value_len: usize,
+    /// Seed for the per-thread key sequences.
+    pub seed: u64,
+    /// Graduated admission ramp on (`false` = the ablation shim).
+    pub admission: bool,
+}
+
+impl StabilityConfig {
+    /// Defaults for the given mode: CI smoke keeps the cell to a few
+    /// seconds, the full run long enough for variance to mean
+    /// something.
+    pub fn new(smoke: bool, admission: bool) -> StabilityConfig {
+        StabilityConfig {
+            seconds: if smoke { 3.0 } else { 30.0 },
+            window: Duration::from_secs(1),
+            threads: 4,
+            key_space: 4096,
+            value_len: 2048,
+            seed: 0x57ab,
+            admission,
+        }
+    }
+
+    /// Stable cell identifier; [`crate::suite::compare`] matches
+    /// stability entries by this.
+    pub fn id(&self) -> String {
+        format!(
+            "stability.write-100.t{}.admission-{}",
+            self.threads,
+            if self.admission { "on" } else { "off" }
+        )
+    }
+}
+
+/// One stability cell's measurements: the raw time series plus the
+/// summary the regression gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityResult {
+    /// Stable cell id ([`StabilityConfig::id`]).
+    pub id: String,
+    /// Whether the admission ramp was enabled.
+    pub admission: bool,
+    /// Measured wall-clock seconds.
+    pub seconds: f64,
+    /// Completed puts.
+    pub ops: u64,
+    /// Whole-run throughput, thousands of ops per second.
+    pub kops_per_sec: f64,
+    /// Per-window throughput series (kops/s).
+    pub throughput_kops: Vec<f64>,
+    /// Per-window p999 put latency series (µs).
+    pub p999_us: Vec<f64>,
+    /// Coefficient of variation of the throughput series
+    /// (stddev / mean; 0 = perfectly even).
+    pub throughput_cv: f64,
+    /// Worst window's throughput as a fraction of the mean
+    /// (1.0 = perfectly even, 0.0 = a dead window).
+    pub worst_window_frac: f64,
+    /// Largest per-window p999 (µs) — the spike the series saw.
+    pub p999_max_us: f64,
+    /// `admission.hard_stalls`: writers that hit the memtable-full
+    /// stall.
+    pub hard_stalls: u64,
+    /// `admission.delayed_writes`: writers charged a slowdown delay.
+    pub delayed_writes: u64,
+    /// `db.write_stalls` (same cliff as `hard_stalls`, the pre-ramp
+    /// counter — kept so old dashboards still line up).
+    pub write_stalls: u64,
+    /// Watchdog `write-stall` events observed during the run.
+    pub stall_events: u64,
+    /// Watchdog `sustained-slowdown` events observed during the run.
+    pub sustained_slowdowns: u64,
+}
+
+/// Store options for the stability cell: a small memtable and a tight
+/// I/O budget, so dirty data genuinely outruns the drain and the
+/// admission machinery (or, in the ablation, the stall cliff) is what
+/// shapes the series. The ramp is tuned so its maximum delay throttles
+/// ingest below the drain rate — the condition under which graduated
+/// admission can replace hard stalls entirely.
+fn stability_store_options(admission: bool) -> Options {
+    let mut opts = Options {
+        memtable_bytes: 512 * 1024,
+        ..Options::default()
+    };
+    opts.store.table_file_size = 1024 * 1024;
+    opts.store.base_level_bytes = 4 * 1024 * 1024;
+    opts.store.io_rate_limiter = Some(Arc::new(IoRateLimiter::new(4 << 20, 1 << 20)));
+    opts.admission = AdmissionOptions {
+        enabled: admission,
+        low_watermark: 0.5,
+        high_watermark: 0.9,
+        max_delay: Duration::from_millis(10),
+        ..AdmissionOptions::default()
+    };
+    opts.watchdog.enabled = true;
+    opts
+}
+
+/// Runs one stability cell on a fresh store under `data_dir` (removed
+/// afterwards).
+pub fn run_stability(cfg: &StabilityConfig, data_dir: &Path) -> Result<StabilityResult> {
+    let dir = data_dir.join(cfg.id());
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    std::fs::create_dir_all(&dir)?;
+    let db = Arc::new(Db::open(&dir, stability_store_options(cfg.admission))?);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    // One latency window per worker: the worker takes its own
+    // (uncontended) lock per op; the sampler swaps each window out
+    // once per tick and merges them into that tick's histogram.
+    let windows: Arc<Vec<Mutex<Histogram>>> = Arc::new(
+        (0..cfg.threads)
+            .map(|_| Mutex::new(Histogram::new()))
+            .collect(),
+    );
+
+    let mut workers = Vec::with_capacity(cfg.threads);
+    for t in 0..cfg.threads {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        let ops = Arc::clone(&ops);
+        let windows = Arc::clone(&windows);
+        let cfg = cfg.clone();
+        workers.push(std::thread::spawn(move || -> Result<()> {
+            let value = vec![0xabu8; cfg.value_len];
+            let mut x = cfg.seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            while !stop.load(Ordering::Relaxed) {
+                // xorshift64: a cheap deterministic key sequence.
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let key = format!("stab.{:08}", x % cfg.key_space);
+                let began = Instant::now();
+                db.put(key.as_bytes(), &value)?;
+                windows[t].lock().record(began.elapsed().as_nanos() as u64);
+                ops.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        }));
+    }
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(cfg.seconds);
+    let mut throughput_kops = Vec::new();
+    let mut p999_us = Vec::new();
+    let mut last_ops = 0u64;
+    let mut last_tick = started;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        std::thread::sleep(cfg.window.min(deadline - now));
+        let tick = Instant::now();
+        let window_s = (tick - last_tick).as_secs_f64().max(1e-9);
+        last_tick = tick;
+        let ops_now = ops.load(Ordering::Relaxed);
+        throughput_kops.push((ops_now - last_ops) as f64 / window_s / 1000.0);
+        last_ops = ops_now;
+        let mut merged = Histogram::new();
+        for w in windows.iter() {
+            let h = std::mem::replace(&mut *w.lock(), Histogram::new());
+            merged.merge(&h);
+        }
+        p999_us.push(if merged.count() == 0 {
+            0.0
+        } else {
+            merged.percentile(99.9) as f64 / 1000.0
+        });
+    }
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+    for w in workers {
+        w.join().expect("stability worker panicked")?;
+    }
+
+    let snapshot = db.metrics();
+    let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    let stall_events = db
+        .stall_events()
+        .iter()
+        .filter(|e| e.kind == StallKind::WriteStall)
+        .count() as u64;
+    let total_ops = ops.load(Ordering::Relaxed);
+    let (cv, worst_frac) = series_variance(&throughput_kops);
+    let result = StabilityResult {
+        id: cfg.id(),
+        admission: cfg.admission,
+        seconds: elapsed.as_secs_f64(),
+        ops: total_ops,
+        kops_per_sec: total_ops as f64 / elapsed.as_secs_f64() / 1000.0,
+        throughput_kops,
+        p999_max_us: p999_us.iter().cloned().fold(0.0, f64::max),
+        p999_us,
+        throughput_cv: cv,
+        worst_window_frac: worst_frac,
+        hard_stalls: counter("admission.hard_stalls"),
+        delayed_writes: counter("admission.delayed_writes"),
+        write_stalls: db.stats().write_stalls,
+        stall_events,
+        sustained_slowdowns: counter("watchdog.sustained_slowdown_events"),
+    };
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(result)
+}
+
+/// `(coefficient of variation, worst window / mean)` of a series.
+fn series_variance(series: &[f64]) -> (f64, f64) {
+    if series.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+    (var.sqrt() / mean, min / mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_distinguish_the_ablation() {
+        let on = StabilityConfig::new(true, true);
+        let off = StabilityConfig::new(true, false);
+        assert_eq!(on.id(), "stability.write-100.t4.admission-on");
+        assert_eq!(off.id(), "stability.write-100.t4.admission-off");
+        assert!(on.seconds < StabilityConfig::new(false, true).seconds);
+    }
+
+    #[test]
+    fn series_variance_handles_flat_spiky_and_empty_series() {
+        let (cv, worst) = series_variance(&[10.0, 10.0, 10.0]);
+        assert!(cv.abs() < 1e-12);
+        assert!((worst - 1.0).abs() < 1e-12);
+        let (cv, worst) = series_variance(&[10.0, 0.0, 10.0]);
+        assert!(cv > 0.4);
+        assert!(worst.abs() < 1e-12);
+        assert_eq!(series_variance(&[]), (0.0, 0.0));
+    }
+}

@@ -22,9 +22,14 @@ use clsm_util::error::{Error, Result};
 use clsm_workloads::runner::prefill_store;
 use clsm_workloads::{run_workload, Prefill, RunConfig, RunResult, WorkloadSpec};
 
+use crate::stability::StabilityResult;
+
 /// Version stamp written into every `BENCH_*.json`. Bump on any field
 /// change; [`compare`] rejects mismatched versions outright.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: 1 = the original matrix-only schema; 2 added the
+/// `stability` section (per-window time series + variance summary).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One cell of the canonical matrix: a workload at a fixed
 /// configuration.
@@ -280,6 +285,9 @@ pub struct SuiteReport {
     pub env: EnvFingerprint,
     /// The measured cells, in matrix order.
     pub cells: Vec<CellResult>,
+    /// Long-run stability cells (`--stability`); empty when the run
+    /// measured only the matrix.
+    pub stability: Vec<StabilityResult>,
 }
 
 /// Runs one cell on a fresh store under `data_dir` (removed
@@ -347,6 +355,7 @@ pub fn run_suite(cfg: &SuiteConfig, data_dir: &Path) -> Result<SuiteReport> {
         key_space: cfg.key_space,
         env: EnvFingerprint::current(),
         cells,
+        stability: Vec::new(),
     })
 }
 
@@ -429,6 +438,60 @@ impl SuiteReport {
                 "\n"
             });
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"stability\": [\n");
+        for (i, s) in self.stability.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"id\": {},", json_str(&s.id));
+            let _ = writeln!(out, "      \"admission\": {},", s.admission);
+            let _ = writeln!(out, "      \"seconds\": {},", json_f64(s.seconds));
+            let _ = writeln!(out, "      \"ops\": {},", s.ops);
+            let _ = writeln!(out, "      \"kops_per_sec\": {},", json_f64(s.kops_per_sec));
+            let _ = writeln!(
+                out,
+                "      \"throughput_kops\": [{}],",
+                s.throughput_kops
+                    .iter()
+                    .map(|v| json_f64(*v))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let _ = writeln!(
+                out,
+                "      \"p999_us\": [{}],",
+                s.p999_us
+                    .iter()
+                    .map(|v| json_f64(*v))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let _ = writeln!(
+                out,
+                "      \"throughput_cv\": {},",
+                json_f64(s.throughput_cv)
+            );
+            let _ = writeln!(
+                out,
+                "      \"worst_window_frac\": {},",
+                json_f64(s.worst_window_frac)
+            );
+            let _ = writeln!(out, "      \"p999_max_us\": {},", json_f64(s.p999_max_us));
+            let _ = writeln!(out, "      \"hard_stalls\": {},", s.hard_stalls);
+            let _ = writeln!(out, "      \"delayed_writes\": {},", s.delayed_writes);
+            let _ = writeln!(out, "      \"write_stalls\": {},", s.write_stalls);
+            let _ = writeln!(out, "      \"stall_events\": {},", s.stall_events);
+            let _ = writeln!(
+                out,
+                "      \"sustained_slowdowns\": {}",
+                s.sustained_slowdowns
+            );
+            out.push_str("    }");
+            out.push_str(if i + 1 < self.stability.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -503,6 +566,34 @@ impl SuiteReport {
                 },
             });
         }
+        let series_of = |j: &Json, key: &str| -> Vec<f64> {
+            j.get(key)
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(Json::as_f64)
+                .collect()
+        };
+        let mut stability = Vec::new();
+        for s in root.get("stability").and_then(Json::as_arr).unwrap_or(&[]) {
+            stability.push(StabilityResult {
+                id: str_of(s, "id")?,
+                admission: s.get("admission").and_then(Json::as_bool) == Some(true),
+                seconds: num_of(s, "seconds")?,
+                ops: num_of(s, "ops")? as u64,
+                kops_per_sec: num_of(s, "kops_per_sec")?,
+                throughput_kops: series_of(s, "throughput_kops"),
+                p999_us: series_of(s, "p999_us"),
+                throughput_cv: num_of(s, "throughput_cv")?,
+                worst_window_frac: num_of(s, "worst_window_frac")?,
+                p999_max_us: num_of(s, "p999_max_us")?,
+                hard_stalls: num_of(s, "hard_stalls")? as u64,
+                delayed_writes: num_of(s, "delayed_writes")? as u64,
+                write_stalls: num_of(s, "write_stalls")? as u64,
+                stall_events: num_of(s, "stall_events")? as u64,
+                sustained_slowdowns: num_of(s, "sustained_slowdowns")? as u64,
+            });
+        }
         Ok(SuiteReport {
             label: str_of(&root, "label")?,
             mode: str_of(&root, "mode")?,
@@ -515,6 +606,7 @@ impl SuiteReport {
                 debug: env.get("debug").and_then(Json::as_bool) == Some(true),
             },
             cells,
+            stability,
         })
     }
 }
@@ -584,39 +676,58 @@ pub fn compare(old: &SuiteReport, new: &SuiteReport, threshold: f64) -> CompareO
             ("p50_us", old_cell.p50_us, new_cell.p50_us, false),
             ("p99_us", old_cell.p99_us, new_cell.p99_us, false),
         ];
-        for (name, old_v, new_v, higher_better) in metrics {
-            if old_v <= 0.0 && new_v <= 0.0 {
-                continue;
-            }
-            compared += 1;
-            // Worsening factor: >1 means new is worse.
-            let factor = if higher_better {
-                if new_v <= 0.0 {
-                    f64::INFINITY
-                } else {
-                    old_v / new_v
-                }
-            } else if old_v <= 0.0 {
-                f64::INFINITY
-            } else {
-                new_v / old_v
-            };
-            let delta_pct = if old_v > 0.0 {
-                (new_v - old_v) / old_v * 100.0
-            } else {
-                f64::INFINITY
-            };
-            let verdict = if factor > 1.0 + threshold {
-                regressions += 1;
-                "REGRESSION"
-            } else {
-                "ok"
-            };
-            let _ = writeln!(
-                text,
-                "  {name:<14} old={old_v:<12.2} new={new_v:<12.2} delta={delta_pct:+.1}% {verdict}"
-            );
-        }
+        compare_metrics(
+            &mut text,
+            &mut compared,
+            &mut regressions,
+            threshold,
+            &metrics,
+        );
+    }
+    let new_stab: BTreeMap<&str, &StabilityResult> =
+        new.stability.iter().map(|s| (s.id.as_str(), s)).collect();
+    for old_s in &old.stability {
+        let Some(new_s) = new_stab.get(old_s.id.as_str()) else {
+            let _ = writeln!(text, "stability {}: missing from new report", old_s.id);
+            unmatched += 1;
+            continue;
+        };
+        let _ = writeln!(text, "stability {}", old_s.id);
+        // The variance metrics carry noise floors: values below the
+        // floor compare as equal, so run-to-run wiggle on a healthy
+        // series (CV in the 0.2s on a short smoke window, a 40–60 ms
+        // p999 wobble, a stray stall) cannot flip a ratio past the
+        // threshold. A stall cliff lands far above every floor — the
+        // measured ablation shows p999 spikes of ~500 ms and dozens of
+        // hard stalls against 0 — which is what this section gates on.
+        let metrics = [
+            ("kops_per_sec", old_s.kops_per_sec, new_s.kops_per_sec, true),
+            (
+                "throughput_cv",
+                old_s.throughput_cv.max(0.35),
+                new_s.throughput_cv.max(0.35),
+                false,
+            ),
+            (
+                "p999_max_us",
+                old_s.p999_max_us.max(100_000.0),
+                new_s.p999_max_us.max(100_000.0),
+                false,
+            ),
+            (
+                "hard_stalls",
+                (old_s.hard_stalls as f64).max(2.0),
+                (new_s.hard_stalls as f64).max(2.0),
+                false,
+            ),
+        ];
+        compare_metrics(
+            &mut text,
+            &mut compared,
+            &mut regressions,
+            threshold,
+            &metrics,
+        );
     }
     let new_ids: std::collections::BTreeSet<&str> =
         new.cells.iter().map(|c| c.id.as_str()).collect();
@@ -625,6 +736,14 @@ pub fn compare(old: &SuiteReport, new: &SuiteReport, threshold: f64) -> CompareO
     for extra in new_ids.difference(&old_ids) {
         let _ = writeln!(text, "cell {extra}: new (no baseline)");
         unmatched += 1;
+    }
+    let old_stab_ids: std::collections::BTreeSet<&str> =
+        old.stability.iter().map(|s| s.id.as_str()).collect();
+    for s in &new.stability {
+        if !old_stab_ids.contains(s.id.as_str()) {
+            let _ = writeln!(text, "stability {}: new (no baseline)", s.id);
+            unmatched += 1;
+        }
     }
     let _ = writeln!(
         text,
@@ -639,6 +758,51 @@ pub fn compare(old: &SuiteReport, new: &SuiteReport, threshold: f64) -> CompareO
         compared,
         regressions,
         unmatched,
+    }
+}
+
+/// Diffs one row of `(name, old, new, higher_is_better)` metrics,
+/// appending a line per metric and bumping the counters. Shared by the
+/// per-cell and stability sections of [`compare`].
+fn compare_metrics(
+    text: &mut String,
+    compared: &mut usize,
+    regressions: &mut usize,
+    threshold: f64,
+    metrics: &[(&str, f64, f64, bool)],
+) {
+    for &(name, old_v, new_v, higher_better) in metrics {
+        if old_v <= 0.0 && new_v <= 0.0 {
+            continue;
+        }
+        *compared += 1;
+        // Worsening factor: >1 means new is worse.
+        let factor = if higher_better {
+            if new_v <= 0.0 {
+                f64::INFINITY
+            } else {
+                old_v / new_v
+            }
+        } else if old_v <= 0.0 {
+            f64::INFINITY
+        } else {
+            new_v / old_v
+        };
+        let delta_pct = if old_v > 0.0 {
+            (new_v - old_v) / old_v * 100.0
+        } else {
+            f64::INFINITY
+        };
+        let verdict = if factor > 1.0 + threshold {
+            *regressions += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            text,
+            "  {name:<14} old={old_v:<12.2} new={new_v:<12.2} delta={delta_pct:+.1}% {verdict}"
+        );
     }
 }
 
@@ -956,6 +1120,23 @@ mod tests {
                     ..CommitModes::default()
                 },
             }],
+            stability: vec![StabilityResult {
+                id: "stability.write-100.t4.admission-on".to_string(),
+                admission: true,
+                seconds: 3.0,
+                ops: 30_000,
+                kops_per_sec: 10.0,
+                throughput_kops: vec![10.5, 9.8, 9.7],
+                p999_us: vec![800.0, 950.0, 900.0],
+                throughput_cv: 0.04,
+                worst_window_frac: 0.97,
+                p999_max_us: 950.0,
+                hard_stalls: 0,
+                delayed_writes: 1500,
+                write_stalls: 0,
+                stall_events: 0,
+                sustained_slowdowns: 2,
+            }],
         }
     }
 
@@ -970,9 +1151,15 @@ mod tests {
     fn from_json_rejects_other_schema_versions() {
         let text = sample_report()
             .to_json()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         let err = SuiteReport::from_json(&text).unwrap_err();
         assert!(err.to_string().contains("schema_version"));
+        // Schema-1 artifacts (pre-stability) are rejected the same way:
+        // re-baseline, never silently compare across schemas.
+        let v1 = sample_report()
+            .to_json()
+            .replace("\"schema_version\": 2", "\"schema_version\": 1");
+        assert!(SuiteReport::from_json(&v1).is_err());
     }
 
     #[test]
@@ -1006,6 +1193,47 @@ mod tests {
         let mut dip = old.clone();
         dip.cells[0].kops_per_sec *= 0.7;
         assert!(compare(&old, &dip, 1.0).passed());
+    }
+
+    #[test]
+    fn compare_gates_on_stability_variance_and_stalls() {
+        let old = sample_report();
+
+        // A stall cliff appearing in the stability cell fails the gate
+        // even when every matrix cell is unchanged.
+        let mut cliff = old.clone();
+        cliff.stability[0].hard_stalls = 40;
+        let outcome = compare(&old, &cliff, 1.0);
+        assert!(!outcome.passed(), "{}", outcome.text);
+        assert!(outcome.text.contains("hard_stalls"));
+
+        // So does a throughput-variance blow-up...
+        let mut choppy = old.clone();
+        choppy.stability[0].throughput_cv = 0.9;
+        assert!(!compare(&old, &choppy, 1.0).passed());
+
+        // ...and a cliff-sized p999 spike (the ablation measures
+        // ~500 ms against the ramp's ~50 ms).
+        let mut spiky = old.clone();
+        spiky.stability[0].p999_max_us = 500_000.0;
+        assert!(!compare(&old, &spiky, 1.0).passed());
+
+        // Noise floors: wiggles below them compare as equal.
+        let mut wiggle = old.clone();
+        wiggle.stability[0].throughput_cv = 0.30;
+        wiggle.stability[0].hard_stalls = 2;
+        wiggle.stability[0].p999_max_us = 60_000.0;
+        let outcome = compare(&old, &wiggle, 1.0);
+        assert!(outcome.passed(), "{}", outcome.text);
+
+        // A report without the stability section still compares (the
+        // old entry shows up as unmatched, which is not a failure).
+        let mut bare = old.clone();
+        bare.stability.clear();
+        let outcome = compare(&old, &bare, 1.0);
+        assert!(outcome.passed());
+        assert_eq!(outcome.unmatched, 1);
+        assert!(outcome.text.contains("stability"));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! The stability cell end to end, including the admission kill-test:
+//! disabling the slowdown ramp (the ablation shim) must reproduce the
+//! watchdog-detected stall cliff under the stability workload, and
+//! re-enabling it must make the hard stalls (mostly) vanish.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use bench::stability::{run_stability, StabilityConfig};
+use bench::suite::SuiteReport;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stability-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Short windows so a couple of seconds yields a real series.
+fn quick(admission: bool) -> StabilityConfig {
+    let mut cfg = StabilityConfig::new(true, admission);
+    cfg.seconds = 2.5;
+    cfg.window = Duration::from_millis(500);
+    cfg
+}
+
+#[test]
+fn stability_cell_emits_time_series_and_summary() {
+    let dir = scratch("series");
+    let result = run_stability(&quick(true), &dir).unwrap();
+    assert_eq!(result.id, "stability.write-100.t4.admission-on");
+    assert!(result.admission);
+    assert!(result.ops > 0);
+    assert!(result.kops_per_sec > 0.0);
+    assert!(
+        result.throughput_kops.len() >= 3,
+        "expected >=3 windows, got {:?}",
+        result.throughput_kops
+    );
+    assert_eq!(result.throughput_kops.len(), result.p999_us.len());
+    assert!(result.throughput_cv.is_finite() && result.throughput_cv >= 0.0);
+    assert!((0.0..=1.0 + 1e-9).contains(&result.worst_window_frac));
+    assert!(result.p999_max_us >= result.p999_us.iter().cloned().fold(0.0, f64::max));
+    // The cell is sized to pressure the store: the ramp must have
+    // actually charged delays (otherwise it measures nothing).
+    assert!(result.delayed_writes > 0, "ramp never engaged");
+
+    // The result round-trips through the versioned artifact.
+    let mut report = SuiteReport {
+        label: "t".into(),
+        mode: "smoke".into(),
+        seconds: 0.0,
+        key_space: 0,
+        env: bench::suite::EnvFingerprint::current(),
+        cells: vec![],
+        stability: vec![result],
+    };
+    let parsed = SuiteReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed.stability, report.stability);
+    report.stability.clear();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The kill-test: the shim that disables the slowdown ramp brings the
+/// §5.3 cliff back — writers slam into the memtable-full stall and the
+/// watchdog flags the episodes — while the ramp-enabled run absorbs
+/// the same pressure as graduated delays with fewer hard stalls.
+#[test]
+fn admission_ablation_reproduces_watchdog_detected_cliff_stalls() {
+    let dir = scratch("kill");
+    let off = run_stability(&quick(false), &dir).unwrap();
+    let on = run_stability(&quick(true), &dir).unwrap();
+
+    // Ablation: the cliff is real and the watchdog saw it.
+    assert!(
+        off.hard_stalls > 0,
+        "ablation never hit the stall cliff (hard_stalls=0)"
+    );
+    assert_eq!(off.write_stalls, off.hard_stalls);
+    assert!(
+        off.stall_events > 0,
+        "watchdog missed the cliff ({} hard stalls)",
+        off.hard_stalls
+    );
+    // The shim really disabled the ramp.
+    assert_eq!(off.delayed_writes, 0);
+
+    // Graduated admission turns the cliff into delays: fewer hard
+    // stalls, and the ramp visibly engaged.
+    assert!(on.delayed_writes > 0, "ramp never engaged");
+    assert!(
+        on.hard_stalls < off.hard_stalls,
+        "ramp did not reduce hard stalls: on={} off={}",
+        on.hard_stalls,
+        off.hard_stalls
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -31,6 +31,8 @@ pub struct Sut {
 pub const SYSTEMS: &[&str] = &[
     "clsm",
     "clsm-nogc",
+    "clsm-tiered",
+    "clsm-hybrid",
     "clsm-sharded-2",
     "clsm-sharded-4",
     "clsm-sharded-8",
@@ -44,7 +46,14 @@ pub const SYSTEMS: &[&str] = &[
 
 /// Systems that support crash-reopen checking (the fault-injecting
 /// [`FaultEnv`] plumbs through their `Options`).
-pub const CRASH_SYSTEMS: &[&str] = &["clsm", "clsm-nogc", "clsm-sharded-2", "clsm-sharded-4"];
+pub const CRASH_SYSTEMS: &[&str] = &[
+    "clsm",
+    "clsm-nogc",
+    "clsm-tiered",
+    "clsm-hybrid",
+    "clsm-sharded-2",
+    "clsm-sharded-4",
+];
 
 fn test_options() -> Options {
     let mut opts = Options::small_for_tests();
@@ -66,11 +75,19 @@ pub fn open_sut_with(name: &str, dir: &Path, env: Option<Arc<dyn Env>>, sync: bo
     }
     opts.sync_writes = sync;
 
-    if name == "clsm" || name == "clsm-nogc" {
+    if matches!(name, "clsm" | "clsm-nogc" | "clsm-tiered" | "clsm-hybrid") {
         // `clsm-nogc`: the group-commit-off ablation — same store, the
         // per-writer commit paths instead of the leader pipeline. Kept
         // in the matrix so both sides of the ablation stay correct.
+        // `clsm-tiered` / `clsm-hybrid`: the alternative compaction
+        // scheduling policies — history checking must hold whatever
+        // shape the background merges take.
         opts.group_commit = name != "clsm-nogc";
+        opts.store.compaction_policy = match name {
+            "clsm-tiered" => clsm::CompactionPolicyKind::Tiered,
+            "clsm-hybrid" => clsm::CompactionPolicyKind::HybridPartial,
+            _ => clsm::CompactionPolicyKind::Leveled,
+        };
         let db = Arc::new(opts.open(dir)?);
         let chaos_db = Arc::clone(&db);
         let tick = std::sync::atomic::AtomicU64::new(0);

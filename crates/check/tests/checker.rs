@@ -64,6 +64,15 @@ fn clean_sharded_passes_seeded_schedules() {
 }
 
 #[test]
+fn clean_tiered_and_hybrid_policies_pass_seeded_schedules() {
+    // The alternative compaction scheduling policies must preserve the
+    // same observable history — backgrounds merges of any shape are
+    // invisible to clients.
+    check_clean("clsm-tiered", 20..22);
+    check_clean("clsm-hybrid", 22..24);
+}
+
+#[test]
 fn clean_baselines_pass_a_schedule() {
     // One seed each: the full sweep lives in the clsm-check binary and
     // the CI matrix; this keeps `cargo test` bounded.

@@ -1,0 +1,218 @@
+//! Graduated write admission: the stall-aware replacement for the
+//! §5.3 cliff.
+//!
+//! The paper's write stall is all-or-nothing: writers run at full
+//! speed until `Pm` fills while `P'm` is still merging, then block
+//! outright. "On Performance Stability in LSM-based Storage Systems"
+//! (Luo & Carey) shows that exactly this shape produces throughput
+//! sawtooths and p999 spikes, and that a *graduated* slowdown removes
+//! them; bLSM's spring-and-gear throttle (reproduced in
+//! `baselines::blsm_like`) is the primitive form of the idea.
+//!
+//! This module computes a **debt** signal in `[0, ∞)` from three
+//! inputs —
+//!
+//! 1. memtable fill fraction (`Pm` bytes / `memtable_bytes`),
+//! 2. L0 file count against [`AdmissionOptions::l0_slowdown_files`],
+//! 3. the pending-flush flag (`P'm` present), which shrinks the
+//!    remaining cushion and therefore *amplifies* the memtable term —
+//!
+//! and maps it through a proportional delay ramp:
+//!
+//! ```text
+//! delay
+//!   ^
+//! max_delay ············································╭────────
+//!   |                                                  /
+//!   |                                                 /   hard
+//!   |                                                /    stall
+//!   |                                               /     beyond
+//!   0 ──────────────────────────────────────────────      (§5.3)
+//!     0              low_watermark       high_watermark   debt →
+//! ```
+//!
+//! Below the low watermark writes are untouched. Between the
+//! watermarks each write pays a delay growing linearly to
+//! [`AdmissionOptions::max_delay`]. The hard stall still exists — a
+//! full memtable with a merge in flight physically cannot accept
+//! writes — but with the ramp active, writers are slowed *before* the
+//! cliff, the flush wins the race, and the stall never engages (the
+//! `admission.hard_stalls` counter is the proof either way).
+
+use std::time::Duration;
+
+/// Configuration of the graduated admission controller
+/// (field of [`crate::Options`]).
+#[derive(Debug, Clone)]
+pub struct AdmissionOptions {
+    /// Run the delay ramp (default `true`). Off, only the §5.3 hard
+    /// stall remains — the ablation baseline, and what the admission
+    /// kill-test runs to reproduce the cliff.
+    pub enabled: bool,
+    /// Debt below this → no delay (default 0.7).
+    pub low_watermark: f64,
+    /// Debt at/above this → the full [`Self::max_delay`] per write
+    /// (default 0.95); between the watermarks the delay ramps
+    /// linearly.
+    pub high_watermark: f64,
+    /// Per-write delay at the high watermark (default 1 ms — two
+    /// orders of magnitude below a typical flush, so the ramp slows
+    /// writers without ever looking like a stall itself).
+    pub max_delay: Duration,
+    /// L0 file count that alone counts as debt 1.0 (default 8 =
+    /// twice the default `l0_compaction_trigger`: compaction debt
+    /// becomes admission debt only once compaction is clearly
+    /// behind).
+    pub l0_slowdown_files: usize,
+}
+
+impl Default for AdmissionOptions {
+    fn default() -> Self {
+        AdmissionOptions {
+            enabled: true,
+            low_watermark: 0.7,
+            high_watermark: 0.95,
+            max_delay: Duration::from_millis(1),
+            l0_slowdown_files: 8,
+        }
+    }
+}
+
+/// Extra memtable-fill debt charged while a flush is in flight: the
+/// cushion between "memtable full" and "writers blocked" is gone, so
+/// the same fill fraction is more urgent.
+pub(crate) const PENDING_FLUSH_DEBT: f64 = 0.15;
+
+impl AdmissionOptions {
+    /// Combines the raw signals into the debt scalar.
+    pub fn debt(&self, memtable_fill: f64, l0_files: usize, flush_pending: bool) -> f64 {
+        let mem = if flush_pending {
+            memtable_fill + PENDING_FLUSH_DEBT
+        } else {
+            memtable_fill
+        };
+        let l0 = if self.l0_slowdown_files == 0 {
+            0.0
+        } else {
+            l0_files as f64 / self.l0_slowdown_files as f64
+        };
+        mem.max(l0)
+    }
+
+    /// The per-write delay the ramp prescribes at `debt`.
+    pub fn delay_for(&self, debt: f64) -> Duration {
+        if !self.enabled || debt <= self.low_watermark {
+            return Duration::ZERO;
+        }
+        if debt >= self.high_watermark {
+            return self.max_delay;
+        }
+        let span = self.high_watermark - self.low_watermark;
+        if span <= 0.0 {
+            return self.max_delay;
+        }
+        self.max_delay.mul_f64((debt - self.low_watermark) / span)
+    }
+}
+
+/// A point-in-time view of the admission ladder, for `clsm-doctor`.
+#[derive(Debug, Clone)]
+pub struct AdmissionState {
+    /// Whether the delay ramp is active.
+    pub enabled: bool,
+    /// Current combined debt.
+    pub debt: f64,
+    /// The delay the ramp would charge a write right now.
+    pub current_delay: Duration,
+    /// Configured low watermark.
+    pub low_watermark: f64,
+    /// Configured high watermark.
+    pub high_watermark: f64,
+    /// Writes delayed by the ramp so far (`admission.delayed_writes`).
+    pub delayed_writes: u64,
+    /// Total ramp delay charged so far (`admission.delay_ns`).
+    pub delay_ns: u64,
+    /// Writes that hit the §5.3 hard stall (`admission.hard_stalls`).
+    pub hard_stalls: u64,
+}
+
+impl AdmissionState {
+    /// The rung of the ladder the controller currently sits on.
+    pub fn ladder_rung(&self) -> &'static str {
+        if !self.enabled {
+            "disabled"
+        } else if self.debt >= self.high_watermark {
+            "stall"
+        } else if self.debt > self.low_watermark {
+            "slowdown"
+        } else {
+            "open"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_is_zero_below_low_watermark() {
+        let a = AdmissionOptions::default();
+        assert_eq!(a.delay_for(0.0), Duration::ZERO);
+        assert_eq!(a.delay_for(a.low_watermark), Duration::ZERO);
+    }
+
+    #[test]
+    fn ramp_is_proportional_between_watermarks() {
+        let a = AdmissionOptions {
+            low_watermark: 0.5,
+            high_watermark: 1.0,
+            max_delay: Duration::from_millis(10),
+            ..Default::default()
+        };
+        assert_eq!(a.delay_for(0.75), Duration::from_millis(5));
+        assert_eq!(a.delay_for(1.0), Duration::from_millis(10));
+        assert_eq!(a.delay_for(2.0), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn disabled_ramp_never_delays() {
+        let a = AdmissionOptions {
+            enabled: false,
+            ..Default::default()
+        };
+        assert_eq!(a.delay_for(10.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn debt_takes_the_worst_signal() {
+        let a = AdmissionOptions {
+            l0_slowdown_files: 8,
+            ..Default::default()
+        };
+        // Memtable dominates.
+        assert!((a.debt(0.9, 0, false) - 0.9).abs() < 1e-9);
+        // L0 dominates: 12 files / 8 = 1.5.
+        assert!((a.debt(0.1, 12, false) - 1.5).abs() < 1e-9);
+        // Pending flush amplifies the memtable term.
+        assert!((a.debt(0.9, 0, true) - (0.9 + PENDING_FLUSH_DEBT)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ladder_rungs() {
+        let mk = |debt: f64, enabled: bool| AdmissionState {
+            enabled,
+            debt,
+            current_delay: Duration::ZERO,
+            low_watermark: 0.7,
+            high_watermark: 0.95,
+            delayed_writes: 0,
+            delay_ns: 0,
+            hard_stalls: 0,
+        };
+        assert_eq!(mk(0.2, true).ladder_rung(), "open");
+        assert_eq!(mk(0.8, true).ladder_rung(), "slowdown");
+        assert_eq!(mk(1.2, true).ladder_rung(), "stall");
+        assert_eq!(mk(1.2, false).ladder_rung(), "disabled");
+    }
+}

@@ -376,7 +376,7 @@ impl Db {
         disable_wal: bool,
     ) -> Result<()> {
         let inner = &self.inner;
-        inner.stall_if_needed();
+        inner.admit_write();
         let wp = inner.write_path();
 
         {
@@ -467,7 +467,7 @@ impl Db {
         disable_wal: bool,
     ) -> Result<()> {
         let inner = &self.inner;
-        inner.stall_if_needed();
+        inner.admit_write();
         let wp = inner.write_path();
         let logged;
         {
@@ -826,8 +826,73 @@ impl DbInner {
         }
     }
 
+    /// Combined admission debt right now (see
+    /// [`crate::AdmissionOptions::debt`]): memtable fill fraction
+    /// (amplified while a flush is in flight) vs. L0 file count.
+    pub(crate) fn admission_debt(&self) -> f64 {
+        let fill = self.pm.load().memory_usage() as f64 / self.opts.memtable_bytes as f64;
+        let l0_files = self.store.current_version().num_files(0);
+        let flush_pending =
+            self.flush_pending.load(Ordering::Acquire) || self.pm_prev.load().is_some();
+        self.opts.admission.debt(fill, l0_files, flush_pending)
+    }
+
+    /// The admission ladder's current position plus its lifetime
+    /// counters, for `clsm-doctor`.
+    pub(crate) fn admission_state(&self) -> crate::admission::AdmissionState {
+        let debt = self.admission_debt();
+        let a = &self.opts.admission;
+        crate::admission::AdmissionState {
+            enabled: a.enabled,
+            debt,
+            current_delay: a.delay_for(debt),
+            low_watermark: a.low_watermark,
+            high_watermark: a.high_watermark,
+            delayed_writes: self.metrics.admission_delayed_writes.get(),
+            delay_ns: self.metrics.admission_delay_ns.get(),
+            hard_stalls: self.metrics.admission_hard_stalls.get(),
+        }
+    }
+
+    /// Graduated write admission: the entry gate every write path runs
+    /// before touching the memtable.
+    ///
+    /// Replaces the §5.3 all-or-nothing stall with a two-step ladder:
+    /// first the proportional delay ramp (debt between the watermarks
+    /// charges each write a sub-millisecond sleep, slowing the
+    /// aggregate ingest rate so the flush catches up *before* the
+    /// memtable fills), then — only if the cliff is reached anyway —
+    /// the hard stall. On the open rung (low debt, no full memtable)
+    /// this is three relaxed loads and no clock read.
+    pub(crate) fn admit_write(&self) {
+        let delay = if self.opts.admission.enabled {
+            self.opts.admission.delay_for(self.admission_debt())
+        } else {
+            std::time::Duration::ZERO
+        };
+        if delay.is_zero()
+            && (self.pm.load().memory_usage() < self.opts.memtable_bytes
+                || self.pm_prev.load().is_none())
+        {
+            return;
+        }
+        let began = Instant::now();
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+            self.metrics.admission_delayed_writes.inc();
+            self.metrics
+                .admission_delay_ns
+                .add(u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX));
+        }
+        self.stall_if_needed();
+        if let Some(wp) = self.write_path() {
+            wp.rec_admission(u64::try_from(began.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
     /// Write stall (§5.3): when `Cm` is full while `C'm` is still being
-    /// merged, client writes wait for the merge to finish.
+    /// merged, client writes wait for the merge to finish. The ladder's
+    /// last rung — with the ramp on, a write should rarely get here.
     pub(crate) fn stall_if_needed(&self) {
         let mut stalled_at: Option<Instant> = None;
         let mut stall_span = None;
@@ -840,15 +905,19 @@ impl DbInner {
                 stalled_at = Some(Instant::now());
                 stall_span = Some(T_WRITE_STALL.span());
                 self.metrics.write_stalls.inc();
+                self.metrics.admission_hard_stalls.inc();
             }
             let mut guard = self.work_mutex.lock();
-            // Re-check under the lock to avoid missing the wakeup.
+            // Re-check under the lock to avoid missing the wakeup: the
+            // flush worker notifies `work_cv` under `work_mutex` after
+            // every flush attempt (success or error), and `Drop` sets
+            // `shutdown` before notifying under the same mutex — so a
+            // plain wait (no timed backstop) cannot hang.
             if self.pm.load().memory_usage() >= self.opts.memtable_bytes
                 && self.pm_prev.load().is_some()
                 && !self.shutdown.load(Ordering::Acquire)
             {
-                self.work_cv
-                    .wait_for(&mut guard, std::time::Duration::from_millis(100));
+                self.work_cv.wait(&mut guard);
             }
             if self.shutdown.load(Ordering::Acquire) {
                 break;
@@ -963,6 +1032,13 @@ fn flush_worker(inner: Arc<DbInner>) {
                 // `compact_to_quiescence` / next sync. Back off to
                 // avoid a hot error loop.
                 std::thread::sleep(std::time::Duration::from_millis(10));
+                // A mid-flush failure can leave `P'm` parked. Stalled
+                // writers wait (untimed) for that flush to finish, so
+                // keep retrying rather than going back to sleep with
+                // `flush_pending` cleared.
+                if inner.pm_prev.load().is_some() && !inner.shutdown.load(Ordering::Acquire) {
+                    continue;
+                }
             }
         }
         inner.flush_pending.store(false, Ordering::Release);

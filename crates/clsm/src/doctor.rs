@@ -9,7 +9,9 @@
 use std::time::Duration;
 
 use clsm_util::metrics::MetricsSnapshot;
+use clsm_util::ratelimit::IoRateLimiterStats;
 
+use crate::admission::AdmissionState;
 use crate::db::Db;
 use crate::watchdog::{StallEvent, StallKind};
 use crate::write_report::WritePathReport;
@@ -66,6 +68,14 @@ pub struct DoctorReport {
     /// Whether the group-commit pipeline is enabled
     /// ([`crate::Options::group_commit`]).
     pub group_commit: bool,
+    /// Stable name of the compaction scheduling policy
+    /// ([`crate::CompactionPolicyKind::name`]).
+    pub compaction_policy: &'static str,
+    /// I/O rate-limiter budget and consumption: `(bytes_per_sec,
+    /// burst_bytes, stats)`, or `None` when writes are unthrottled.
+    pub io_rate_limit: Option<(u64, u64, IoRateLimiterStats)>,
+    /// The graduated admission ladder's position and lifetime counters.
+    pub admission: AdmissionState,
     /// Commit-mode distribution, group-size stats, and (when
     /// [`crate::Options::write_path_attribution`] is on) per-stage
     /// write latency, extracted from the metrics snapshot.
@@ -105,6 +115,13 @@ impl Db {
             wal_queue_depth: inner.store.wal_queue_depth(),
             stall_events: self.stall_events(),
             group_commit: inner.opts.group_commit,
+            compaction_policy: inner.store.compaction_policy().name(),
+            io_rate_limit: inner
+                .store
+                .io_rate_limiter()
+                .filter(|l| !l.is_unlimited())
+                .map(|l| (l.bytes_per_sec(), l.burst_bytes(), l.stats())),
+            admission: inner.admission_state(),
             write_path: WritePathReport::from_snapshot(&self.metrics()),
         }
     }
@@ -181,6 +198,37 @@ impl DoctorReport {
             "group commit: {}",
             if self.group_commit { "on" } else { "off" }
         );
+        let _ = writeln!(out, "compaction policy: {}", self.compaction_policy);
+        match &self.io_rate_limit {
+            Some((bps, burst, stats)) => {
+                let _ = writeln!(
+                    out,
+                    "io rate limit: {bps} B/s (burst {burst} B); consumed \
+                     high={} low={} throttle waits={} ({:.1?})",
+                    stats.consumed_high,
+                    stats.consumed_low,
+                    stats.throttle_waits,
+                    Duration::from_nanos(stats.throttle_wait_ns)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "io rate limit: unlimited");
+            }
+        }
+        let a = &self.admission;
+        let _ = writeln!(
+            out,
+            "admission: {} (debt {:.2}, delay {:.1?}; watermarks {:.2}/{:.2}) \
+             delayed={} delay={:.1?} hard stalls={}",
+            a.ladder_rung(),
+            a.debt,
+            a.current_delay,
+            a.low_watermark,
+            a.high_watermark,
+            a.delayed_writes,
+            Duration::from_nanos(a.delay_ns),
+            a.hard_stalls
+        );
         out.push_str(&self.write_path.render());
         if self.stall_events.is_empty() {
             let _ = writeln!(out, "watchdog: no stall events");
@@ -215,12 +263,14 @@ impl DoctorReport {
 /// (pairs with [`watch_dashboard_line`]).
 pub fn watch_dashboard_header() -> String {
     format!(
-        "{:>10} {:>10} {:>9} {:>8} {:>8} {:>12} {:>11} {:>6} {:>8}",
+        "{:>10} {:>10} {:>9} {:>8} {:>8} {:>9} {:>9} {:>12} {:>11} {:>6} {:>8}",
         "puts/s",
         "gets/s",
         "groups/s",
         "avg-grp",
         "wdraw/s",
+        "delayed/s",
+        "hstalls/s",
         "p99-wr(us)",
         "p99-rd(us)",
         "flush",
@@ -262,12 +312,14 @@ pub fn watch_dashboard_line(
             .unwrap_or(0.0)
     };
     format!(
-        "{:>10.0} {:>10.0} {:>9.0} {:>8.1} {:>8.0} {:>12.1} {:>11.1} {:>6} {:>8}",
+        "{:>10.0} {:>10.0} {:>9.0} {:>8.1} {:>8.0} {:>9.0} {:>9.0} {:>12.1} {:>11.1} {:>6} {:>8}",
         rate("db.puts"),
         rate("db.gets"),
         groups as f64 / secs,
         avg_grp,
         rate("db.commit.withdrawn"),
+        rate("admission.delayed_writes"),
+        rate("admission.hard_stalls"),
         p99_us("write_path.total_ns"),
         p99_us("op.get.latency_ns"),
         delta("db.flushes"),

@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod batch;
 mod db;
 mod doctor;
@@ -60,6 +61,7 @@ mod watchdog;
 mod write;
 mod write_report;
 
+pub use admission::{AdmissionOptions, AdmissionState};
 pub use batch::{WriteBatch, WriteOptions};
 pub use db::Db;
 pub use doctor::{watch_dashboard_header, watch_dashboard_line, DoctorReport, LevelGeometry};
@@ -76,4 +78,6 @@ pub use write_report::{WritePathReport, WriteStage, WRITE_PATH_STAGES};
 pub use clsm_kv::{KvSnapshot, KvStore, ScanRange};
 pub use clsm_util::error::{Error, Result};
 pub use clsm_util::metrics::{HistogramSummary, MetricsSnapshot};
+pub use clsm_util::ratelimit::{IoRateLimiter, IoRateLimiterStats};
+pub use lsm_storage::compaction::CompactionPolicyKind;
 pub use lsm_storage::store::RecoveryReport;

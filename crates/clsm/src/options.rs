@@ -4,8 +4,11 @@ use std::path::Path;
 use std::sync::Arc;
 
 use clsm_util::env::Env;
+use clsm_util::ratelimit::IoRateLimiter;
+use lsm_storage::compaction::CompactionPolicyKind;
 use lsm_storage::StoreOptions;
 
+use crate::admission::AdmissionOptions;
 use crate::mem_component::MemtableKind;
 use crate::watchdog::WatchdogOptions;
 
@@ -93,6 +96,10 @@ pub struct Options {
     /// Stall-watchdog configuration (sampling thread flagging write
     /// stalls, long exclusive-lock holds, and Active-set pressure).
     pub watchdog: WatchdogOptions,
+    /// Graduated write-admission configuration (the delay ramp that
+    /// replaces the §5.3 all-or-nothing stall; see
+    /// [`crate::AdmissionOptions`]).
+    pub admission: AdmissionOptions,
     /// Disk substrate tuning.
     pub store: StoreOptions,
 }
@@ -110,6 +117,7 @@ impl Default for Options {
             shards: 1,
             memtable_kind: MemtableKind::default(),
             watchdog: WatchdogOptions::default(),
+            admission: AdmissionOptions::default(),
             store: StoreOptions::default(),
         }
     }
@@ -160,6 +168,23 @@ impl Options {
             return Err(Error::invalid_argument(
                 "watchdog.history must be nonzero when the watchdog is enabled",
             ));
+        }
+        if self.admission.enabled {
+            let a = &self.admission;
+            if !a.low_watermark.is_finite()
+                || !a.high_watermark.is_finite()
+                || a.low_watermark < 0.0
+                || a.high_watermark <= a.low_watermark
+            {
+                return Err(Error::invalid_argument(
+                    "admission watermarks must satisfy 0 <= low < high",
+                ));
+            }
+            if a.max_delay.is_zero() {
+                return Err(Error::invalid_argument(
+                    "admission.max_delay must be nonzero when admission is enabled",
+                ));
+            }
         }
         Ok(())
     }
@@ -313,9 +338,37 @@ impl OptionsBuilder {
         self
     }
 
+    /// Graduated write-admission configuration (delay ramp between the
+    /// watermarks instead of the §5.3 cliff).
+    pub fn admission(mut self, admission: AdmissionOptions) -> Self {
+        self.opts.admission = admission;
+        self
+    }
+
     /// Disk substrate tuning.
     pub fn store(mut self, store: StoreOptions) -> Self {
         self.opts.store = store;
+        self
+    }
+
+    /// Compaction scheduling policy of the disk substrate (leveled,
+    /// tiered, or hybrid-partial; see
+    /// [`lsm_storage::compaction::CompactionPolicyKind`]).
+    pub fn compaction_policy(mut self, kind: CompactionPolicyKind) -> Self {
+        self.opts.store.compaction_policy = kind;
+        self
+    }
+
+    /// Caps background + foreground file-write bandwidth with a shared
+    /// token bucket (`bytes_per_sec`, refilled up to `burst_bytes`;
+    /// flush and WAL traffic outranks compaction). `0` bytes/sec
+    /// removes the limit.
+    pub fn io_rate_limit(mut self, bytes_per_sec: u64, burst_bytes: u64) -> Self {
+        self.opts.store.io_rate_limiter = if bytes_per_sec == 0 {
+            None
+        } else {
+            Some(Arc::new(IoRateLimiter::new(bytes_per_sec, burst_bytes)))
+        };
         self
     }
 
@@ -375,6 +428,47 @@ mod tests {
         assert!(Options::builder().memtable_bytes(16).build().is_err());
         assert!(Options::builder().active_slots(0).build().is_err());
         assert!(Options::builder().compaction_threads(0).build().is_err());
+        assert!(Options::builder()
+            .admission(AdmissionOptions {
+                low_watermark: 0.9,
+                high_watermark: 0.5,
+                ..Default::default()
+            })
+            .build()
+            .is_err());
+        assert!(Options::builder()
+            .admission(AdmissionOptions {
+                max_delay: std::time::Duration::ZERO,
+                ..Default::default()
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_selects_policy_admission_and_rate_limit() {
+        let opts = Options::builder()
+            .compaction_policy(CompactionPolicyKind::Tiered)
+            .io_rate_limit(8 << 20, 1 << 20)
+            .admission(AdmissionOptions {
+                low_watermark: 0.5,
+                high_watermark: 0.9,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(opts.store.compaction_policy, CompactionPolicyKind::Tiered);
+        let limiter = opts.store.io_rate_limiter.as_ref().unwrap();
+        assert_eq!(limiter.bytes_per_sec(), 8 << 20);
+        assert_eq!(opts.admission.low_watermark, 0.5);
+
+        // Zero bytes/sec removes the limit.
+        let opts = Options::builder()
+            .io_rate_limit(8 << 20, 0)
+            .io_rate_limit(0, 0)
+            .build()
+            .unwrap();
+        assert!(opts.store.io_rate_limiter.is_none());
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl Db {
             return Err(Error::invalid_argument("empty keys are not supported"));
         }
         let began = Instant::now();
-        inner.stall_if_needed();
+        inner.admit_write();
 
         // Algorithm 3 line 2/16: the whole operation runs under the
         // shared lock, so the component pointers cannot swing between

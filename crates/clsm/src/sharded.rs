@@ -422,10 +422,11 @@ impl ShardedDb {
                 .push((key, value));
         }
 
-        // Stall checks happen before any lock is held: a stalled shard
-        // waits on its flush, which needs that shard's exclusive lock.
+        // Admission checks happen before any lock is held: a stalled
+        // shard waits on its flush, which needs that shard's exclusive
+        // lock.
         for &s in per_shard.keys() {
-            self.shards[s].inner().stall_if_needed();
+            self.shards[s].inner().admit_write();
         }
 
         // Attribution for the cross-shard path lands on the first

@@ -20,6 +20,7 @@ use clsm_util::trace::TraceId;
 mod stage_trace {
     use super::TraceId;
 
+    pub static ADMISSION: TraceId = TraceId::new("clsm.write.admission");
     pub static QUEUE_WAIT: TraceId = TraceId::new("clsm.write.queue_wait");
     pub static STAMP: TraceId = TraceId::new("clsm.write.stamp");
     pub static MEMTABLE: TraceId = TraceId::new("clsm.write.memtable");
@@ -64,6 +65,15 @@ pub(crate) struct DbMetrics {
     /// Total nanoseconds writers spent stalled on a full memtable.
     pub write_stall_ns: Arc<Counter>,
 
+    // -- graduated admission (the delay ramp before the hard stall) --
+    /// Writes charged a nonzero ramp delay.
+    pub admission_delayed_writes: Arc<Counter>,
+    /// Total ramp delay charged, in nanoseconds.
+    pub admission_delay_ns: Arc<Counter>,
+    /// Writes that still hit the §5.3 hard stall (memtable full with a
+    /// flush in flight). Zero under a healthy ramp.
+    pub admission_hard_stalls: Arc<Counter>,
+
     /// Write-path latency attribution (stage histograms and
     /// commit-mode distribution counters).
     pub write_path: WritePathMetrics,
@@ -88,6 +98,10 @@ pub(crate) struct DbMetrics {
 /// `durable` only for sync writes.
 #[derive(Debug)]
 pub(crate) struct WritePathMetrics {
+    /// Admission-controller hold (ramp delay + any hard stall) before
+    /// the write enters the pipeline. Zero-delay admissions are not
+    /// recorded, so the count doubles as "writes touched by admission".
+    pub admission: Arc<ConcurrentHistogram>,
     /// Request push → leader claim (per pipelined request).
     pub queue_wait: Arc<ConcurrentHistogram>,
     /// Timestamp-block / per-op timestamp acquisition.
@@ -129,6 +143,7 @@ pub(crate) struct WritePathMetrics {
 impl WritePathMetrics {
     fn new(registry: &MetricsRegistry) -> Self {
         WritePathMetrics {
+            admission: registry.histogram("write_path.admission_ns"),
             queue_wait: registry.histogram("write_path.queue_wait_ns"),
             stamp: registry.histogram("write_path.stamp_ns"),
             memtable: registry.histogram("write_path.memtable_ns"),
@@ -148,6 +163,12 @@ impl WritePathMetrics {
     }
 
     /// Records one stage sample and mirrors it to the flight recorder.
+    pub fn rec_admission(&self, ns: u64) {
+        self.admission.record(ns);
+        stage_trace::ADMISSION.instant(ns);
+    }
+
+    /// See [`rec_admission`](Self::rec_admission).
     pub fn rec_queue_wait(&self, ns: u64) {
         self.queue_wait.record(ns);
         stage_trace::QUEUE_WAIT.instant(ns);
@@ -218,6 +239,9 @@ impl DbMetrics {
             snapshot_latency: registry.histogram("op.snapshot.latency_ns"),
             scan_latency: registry.histogram("op.scan.latency_ns"),
             write_stall_ns: registry.counter("db.write_stall_ns"),
+            admission_delayed_writes: registry.counter("admission.delayed_writes"),
+            admission_delay_ns: registry.counter("admission.delay_ns"),
+            admission_hard_stalls: registry.counter("admission.hard_stalls"),
             write_path: WritePathMetrics::new(&registry),
             registry,
         }

@@ -2,10 +2,16 @@
 //! pathologies the paper's evaluation warns about and surfaces them as
 //! structured events.
 //!
-//! Three detectors run on every sample:
+//! Four detectors run on every sample:
 //!
 //! - **Write stall** (§5.3): `Pm` is full while `P'm` is still being
 //!   merged, so client writes are blocked behind the flush.
+//! - **Sustained slowdown**: the graduated admission ramp (see
+//!   [`crate::AdmissionOptions`]) has been charging writers delays for
+//!   several consecutive samples. Deliberately distinct from the stall
+//!   detector: a slowdown episode means backpressure is *working*
+//!   (writers throttled, no cliff), a stall episode means it wasn't
+//!   enough.
 //! - **Exclusive hold**: the shared-exclusive lock has been held in
 //!   exclusive mode longer than a threshold. `beforeMerge`/`afterMerge`
 //!   are supposed to be "a few pointer swings" (§3.1); a long hold
@@ -37,6 +43,7 @@ use crate::db::{Db, DbInner};
 /// Flight-recorder instants, one per detector; the argument carries the
 /// episode magnitude (ns held, memtable bytes, Active-set size).
 static T_WRITE_STALL: TraceId = TraceId::new("watchdog.write_stall");
+static T_SUSTAINED_SLOWDOWN: TraceId = TraceId::new("watchdog.sustained_slowdown");
 static T_EXCL_HOLD: TraceId = TraceId::new("watchdog.exclusive_hold");
 static T_ACTIVE_PRESSURE: TraceId = TraceId::new("watchdog.active_set_pressure");
 
@@ -46,6 +53,9 @@ pub enum StallKind {
     /// Writes are stalled: memtable full while the previous one is
     /// still being merged (§5.3).
     WriteStall,
+    /// The admission ramp charged writers delays for at least
+    /// [`WatchdogOptions::slowdown_windows`] consecutive samples.
+    SustainedSlowdown,
     /// The shared-exclusive lock was held exclusively for longer than
     /// [`WatchdogOptions::exclusive_hold_threshold`].
     ExclusiveHold,
@@ -58,6 +68,7 @@ impl std::fmt::Display for StallKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
             StallKind::WriteStall => "write-stall",
+            StallKind::SustainedSlowdown => "sustained-slowdown",
             StallKind::ExclusiveHold => "exclusive-hold",
             StallKind::ActiveSetPressure => "active-set-pressure",
         };
@@ -98,6 +109,10 @@ pub struct WatchdogOptions {
     /// [`crate::Options::active_slots`] (default 256), ¾ full is the
     /// default alarm line.
     pub active_set_threshold: usize,
+    /// How many consecutive samples with ramp-delay growth make a
+    /// [`StallKind::SustainedSlowdown`] episode. At the default 10 ms
+    /// interval, 3 means "admission has been throttling for ≥ 30 ms".
+    pub slowdown_windows: usize,
     /// How many recent events [`Db::stall_events`] retains.
     pub history: usize,
 }
@@ -109,6 +124,7 @@ impl Default for WatchdogOptions {
             interval: Duration::from_millis(10),
             exclusive_hold_threshold: Duration::from_millis(5),
             active_set_threshold: 192,
+            slowdown_windows: 3,
             history: 64,
         }
     }
@@ -122,6 +138,7 @@ pub(crate) struct Watchdog {
     /// `watchdog.stall_events` — all kinds combined.
     total: Arc<Counter>,
     write_stalls: Arc<Counter>,
+    sustained_slowdowns: Arc<Counter>,
     exclusive_holds: Arc<Counter>,
     active_pressure: Arc<Counter>,
 }
@@ -133,6 +150,7 @@ impl Watchdog {
             recent: Mutex::new(VecDeque::with_capacity(opts.history.min(1024))),
             total: registry.counter("watchdog.stall_events"),
             write_stalls: registry.counter("watchdog.write_stall_events"),
+            sustained_slowdowns: registry.counter("watchdog.sustained_slowdown_events"),
             exclusive_holds: registry.counter("watchdog.exclusive_hold_events"),
             active_pressure: registry.counter("watchdog.active_set_pressure_events"),
             opts,
@@ -146,6 +164,10 @@ impl Watchdog {
             StallKind::WriteStall => {
                 self.write_stalls.inc();
                 T_WRITE_STALL.instant(magnitude);
+            }
+            StallKind::SustainedSlowdown => {
+                self.sustained_slowdowns.inc();
+                T_SUSTAINED_SLOWDOWN.instant(magnitude);
             }
             StallKind::ExclusiveHold => {
                 self.exclusive_holds.inc();
@@ -189,6 +211,14 @@ struct DetectorState {
     write_stalls_seen: u64,
     /// The pressure condition held at the previous sample.
     active_pressure_active: bool,
+    /// Baseline of `admission.delay_ns` at the previous sample.
+    admission_delay_seen: u64,
+    /// `admission.delay_ns` where the current slowdown run began.
+    slowdown_episode_base: u64,
+    /// Consecutive samples (so far) with ramp-delay growth.
+    slowdown_samples: usize,
+    /// The current slowdown run was already reported.
+    slowdown_active: bool,
 }
 
 /// The sampling loop; runs on the `clsm-watchdog` thread until
@@ -201,6 +231,7 @@ pub(crate) fn watchdog_worker(inner: Arc<DbInner>) {
         .max(Duration::from_micros(100));
     let mut state = DetectorState {
         write_stalls_seen: inner.metrics.write_stalls.get(),
+        admission_delay_seen: inner.metrics.admission_delay_ns.get(),
         ..DetectorState::default()
     };
     let mut slept = Duration::ZERO;
@@ -218,7 +249,7 @@ pub(crate) fn watchdog_worker(inner: Arc<DbInner>) {
     }
 }
 
-/// One watchdog sample: run all three detectors.
+/// One watchdog sample: run all four detectors.
 fn sample(inner: &DbInner, state: &mut DetectorState) {
     let wd = &inner.watchdog;
     let opts = &wd.opts;
@@ -268,7 +299,39 @@ fn sample(inner: &DbInner, state: &mut DetectorState) {
     state.write_stall_active = condition;
     state.write_stalls_seen = stalls_now;
 
-    // Detector 3: Active-set growth (stuck or very slow writers make
+    // Detector 3: sustained slowdown — the admission ramp charged
+    // writers delays across several consecutive samples. Fed by the
+    // `admission.delay_ns` counter rather than the instantaneous debt,
+    // so a steady trickle of throttled writes is what triggers it (a
+    // single delayed write between two samples is not an episode).
+    let delay_ns_now = inner.metrics.admission_delay_ns.get();
+    if delay_ns_now > state.admission_delay_seen {
+        if state.slowdown_samples == 0 {
+            state.slowdown_episode_base = state.admission_delay_seen;
+        }
+        state.slowdown_samples += 1;
+    } else {
+        state.slowdown_samples = 0;
+        state.slowdown_active = false;
+    }
+    state.admission_delay_seen = delay_ns_now;
+    if state.slowdown_samples >= opts.slowdown_windows.max(1) && !state.slowdown_active {
+        state.slowdown_active = true;
+        let charged_ns = delay_ns_now - state.slowdown_episode_base;
+        wd.report(
+            StallKind::SustainedSlowdown,
+            charged_ns,
+            format!(
+                "admission ramp throttling writers for {} consecutive samples \
+                 ({:.1?} of delay charged; debt {:.2})",
+                state.slowdown_samples,
+                Duration::from_nanos(charged_ns),
+                inner.admission_debt()
+            ),
+        );
+    }
+
+    // Detector 4: Active-set growth (stuck or very slow writers make
     // `getSnap` wait on an old minimum, §3.2). When the oracle is
     // shared across shards this is oracle-wide state, so only the
     // primary shard's watchdog reports it — otherwise one episode

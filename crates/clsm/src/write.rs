@@ -376,9 +376,9 @@ fn commit_group(inner: &DbInner, mut group: Vec<Claimed>) -> Vec<Claimed> {
     let mut total: u64 = group.iter().map(|(_, ops)| ops.len() as u64).sum();
     let _span = T_COMMIT_LEADER.span_with(total);
     // One admission check for the whole group (the stall-aware
-    // scheduling seam: the leader is the single point where a stalled
-    // store backpressures every queued writer at once).
-    inner.stall_if_needed();
+    // scheduling seam: the leader is the single point where a slowed
+    // or stalled store backpressures every queued writer at once).
+    inner.admit_write();
 
     let any_multi = group.iter().any(|(_, ops)| ops.len() > 1);
     let mut leftover: Vec<Claimed> = Vec::new();

@@ -10,11 +10,13 @@
 use clsm_util::metrics::{HistogramSummary, MetricsSnapshot};
 
 /// The write-path stages in pipeline order: `(short name, metric
-/// name)`. A given write visits a subset — `queue_wait`/`wake` exist
-/// only for pipelined requests, `durable` only for sync writes, and
-/// group stages are recorded once per committed group — so per-stage
-/// counts legitimately differ.
+/// name)`. A given write visits a subset — `admission` exists only for
+/// writes the admission ramp delayed (or hard-stalled),
+/// `queue_wait`/`wake` only for pipelined requests, `durable` only for
+/// sync writes, and group stages are recorded once per committed
+/// group — so per-stage counts legitimately differ.
 pub const WRITE_PATH_STAGES: &[(&str, &str)] = &[
+    ("admission", "write_path.admission_ns"),
     ("queue_wait", "write_path.queue_wait_ns"),
     ("stamp", "write_path.stamp_ns"),
     ("memtable", "write_path.memtable_ns"),

@@ -1,0 +1,196 @@
+//! Graduated-admission integration tests: the delay ramp, the hard
+//! stall's untimed wakeup, the watchdog's sustained-slowdown detector,
+//! and the doctor lines that report all of it.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use clsm::{AdmissionOptions, Db, Options, StallKind, WatchdogOptions};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clsm-admission-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn counter(db: &Db, name: &str) -> u64 {
+    db.metrics().counters.get(name).copied().unwrap_or(0)
+}
+
+/// The §5.3 hard stall with the ramp disabled (the ablation shim):
+/// writers must stall — and every stalled writer must wake again off
+/// the flush's notification, not a timer. The stall wait has no timed
+/// backstop anymore, so a missed wakeup would turn this test into a
+/// hang; the deadline below is what catches that.
+#[test]
+fn stalled_writer_wakes_on_flush_completion_not_a_timer() {
+    let dir = scratch("hard-stall-wake");
+    let mut opts = Options::small_for_tests();
+    opts.admission = AdmissionOptions {
+        enabled: false,
+        ..AdmissionOptions::default()
+    };
+    let db = std::sync::Arc::new(Db::open(&dir, opts).unwrap());
+
+    let writer = {
+        let db = std::sync::Arc::clone(&db);
+        std::thread::spawn(move || {
+            let value = vec![0u8; 512];
+            for i in 0..8192u32 {
+                db.put(format!("wake.{i:08}").as_bytes(), &value).unwrap();
+            }
+        })
+    };
+
+    // A hung writer (missed wakeup) would block the join forever; give
+    // the workload a generous-but-finite budget instead.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !writer.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "writer hung in the untimed stall wait — wakeup was missed"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    writer.join().unwrap();
+
+    let stalls = db.stats().write_stalls;
+    assert!(stalls > 0, "workload never hit the hard stall");
+    assert_eq!(counter(&db, "admission.hard_stalls"), stalls);
+    // Wakes ride the flush's notify: the average stall must be on the
+    // order of one small flush, far below the removed 100 ms tick.
+    let stall_ns = counter(&db, "db.write_stall_ns");
+    assert!(
+        stall_ns / stalls < Duration::from_secs(5).as_nanos() as u64,
+        "average stall {}ns looks timer-paced, not flush-paced",
+        stall_ns / stalls
+    );
+    // With the ramp disabled, no write may be charged a slowdown delay.
+    assert_eq!(counter(&db, "admission.delayed_writes"), 0);
+
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With an aggressive ramp the controller charges delays once debt
+/// crosses the low watermark, records them in the `admission.*`
+/// counters and the `write_path.admission_ns` stage, and the watchdog
+/// flags the episode as a sustained slowdown (not a stall).
+#[test]
+fn ramp_delays_are_counted_and_flagged_as_sustained_slowdown() {
+    let dir = scratch("ramp");
+    let mut opts = Options::small_for_tests();
+    // Low watermarks so the ramp engages early and often.
+    opts.admission = AdmissionOptions {
+        enabled: true,
+        low_watermark: 0.05,
+        high_watermark: 0.5,
+        max_delay: Duration::from_millis(2),
+        l0_slowdown_files: 2,
+    };
+    opts.watchdog = WatchdogOptions {
+        enabled: true,
+        interval: Duration::from_millis(1),
+        slowdown_windows: 2,
+        ..WatchdogOptions::default()
+    };
+    let db = Db::open(&dir, opts).unwrap();
+
+    let value = vec![0u8; 512];
+    for i in 0..2048u32 {
+        db.put(format!("ramp.{i:08}").as_bytes(), &value).unwrap();
+    }
+
+    let delayed = counter(&db, "admission.delayed_writes");
+    let delay_ns = counter(&db, "admission.delay_ns");
+    assert!(delayed > 0, "ramp never engaged");
+    assert!(delay_ns > 0);
+    let snap = db.metrics();
+    let admission_stage = snap
+        .histograms
+        .get("write_path.admission_ns")
+        .expect("admission stage histogram missing");
+    assert!(admission_stage.count > 0);
+
+    // The sampler saw consecutive delay growth and reported one (or
+    // more) sustained-slowdown episodes.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let slowdowns = db
+            .stall_events()
+            .iter()
+            .filter(|e| e.kind == StallKind::SustainedSlowdown)
+            .count();
+        if slowdowns > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watchdog never flagged the sustained slowdown"
+        );
+        // Keep the ramp charging so the detector sees growth.
+        db.put(b"ramp.more", &value).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(counter(&db, "watchdog.sustained_slowdown_events") > 0);
+
+    // The write-path report now leads with the admission stage.
+    let report = db.write_path_report();
+    assert!(report.stages.iter().any(|s| s.name == "admission"));
+
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The doctor report carries the policy, limiter, and admission-ladder
+/// lines in greppable form.
+#[test]
+fn doctor_reports_policy_limiter_and_admission_ladder() {
+    let dir = scratch("doctor");
+    let opts = Options::builder()
+        .memtable_bytes(64 * 1024)
+        .compaction_policy(clsm::CompactionPolicyKind::HybridPartial)
+        .io_rate_limit(64 << 20, 8 << 20)
+        .build()
+        .unwrap();
+    let db = Db::open(&dir, opts).unwrap();
+    let value = vec![0u8; 512];
+    for i in 0..1024u32 {
+        db.put(format!("doc.{i:08}").as_bytes(), &value).unwrap();
+    }
+    db.compact_to_quiescence().unwrap();
+
+    let report = db.doctor();
+    assert_eq!(report.compaction_policy, "hybrid-partial");
+    let (bps, burst, stats) = report.io_rate_limit.as_ref().expect("limiter missing");
+    assert_eq!(*bps, 64 << 20);
+    assert_eq!(*burst, 8 << 20);
+    // Flushes and WAL preallocation charge the high-priority lane.
+    assert!(stats.consumed_high > 0, "limiter saw no flush traffic");
+
+    let text = report.render();
+    assert!(text.contains("compaction policy: hybrid-partial"), "{text}");
+    assert!(text.contains("io rate limit:"), "{text}");
+    assert!(text.contains("admission:"), "{text}");
+    assert!(text.contains("hard stalls="), "{text}");
+
+    // An unlimited database renders the unlimited line.
+    let dir2 = scratch("doctor-unlimited");
+    let db2 = Db::open(&dir2, Options::small_for_tests()).unwrap();
+    let text2 = db2.doctor().render();
+    assert!(text2.contains("compaction policy: leveled"), "{text2}");
+    assert!(text2.contains("io rate limit: unlimited"), "{text2}");
+
+    drop(db);
+    drop(db2);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+/// The `--watch` dashboard exposes the admission rates as columns.
+#[test]
+fn watch_dashboard_has_admission_columns() {
+    let header = clsm::watch_dashboard_header();
+    assert!(header.contains("delayed/s"), "{header}");
+    assert!(header.contains("hstalls/s"), "{header}");
+}

@@ -9,10 +9,16 @@
 //! snapshot's timestamp is kept" (we use the conservative
 //! oldest-snapshot rule, as LevelDB does).
 
+pub mod policy;
+
+pub use policy::{CompactionPolicy, CompactionPolicyKind, HybridPartial, Leveled, Tiered};
+
 use std::path::Path;
 use std::sync::Arc;
 
+use clsm_util::env::WritableFile;
 use clsm_util::error::Result;
+use clsm_util::ratelimit::{IoPriority, RateLimitedFile};
 
 use crate::cache::TableCache;
 use crate::filenames;
@@ -20,7 +26,9 @@ use crate::format::InternalKey;
 use crate::iter::{InternalIterator, MergingIterator};
 use crate::sstable::TableBuilder;
 use crate::store::StoreOptions;
-use crate::version::{CompactionClaim, FileMeta, LevelIter, NewFile, Version, VersionEdit};
+use crate::version::{
+    ClaimSignal, CompactionClaim, FileMeta, LevelIter, NewFile, Version, VersionEdit,
+};
 
 /// A picked compaction: inputs at `level` and overlapping files at
 /// `level + 1`, exclusively claimed.
@@ -33,6 +41,14 @@ pub struct CompactionTask {
     pub parent: Vec<Arc<FileMeta>>,
     /// RAII claim marking every input `being_compacted`.
     _claim: CompactionClaim,
+}
+
+impl CompactionTask {
+    /// Makes this task's claim notify `signal` when released —
+    /// success or error unwind alike, via the claim's `Drop`.
+    pub fn attach_release_signal(&mut self, signal: Arc<ClaimSignal>) {
+        self._claim.attach_release_signal(signal);
+    }
 }
 
 impl std::fmt::Debug for CompactionTask {
@@ -317,7 +333,20 @@ pub fn write_merged_tables(
             if builder.is_none() {
                 let number = alloc_file_number();
                 let path = filenames::table_path(dir, number);
-                let file = opts.env.open_write(&path)?;
+                let mut file: Box<dyn WritableFile> = opts.env.open_write(&path)?;
+                // Charge background bytes at the Env write seam: a
+                // flush (output level 0) unblocks foreground writers,
+                // so it outranks compaction rewrites in the bucket.
+                if let Some(limiter) = &opts.io_rate_limiter {
+                    if !limiter.is_unlimited() {
+                        let prio = if output_level == 0 {
+                            IoPriority::High
+                        } else {
+                            IoPriority::Low
+                        };
+                        file = Box::new(RateLimitedFile::new(file, Arc::clone(limiter), prio));
+                    }
+                }
                 builder = Some((
                     number,
                     TableBuilder::new(file, opts.block_size, opts.bloom_bits_per_key),

@@ -14,11 +14,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use clsm_util::env::{Env, RealEnv};
 use clsm_util::error::{Error, Result};
 use clsm_util::metrics::{ConcurrentHistogram, Counter, MetricsRegistry};
+use clsm_util::ratelimit::{IoPriority, IoRateLimiter};
 use clsm_util::rcu::RcuCell;
 use clsm_util::trace::TraceId;
 
@@ -31,11 +32,17 @@ static T_COMPACTION: TraceId = TraceId::new("storage.compaction");
 static T_WAL_APPEND: TraceId = TraceId::new("storage.wal.append");
 static T_WAL_SYNC: TraceId = TraceId::new("storage.wal.sync");
 
+/// Bytes charged (at [`IoPriority::High`]) against the shared I/O
+/// budget when a new WAL file is created — the cost the OS pays
+/// allocating and zeroing the log head before appends can stream.
+const WAL_PREALLOC_CHARGE: u64 = 64 * 1024;
+
 use crate::cache::{BlockCache, TableCache};
-use crate::compaction;
+use crate::compaction::{self, CompactionPolicy, CompactionPolicyKind};
 use crate::filenames;
 use crate::format::{ValueKind, WriteRecord};
 use crate::iter::{BoxedIterator, InternalIterator};
+use crate::version::ClaimSignal;
 use crate::version::{Version, VersionEdit, VersionSet};
 use crate::wal::{LogQueue, LogReader, LogWriter, SyncMode};
 use crate::NUM_LEVELS;
@@ -65,6 +72,23 @@ pub struct StoreOptions {
     /// [`RealEnv`]; tests inject `clsm_util::env::FaultEnv` for
     /// deterministic crash injection.
     pub env: Arc<dyn Env>,
+    /// Which [`CompactionPolicy`] schedules background merges.
+    pub compaction_policy: CompactionPolicyKind,
+    /// Shared background-I/O budget charged by flushes, compactions,
+    /// and WAL pre-allocation at the [`Env`] write seam. `None` (the
+    /// default) means unlimited. Clone one `Arc` into several stores
+    /// (e.g. shards) to make them share a single device budget.
+    pub io_rate_limiter: Option<Arc<IoRateLimiter>>,
+}
+
+impl StoreOptions {
+    /// Installs a fresh token-bucket limiter (`bytes_per_sec` refill,
+    /// `burst_bytes` capacity; 0 bytes/sec removes the limit).
+    pub fn with_rate_limit(mut self, bytes_per_sec: u64, burst_bytes: u64) -> StoreOptions {
+        self.io_rate_limiter =
+            (bytes_per_sec > 0).then(|| Arc::new(IoRateLimiter::new(bytes_per_sec, burst_bytes)));
+        self
+    }
 }
 
 impl Default for StoreOptions {
@@ -80,6 +104,8 @@ impl Default for StoreOptions {
             num_levels: NUM_LEVELS,
             max_open_tables: 500,
             env: Arc::new(RealEnv),
+            compaction_policy: CompactionPolicyKind::default(),
+            io_rate_limiter: None,
         }
     }
 }
@@ -143,11 +169,14 @@ pub struct Store {
     /// [`Store::attach_metrics`]). Absent in standalone/test use; all
     /// recording sites are no-ops then.
     metrics: OnceLock<StoreMetrics>,
-    /// Signalled whenever a compaction retires (releasing its file
-    /// claims); `compact_range` waits here for claimed overlapping
-    /// files instead of spinning on `yield_now`.
-    claim_mutex: Mutex<()>,
-    claim_cv: Condvar,
+    /// Signalled whenever a compaction claim is released (every claim
+    /// carries it via `attach_release_signal`, so error unwinds notify
+    /// too); `compact_range` waits here for claimed overlapping files
+    /// with a plain `wait` — no timed-poll backstop needed.
+    claims: Arc<ClaimSignal>,
+    /// The scheduling policy picking background compactions
+    /// ([`StoreOptions::compaction_policy`], built at open).
+    policy: Box<dyn CompactionPolicy>,
     /// What the opening recovery pass saw (for `--crash-audit`).
     recovery_report: RecoveryReport,
 }
@@ -312,6 +341,7 @@ impl Store {
         let wal = LogQueue::start(LogWriter::new(wal_file));
 
         let current = RcuCell::new(versions.current());
+        let opts_policy = opts.compaction_policy;
         let store = Store {
             dir: dir.to_path_buf(),
             opts,
@@ -324,8 +354,8 @@ impl Store {
             bytes_flushed: AtomicU64::new(0),
             bytes_compacted: AtomicU64::new(0),
             metrics: OnceLock::new(),
-            claim_mutex: Mutex::new(()),
-            claim_cv: Condvar::new(),
+            claims: Arc::new(ClaimSignal::default()),
+            policy: opts_policy.build(),
             recovery_report: report.clone(),
         };
         Ok((
@@ -441,6 +471,13 @@ impl Store {
     /// swapped, so each memtable maps to a WAL prefix.
     pub fn rotate_wal(&self) -> Result<u64> {
         let number = self.versions.lock().new_file_number();
+        // Charge the new log's pre-allocation against the shared I/O
+        // budget at high priority: the rotation sits on the flush
+        // path, so it must outrank compaction traffic, never wait
+        // behind it.
+        if let Some(limiter) = &self.opts.io_rate_limiter {
+            limiter.acquire(WAL_PREALLOC_CHARGE, IoPriority::High);
+        }
         let file = self
             .opts
             .env
@@ -505,22 +542,35 @@ impl Store {
         Ok(())
     }
 
-    /// Returns `true` if some level's score is at or past its budget.
+    /// Returns `true` if some level's score is at or past its budget
+    /// under the configured [`CompactionPolicy`].
     pub fn needs_compaction(&self) -> bool {
         let v = self.current_version();
-        (0..self.opts.num_levels - 1).any(|l| compaction::level_score(&v, &self.opts, l) >= 1.0)
+        self.policy.needs_compaction(&v, &self.opts)
     }
 
-    /// Picks and runs one compaction if any level needs it.
+    /// The configured compaction scheduling policy.
+    pub fn compaction_policy(&self) -> CompactionPolicyKind {
+        self.policy.kind()
+    }
+
+    /// The shared background-I/O limiter, when one is configured.
+    pub fn io_rate_limiter(&self) -> Option<&Arc<IoRateLimiter>> {
+        self.opts.io_rate_limiter.as_ref()
+    }
+
+    /// Picks (via the configured policy) and runs one compaction if
+    /// any level needs it.
     ///
     /// Safe to call from several threads: file claims make concurrent
     /// compactions work on disjoint inputs (this is how the RocksDB
     /// baseline's multi-threaded compaction is modeled, §5.3).
     pub fn maybe_compact(&self, watermark: u64) -> Result<bool> {
         let version = self.current_version();
-        let Some(task) = compaction::pick(&version, &self.opts) else {
+        let Some(mut task) = self.policy.pick(&version, &self.opts) else {
             return Ok(false);
         };
+        task.attach_release_signal(Arc::clone(&self.claims));
         let _span = T_COMPACTION.span_with(task.level as u64);
         let start = Instant::now();
         let guard = PendingGuard::new(self);
@@ -543,21 +593,12 @@ impl Store {
         self.delete_obsolete_locked(&mut versions)?;
         drop(versions);
         drop(guard);
-        drop(task);
-        self.notify_claims_released();
+        drop(task); // claim Drop notifies `claims`
         if let Some(m) = self.metrics.get() {
             m.bytes_compacted.add(written);
             m.compaction_ns.record_duration(start.elapsed());
         }
         Ok(true)
-    }
-
-    /// Wakes threads waiting for compaction claims to free up. Called
-    /// after a compaction's claim guard is dropped; error unwinds skip
-    /// it, which the waiters' timed wait covers.
-    fn notify_claims_released(&self) {
-        let _g = self.claim_mutex.lock();
-        self.claim_cv.notify_all();
     }
 
     /// Runs obsolete-file deletion, sparing in-flight pending outputs.
@@ -594,34 +635,42 @@ impl Store {
         for level in 0..self.opts.num_levels - 1 {
             loop {
                 let version = self.current_version();
-                let Some(task) =
-                    compaction::pick_level_range(&version, &self.opts, level, start, end)
-                else {
-                    // Nothing overlapping at this level, or claimed by a
-                    // background compaction: if the level still has
-                    // overlapping files we must wait and retry, else we
-                    // move on.
-                    if version.overlapping_files(level, start, end).is_empty() {
-                        break;
+                let picked = compaction::pick_level_range(&version, &self.opts, level, start, end);
+                let mut task = match picked {
+                    Some(task) => task,
+                    None => {
+                        // Nothing overlapping at this level, or claimed
+                        // by a background compaction: if the level still
+                        // has overlapping files we must wait and retry,
+                        // else we move on.
+                        if version.overlapping_files(level, start, end).is_empty() {
+                            break;
+                        }
+                        // A background compaction holds the claim. Every
+                        // claim release notifies `claims` under its lock
+                        // (RAII, including error unwinds), so re-check
+                        // under that same lock and then wait untimed —
+                        // a release between our failed pick above and
+                        // the lock acquisition cannot be missed.
+                        let mut guard = self.claims.lock();
+                        let version = self.current_version();
+                        match compaction::pick_level_range(&version, &self.opts, level, start, end)
+                        {
+                            Some(task) => {
+                                drop(guard);
+                                task
+                            }
+                            None => {
+                                if version.overlapping_files(level, start, end).is_empty() {
+                                    break;
+                                }
+                                self.claims.wait(&mut guard);
+                                continue;
+                            }
+                        }
                     }
-                    // A background compaction holds the claim; sleep
-                    // until it signals completion (timed, as a backstop
-                    // for claims released on an error unwind).
-                    let mut guard = self.claim_mutex.lock();
-                    if compaction::pick_level_range(
-                        &self.current_version(),
-                        &self.opts,
-                        level,
-                        start,
-                        end,
-                    )
-                    .is_none()
-                    {
-                        self.claim_cv
-                            .wait_for(&mut guard, std::time::Duration::from_millis(5));
-                    }
-                    continue;
                 };
+                task.attach_release_signal(Arc::clone(&self.claims));
                 let _span = T_COMPACTION.span_with(task.level as u64);
                 let start = Instant::now();
                 let guard = PendingGuard::new(self);
@@ -644,8 +693,7 @@ impl Store {
                 self.delete_obsolete_locked(&mut versions)?;
                 drop(versions);
                 drop(guard);
-                drop(task);
-                self.notify_claims_released();
+                drop(task); // claim Drop notifies `claims`
                 if let Some(m) = self.metrics.get() {
                     m.bytes_compacted.add(written);
                     m.compaction_ns.record_duration(start.elapsed());

@@ -470,11 +470,46 @@ impl Drop for VersionSet {
     }
 }
 
+/// A condition variable claim-release waiters park on. The releasing
+/// side ([`CompactionClaim::drop`]) notifies under the same mutex the
+/// waiter re-checks its condition under, so a release between check
+/// and wait can never be missed — the reason `Store::compact_range`
+/// needs no timed-poll backstop.
+#[derive(Debug, Default)]
+pub struct ClaimSignal {
+    mutex: parking_lot::Mutex<()>,
+    cv: parking_lot::Condvar,
+}
+
+impl ClaimSignal {
+    /// Locks the signal; re-check the waited-on condition while
+    /// holding this guard, then [`wait`](Self::wait) on it.
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.mutex.lock()
+    }
+
+    /// Parks until the next claim release (no timeout: every release
+    /// path notifies, including error unwinds, via the claim's Drop).
+    pub fn wait(&self, guard: &mut parking_lot::MutexGuard<'_, ()>) {
+        self.cv.wait(guard);
+    }
+
+    /// Wakes every waiter. Takes the mutex internally so a notify
+    /// cannot slip between a waiter's condition check and its park.
+    pub fn notify_all(&self) {
+        let _g = self.mutex.lock();
+        self.cv.notify_all();
+    }
+}
+
 /// Marks compaction inputs; clears the flags when dropped (RAII guard
-/// so failed compactions release their claims).
+/// so failed compactions release their claims). When a [`ClaimSignal`]
+/// is attached, the drop also notifies it — on success *and* on error
+/// unwind — so claim waiters never need a timed poll.
 #[derive(Debug)]
 pub struct CompactionClaim {
     files: Vec<Arc<FileMeta>>,
+    signal: Option<Arc<ClaimSignal>>,
 }
 
 impl CompactionClaim {
@@ -490,7 +525,15 @@ impl CompactionClaim {
                 return None;
             }
         }
-        Some(CompactionClaim { files })
+        Some(CompactionClaim {
+            files,
+            signal: None,
+        })
+    }
+
+    /// Attaches the signal to notify when this claim is released.
+    pub fn attach_release_signal(&mut self, signal: Arc<ClaimSignal>) {
+        self.signal = Some(signal);
     }
 
     /// The claimed files.
@@ -503,6 +546,9 @@ impl Drop for CompactionClaim {
     fn drop(&mut self) {
         for f in &self.files {
             f.being_compacted.store(false, Ordering::Release);
+        }
+        if let Some(signal) = &self.signal {
+            signal.notify_all();
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod eventlog;
 pub mod histogram;
 pub mod metrics;
 pub mod oracle;
+pub mod ratelimit;
 pub mod rcu;
 pub mod shared_lock;
 pub mod trace;
