@@ -2,7 +2,7 @@
 //! artifact, with a built-in regression gate.
 //!
 //! ```text
-//! bench-suite [--smoke] [--label NAME] [--out DIR] [--data DIR]
+//! bench-suite [--smoke] [--net] [--label NAME] [--out DIR] [--data DIR]
 //!             [--seconds F] [--seed N] [--stability]
 //!             [--stability-ablation]
 //!             [--compare OLD.json] [--threshold F]
@@ -15,6 +15,11 @@
 //! `BENCH_<label>.json` into `--out`: throughput, latency percentiles,
 //! the per-stage write-path breakdown, commit-mode counts, and an
 //! environment fingerprint, under a versioned schema.
+//!
+//! `--net` appends the networked cells: the same store behind an
+//! embedded loopback `clsm-server`, driven through the pipelined
+//! client, so the reported throughput and latency percentiles are
+//! client-observed over TCP.
 //!
 //! `--stability` appends the long-run stability cell to the artifact:
 //! per-window throughput and p999 time series against an undersized,
@@ -60,12 +65,14 @@ fn run(argv: &[String]) -> Result<bool> {
     let mut threshold = 1.0f64;
     let mut stability = false;
     let mut stability_ablation = false;
+    let mut net = false;
 
     let mut iter = argv.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--full" => smoke = false,
+            "--net" => net = true,
             "--stability" => stability = true,
             "--stability-ablation" => {
                 stability = true;
@@ -136,6 +143,7 @@ fn run(argv: &[String]) -> Result<bool> {
     }
 
     let mut cfg = SuiteConfig::new(smoke, &label);
+    cfg.net = net;
     if let Some(s) = seconds {
         cfg.seconds = s;
     }
@@ -178,6 +186,12 @@ fn run(argv: &[String]) -> Result<bool> {
             cell.id, cell.kops_per_sec, cell.p50_us, cell.p99_us, cell.p999_us
         );
     }
+    for n in &report.net {
+        println!(
+            "  {:<28} {:>9.1} kops/s  p50={:<8.1} p99={:<8.1} p999={:.1} µs (client-observed)",
+            n.id, n.kops_per_sec, n.p50_us, n.p99_us, n.p999_us
+        );
+    }
     for s in &report.stability {
         println!(
             "  {:<36} {:>7.1} kops/s  cv={:.3} worst={:.2} p999max={:.0}µs \
@@ -209,7 +223,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: bench-suite [--smoke|--full] [--label NAME] [--out DIR] [--data DIR] \
+        "usage: bench-suite [--smoke|--full] [--net] [--label NAME] [--out DIR] [--data DIR] \
          [--seconds F] [--seed N] [--stability] [--stability-ablation] \
          [--compare OLD.json] [--threshold F]"
     );

@@ -21,6 +21,11 @@
 //!   artifact (the Chrome trace-format JSON written by the bench
 //!   binaries' `--trace` flag) and prints per-span duration
 //!   statistics, no running database required.
+//! - `clsm-doctor --connect HOST:PORT [--shutdown]` dials a running
+//!   `clsm-server` over the binary protocol, fetches its merged
+//!   metrics via the stats opcode (`net.*` counters, per-opcode
+//!   latency histograms, and the store's own registry), and prints
+//!   them. `--shutdown` then asks the server to exit cleanly.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -49,10 +54,20 @@ fn run(argv: &[String]) -> Result<()> {
     let mut crash_audit = false;
     let mut watch_ms: Option<u64> = None;
     let mut watch_count: Option<u64> = None;
+    let mut connect: Option<String> = None;
+    let mut shutdown = false;
 
     let mut iter = argv.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
+            "--connect" => {
+                connect = Some(
+                    iter.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--connect needs HOST:PORT")),
+                );
+            }
+            "--shutdown" => shutdown = true,
             "--replay" => {
                 replay = Some(PathBuf::from(
                     iter.next()
@@ -100,6 +115,15 @@ fn run(argv: &[String]) -> Result<()> {
         }
     }
 
+    if let Some(addr) = connect {
+        if dir.is_some() || replay.is_some() {
+            usage("--connect cannot be combined with <db-dir> or --replay");
+        }
+        return connect_server(&addr, shutdown);
+    }
+    if shutdown {
+        usage("--shutdown only makes sense with --connect");
+    }
     match (dir, replay) {
         (None, Some(trace)) => replay_trace(&trace),
         (Some(dir), None) if crash_audit => audit_db(&dir, shards),
@@ -107,8 +131,30 @@ fn run(argv: &[String]) -> Result<()> {
             Some(ms) => watch_db(&dir, populate, shards, ms, watch_count),
             None => examine_db(&dir, populate, shards),
         },
-        _ => usage("pass exactly one of <db-dir> or --replay FILE"),
+        _ => usage("pass exactly one of <db-dir>, --replay FILE, or --connect ADDR"),
     }
+}
+
+/// Dials a running `clsm-server`, prints the merged stats the server
+/// returns over the wire (net.* registry + store registry), and
+/// optionally asks it to shut down.
+fn connect_server(addr: &str, shutdown: bool) -> Result<()> {
+    let net = clsm_net::NetOptions::builder()
+        .addr(addr)
+        .connections(1)
+        .build()?;
+    let client = clsm_net::Client::connect(&net)?;
+    let mut out = String::new();
+    {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "== clsm-doctor connect: {addr} ==");
+    }
+    out.push_str(&client.stats_text()?);
+    if shutdown {
+        client.shutdown_server()?;
+        out.push_str("server shutdown requested: ok\n");
+    }
+    print_all(&out)
 }
 
 fn usage(msg: &str) -> ! {
@@ -120,6 +166,7 @@ fn usage(msg: &str) -> ! {
          [--watch MS [--watch-count N]]"
     );
     eprintln!("       clsm-doctor --replay <trace.json>");
+    eprintln!("       clsm-doctor --connect HOST:PORT [--shutdown]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 

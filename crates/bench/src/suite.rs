@@ -28,8 +28,9 @@ use crate::stability::StabilityResult;
 /// change; [`compare`] rejects mismatched versions outright.
 ///
 /// History: 1 = the original matrix-only schema; 2 added the
-/// `stability` section (per-window time series + variance summary).
-pub const SCHEMA_VERSION: u32 = 2;
+/// `stability` section (per-window time series + variance summary);
+/// 3 added the `net` section (client-observed loopback TCP cells).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One cell of the canonical matrix: a workload at a fixed
 /// configuration.
@@ -109,6 +110,8 @@ pub struct SuiteConfig {
     pub seed: u64,
     /// Distinct keys per cell.
     pub key_space: u64,
+    /// Also measure the networked (loopback TCP) cells.
+    pub net: bool,
 }
 
 impl SuiteConfig {
@@ -120,6 +123,97 @@ impl SuiteConfig {
             seconds: if smoke { 0.2 } else { 1.0 },
             seed: 0xc15a,
             key_space: if smoke { 20_000 } else { 60_000 },
+            net: false,
+        }
+    }
+}
+
+/// One networked cell: the same store behind `clsm-server` on
+/// loopback, driven through the pipelined client, so every latency in
+/// the histogram is **client-observed** (client queueing + wire +
+/// server coalescing + store).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetCellSpec {
+    /// Workload name (`write-100` or `mixed-50-50`).
+    pub workload: &'static str,
+    /// Client worker threads driving the remote store.
+    pub threads: usize,
+    /// TCP connections in the client pool.
+    pub connections: usize,
+    /// Per-connection pipeline depth.
+    pub pipeline_depth: usize,
+}
+
+impl NetCellSpec {
+    /// Stable cell identifier; [`compare`] matches net cells by this.
+    pub fn id(&self) -> String {
+        format!(
+            "net.{}.t{}.c{}.d{}",
+            self.workload, self.threads, self.connections, self.pipeline_depth
+        )
+    }
+}
+
+/// The networked matrix. Smoke keeps one write and one mixed cell;
+/// the full matrix sweeps client threads on both workloads.
+pub fn net_matrix(smoke: bool) -> Vec<NetCellSpec> {
+    let threads: &[usize] = if smoke { &[4] } else { &[1, 2, 4, 8] };
+    let mut cells = Vec::new();
+    for &workload in &["write-100", "mixed-50-50"] {
+        for &t in threads {
+            cells.push(NetCellSpec {
+                workload,
+                threads: t,
+                connections: if smoke { 2 } else { 4 },
+                pipeline_depth: if smoke { 32 } else { 64 },
+            });
+        }
+    }
+    cells
+}
+
+/// One measured networked cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetCellResult {
+    /// Stable cell id ([`NetCellSpec::id`]).
+    pub id: String,
+    /// Workload name.
+    pub workload: String,
+    /// Client worker threads.
+    pub threads: usize,
+    /// TCP connections in the pool.
+    pub connections: usize,
+    /// Per-connection pipeline depth.
+    pub pipeline_depth: usize,
+    /// Completed operations.
+    pub ops: u64,
+    /// Measured wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Client-observed throughput, thousands of ops per second.
+    pub kops_per_sec: f64,
+    /// Client-observed median latency, microseconds.
+    pub p50_us: f64,
+    /// Client-observed 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Client-observed 99.9th-percentile latency, microseconds.
+    pub p999_us: f64,
+}
+
+impl NetCellResult {
+    /// Builds a net cell result from a finished run.
+    pub fn new(spec: &NetCellSpec, run: &RunResult) -> NetCellResult {
+        NetCellResult {
+            id: spec.id(),
+            workload: spec.workload.to_string(),
+            threads: spec.threads,
+            connections: spec.connections,
+            pipeline_depth: spec.pipeline_depth,
+            ops: run.ops,
+            elapsed_s: run.elapsed.as_secs_f64(),
+            kops_per_sec: run.ops_per_sec() / 1000.0,
+            p50_us: run.latency.percentile(50.0) as f64 / 1000.0,
+            p99_us: run.latency.percentile(99.0) as f64 / 1000.0,
+            p999_us: run.latency.percentile(99.9) as f64 / 1000.0,
         }
     }
 }
@@ -285,6 +379,9 @@ pub struct SuiteReport {
     pub env: EnvFingerprint,
     /// The measured cells, in matrix order.
     pub cells: Vec<CellResult>,
+    /// Networked (loopback TCP) cells (`--net`); empty when the run
+    /// measured only the in-process matrix.
+    pub net: Vec<NetCellResult>,
     /// Long-run stability cells (`--stability`); empty when the run
     /// measured only the matrix.
     pub stability: Vec<StabilityResult>,
@@ -330,6 +427,47 @@ pub fn run_cell(spec: &CellSpec, cfg: &SuiteConfig, data_dir: &Path) -> Result<C
     Ok(CellResult::new(spec, &run, &snapshot))
 }
 
+/// Runs one networked cell: a fresh store behind an embedded loopback
+/// server, prefilled locally (the wire measures the workload, not the
+/// prefill), then driven through the pipelined client.
+pub fn run_net_cell(
+    spec: &NetCellSpec,
+    cfg: &SuiteConfig,
+    data_dir: &Path,
+) -> Result<NetCellResult> {
+    let dir = data_dir.join(spec.id());
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    std::fs::create_dir_all(&dir)?;
+    let db: Arc<dyn KvStore> = Arc::new(clsm::Db::open(&dir, suite_store_options())?);
+    let workload = match spec.workload {
+        "mixed-50-50" => WorkloadSpec::mixed(cfg.key_space),
+        _ => WorkloadSpec::write_only(cfg.key_space),
+    };
+    prefill_store(db.as_ref(), &workload)?;
+    let net = clsm_net::NetOptions::builder()
+        .addr("127.0.0.1:0")
+        .workers(2)
+        .connections(spec.connections)
+        .pipeline_depth(spec.pipeline_depth)
+        .build()?;
+    let remote: Arc<dyn KvStore> = Arc::new(clsm_net::RemoteStore::with_embedded_server(db, &net)?);
+    let run = run_workload(
+        &remote,
+        &workload,
+        &RunConfig {
+            threads: spec.threads,
+            duration: Duration::from_secs_f64(cfg.seconds),
+            seed: cfg.seed,
+        },
+        Prefill::Skip,
+    )?;
+    drop(remote);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(NetCellResult::new(spec, &run))
+}
+
 /// Runs the whole matrix, with progress on stderr.
 pub fn run_suite(cfg: &SuiteConfig, data_dir: &Path) -> Result<SuiteReport> {
     let matrix = canonical_matrix(cfg.smoke);
@@ -348,6 +486,24 @@ pub fn run_suite(cfg: &SuiteConfig, data_dir: &Path) -> Result<SuiteReport> {
         );
         cells.push(cell);
     }
+    let mut net = Vec::new();
+    if cfg.net {
+        let net_cells = net_matrix(cfg.smoke);
+        for (i, spec) in net_cells.iter().enumerate() {
+            eprintln!(
+                "[bench-suite] net cell {}/{}: {}",
+                i + 1,
+                net_cells.len(),
+                spec.id()
+            );
+            let cell = run_net_cell(spec, cfg, data_dir)?;
+            eprintln!(
+                "[bench-suite]   {:.1} kops/s  p50={:.1}µs p999={:.1}µs (client-observed)",
+                cell.kops_per_sec, cell.p50_us, cell.p999_us
+            );
+            net.push(cell);
+        }
+    }
     Ok(SuiteReport {
         label: cfg.label.clone(),
         mode: if cfg.smoke { "smoke" } else { "full" }.to_string(),
@@ -355,6 +511,7 @@ pub fn run_suite(cfg: &SuiteConfig, data_dir: &Path) -> Result<SuiteReport> {
         key_space: cfg.key_space,
         env: EnvFingerprint::current(),
         cells,
+        net,
         stability: Vec::new(),
     })
 }
@@ -437,6 +594,24 @@ impl SuiteReport {
             } else {
                 "\n"
             });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"net\": [\n");
+        for (i, n) in self.net.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"id\": {},", json_str(&n.id));
+            let _ = writeln!(out, "      \"workload\": {},", json_str(&n.workload));
+            let _ = writeln!(out, "      \"threads\": {},", n.threads);
+            let _ = writeln!(out, "      \"connections\": {},", n.connections);
+            let _ = writeln!(out, "      \"pipeline_depth\": {},", n.pipeline_depth);
+            let _ = writeln!(out, "      \"ops\": {},", n.ops);
+            let _ = writeln!(out, "      \"elapsed_s\": {},", json_f64(n.elapsed_s));
+            let _ = writeln!(out, "      \"kops_per_sec\": {},", json_f64(n.kops_per_sec));
+            let _ = writeln!(out, "      \"p50_us\": {},", json_f64(n.p50_us));
+            let _ = writeln!(out, "      \"p99_us\": {},", json_f64(n.p99_us));
+            let _ = writeln!(out, "      \"p999_us\": {}", json_f64(n.p999_us));
+            out.push_str("    }");
+            out.push_str(if i + 1 < self.net.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ],\n");
         out.push_str("  \"stability\": [\n");
@@ -566,6 +741,22 @@ impl SuiteReport {
                 },
             });
         }
+        let mut net = Vec::new();
+        for n in root.get("net").and_then(Json::as_arr).unwrap_or(&[]) {
+            net.push(NetCellResult {
+                id: str_of(n, "id")?,
+                workload: str_of(n, "workload")?,
+                threads: num_of(n, "threads")? as usize,
+                connections: num_of(n, "connections")? as usize,
+                pipeline_depth: num_of(n, "pipeline_depth")? as usize,
+                ops: num_of(n, "ops")? as u64,
+                elapsed_s: num_of(n, "elapsed_s")?,
+                kops_per_sec: num_of(n, "kops_per_sec")?,
+                p50_us: num_of(n, "p50_us")?,
+                p99_us: num_of(n, "p99_us")?,
+                p999_us: num_of(n, "p999_us")?,
+            });
+        }
         let series_of = |j: &Json, key: &str| -> Vec<f64> {
             j.get(key)
                 .and_then(Json::as_arr)
@@ -606,6 +797,7 @@ impl SuiteReport {
                 debug: env.get("debug").and_then(Json::as_bool) == Some(true),
             },
             cells,
+            net,
             stability,
         })
     }
@@ -684,6 +876,31 @@ pub fn compare(old: &SuiteReport, new: &SuiteReport, threshold: f64) -> CompareO
             &metrics,
         );
     }
+    let new_net: BTreeMap<&str, &NetCellResult> =
+        new.net.iter().map(|n| (n.id.as_str(), n)).collect();
+    for old_n in &old.net {
+        let Some(new_n) = new_net.get(old_n.id.as_str()) else {
+            let _ = writeln!(text, "net {}: missing from new report", old_n.id);
+            unmatched += 1;
+            continue;
+        };
+        let _ = writeln!(text, "net {}", old_n.id);
+        // Client-observed latencies ride the loopback stack and are
+        // noisier than in-process ones; gate on the same trio the
+        // matrix uses (p999 is reported but not gated).
+        let metrics = [
+            ("kops_per_sec", old_n.kops_per_sec, new_n.kops_per_sec, true),
+            ("p50_us", old_n.p50_us, new_n.p50_us, false),
+            ("p99_us", old_n.p99_us, new_n.p99_us, false),
+        ];
+        compare_metrics(
+            &mut text,
+            &mut compared,
+            &mut regressions,
+            threshold,
+            &metrics,
+        );
+    }
     let new_stab: BTreeMap<&str, &StabilityResult> =
         new.stability.iter().map(|s| (s.id.as_str(), s)).collect();
     for old_s in &old.stability {
@@ -736,6 +953,14 @@ pub fn compare(old: &SuiteReport, new: &SuiteReport, threshold: f64) -> CompareO
     for extra in new_ids.difference(&old_ids) {
         let _ = writeln!(text, "cell {extra}: new (no baseline)");
         unmatched += 1;
+    }
+    let old_net_ids: std::collections::BTreeSet<&str> =
+        old.net.iter().map(|n| n.id.as_str()).collect();
+    for n in &new.net {
+        if !old_net_ids.contains(n.id.as_str()) {
+            let _ = writeln!(text, "net {}: new (no baseline)", n.id);
+            unmatched += 1;
+        }
     }
     let old_stab_ids: std::collections::BTreeSet<&str> =
         old.stability.iter().map(|s| s.id.as_str()).collect();
@@ -1120,6 +1345,19 @@ mod tests {
                     ..CommitModes::default()
                 },
             }],
+            net: vec![NetCellResult {
+                id: "net.mixed-50-50.t4.c2.d32".to_string(),
+                workload: "mixed-50-50".to_string(),
+                threads: 4,
+                connections: 2,
+                pipeline_depth: 32,
+                ops: 50_000,
+                elapsed_s: 0.2,
+                kops_per_sec: 250.0,
+                p50_us: 40.0,
+                p99_us: 250.0,
+                p999_us: 900.0,
+            }],
             stability: vec![StabilityResult {
                 id: "stability.write-100.t4.admission-on".to_string(),
                 admission: true,
@@ -1151,15 +1389,18 @@ mod tests {
     fn from_json_rejects_other_schema_versions() {
         let text = sample_report()
             .to_json()
-            .replace("\"schema_version\": 2", "\"schema_version\": 999");
+            .replace("\"schema_version\": 3", "\"schema_version\": 999");
         let err = SuiteReport::from_json(&text).unwrap_err();
         assert!(err.to_string().contains("schema_version"));
-        // Schema-1 artifacts (pre-stability) are rejected the same way:
-        // re-baseline, never silently compare across schemas.
-        let v1 = sample_report()
-            .to_json()
-            .replace("\"schema_version\": 2", "\"schema_version\": 1");
-        assert!(SuiteReport::from_json(&v1).is_err());
+        // Older artifacts (pre-stability, pre-net) are rejected the
+        // same way: re-baseline, never silently compare across schemas.
+        for old in ["1", "2"] {
+            let v = sample_report().to_json().replace(
+                "\"schema_version\": 3",
+                &format!("\"schema_version\": {old}"),
+            );
+            assert!(SuiteReport::from_json(&v).is_err());
+        }
     }
 
     #[test]
@@ -1193,6 +1434,43 @@ mod tests {
         let mut dip = old.clone();
         dip.cells[0].kops_per_sec *= 0.7;
         assert!(compare(&old, &dip, 1.0).passed());
+    }
+
+    #[test]
+    fn compare_gates_on_net_cells() {
+        let old = sample_report();
+
+        // A networked-throughput collapse fails the gate even when the
+        // in-process matrix is unchanged.
+        let mut slow = old.clone();
+        slow.net[0].kops_per_sec /= 4.0;
+        let outcome = compare(&old, &slow, 1.0);
+        assert!(!outcome.passed(), "{}", outcome.text);
+        assert!(outcome.text.contains("net net.mixed-50-50.t4.c2.d32"));
+
+        // Client-observed p99 blow-ups are caught too.
+        let mut spiky = old.clone();
+        spiky.net[0].p99_us *= 3.0;
+        assert!(!compare(&old, &spiky, 1.0).passed());
+
+        // A report without the net section still compares: the old
+        // entry is unmatched, not a failure.
+        let mut bare = old.clone();
+        bare.net.clear();
+        let outcome = compare(&old, &bare, 1.0);
+        assert!(outcome.passed());
+        assert!(outcome
+            .text
+            .contains("net net.mixed-50-50.t4.c2.d32: missing"));
+
+        // The smoke net matrix covers both workloads with >= 4 client
+        // threads and unique ids.
+        let matrix = net_matrix(true);
+        assert!(matrix.iter().any(|c| c.workload == "write-100"));
+        assert!(matrix.iter().any(|c| c.workload == "mixed-50-50"));
+        assert!(matrix.iter().all(|c| c.threads >= 4));
+        let ids: std::collections::BTreeSet<String> = matrix.iter().map(NetCellSpec::id).collect();
+        assert_eq!(ids.len(), matrix.len());
     }
 
     #[test]

@@ -43,6 +43,33 @@ macro_rules! declare_system {
 
 declare_system!(ClsmSystem, CLSM, "cLSM", Db);
 declare_system!(ClsmShardedSystem, CLSM_SHARDED, "cLSM-sharded", ShardedDb);
+
+/// The cLSM store behind an embedded loopback `clsm-server`, accessed
+/// through the pipelined TCP client: every measurement through this
+/// system is client-observed over the wire. The
+/// [`clsm_net::RemoteStore`] owns the server handle, so the server
+/// lives exactly as long as the returned store.
+struct ClsmNetSystem;
+
+impl System for ClsmNetSystem {
+    fn name(&self) -> &'static str {
+        "cLSM-net"
+    }
+
+    fn open(&self, dir: &Path, opts: Options) -> Result<Arc<dyn KvStore>> {
+        let db: Arc<dyn KvStore> = Arc::new(Db::open(dir, opts)?);
+        let net = clsm_net::NetOptions::builder()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .build()?;
+        Ok(Arc::new(clsm_net::RemoteStore::with_embedded_server(
+            db, &net,
+        )?))
+    }
+}
+
+/// The registry entry for the networked system.
+pub static CLSM_NET: &dyn System = &ClsmNetSystem;
 declare_system!(LevelDbSystem, LEVELDB, "LevelDB", LevelDbLike);
 declare_system!(HyperSystem, HYPER, "HyperLevelDB", HyperLike);
 declare_system!(RocksSystem, ROCKS, "rocksDB", RocksLike);
@@ -70,13 +97,14 @@ pub fn no_blsm_systems() -> &'static [&'static dyn System] {
 /// Every registered system, including ones outside the standard
 /// comparison sets.
 pub fn registry() -> &'static [&'static dyn System] {
-    static ALL: [&dyn System; 7] = [
+    static ALL: [&dyn System; 8] = [
         &RocksSystem,
         &BlsmSystem,
         &LevelDbSystem,
         &HyperSystem,
         &ClsmSystem,
         &ClsmShardedSystem,
+        &ClsmNetSystem,
         &StripedSystem,
     ];
     &ALL
@@ -119,6 +147,7 @@ mod tests {
     #[test]
     fn lookup_by_name_is_case_insensitive() {
         assert_eq!(system_by_name("clsm").unwrap().name(), "cLSM");
+        assert_eq!(system_by_name("clsm-net").unwrap().name(), "cLSM-net");
         assert_eq!(system_by_name("LEVELDB").unwrap().name(), "LevelDB");
         assert!(system_by_name("nonexistent").is_none());
     }

@@ -53,6 +53,7 @@ fn stability_cell_emits_time_series_and_summary() {
         key_space: 0,
         env: bench::suite::EnvFingerprint::current(),
         cells: vec![],
+        net: vec![],
         stability: vec![result],
     };
     let parsed = SuiteReport::from_json(&report.to_json()).unwrap();

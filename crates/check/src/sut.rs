@@ -36,6 +36,7 @@ pub const SYSTEMS: &[&str] = &[
     "clsm-sharded-2",
     "clsm-sharded-4",
     "clsm-sharded-8",
+    "clsm-net",
     "leveldb",
     "rocksdb",
     "blsm",
@@ -103,6 +104,30 @@ pub fn open_sut_with(name: &str, dir: &Path, env: Option<Arc<dyn Env>>, sync: bo
                     _ => {}
                 }
             })),
+        });
+    }
+    if name == "clsm-net" {
+        // The cLSM store behind an embedded loopback server, checked
+        // through the pipelined TCP client: the histories the driver
+        // records are client-observed over the wire, so the checker
+        // audits the whole protocol/coalescing/dispatch stack, not
+        // just the store. The RemoteStore owns the server handle —
+        // dropping the store shuts the server down. RMW needs a
+        // closure and cannot cross the wire; everything else can.
+        let db: Arc<dyn KvStore> = Arc::new(opts.open(dir)?);
+        let net = clsm_net::NetOptions::builder()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .connections(4)
+            .build()?;
+        let remote = clsm_net::RemoteStore::with_embedded_server(db, &net)?;
+        return Ok(Sut {
+            store: Arc::new(remote),
+            caps: SutCaps {
+                rmw: false,
+                ..SutCaps::full()
+            },
+            chaos: None,
         });
     }
     if let Some(shards) = name.strip_prefix("clsm-sharded-") {

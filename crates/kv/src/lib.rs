@@ -33,6 +33,7 @@ use std::ops::{Bound, RangeBounds};
 pub use clsm_util::error::{Error, Result};
 pub use clsm_util::metrics::MetricsSnapshot;
 
+pub mod api;
 pub mod record;
 mod write;
 

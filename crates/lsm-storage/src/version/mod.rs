@@ -217,8 +217,9 @@ impl VersionSet {
         let mut manifest_torn_at = None;
 
         if env.exists(&current_file) {
-            let name = String::from_utf8(env.read(&current_file)?)
-                .map_err(|_| Error::corruption("CURRENT is not valid UTF-8"))?;
+            let name = String::from_utf8(env.read(&current_file)?).map_err(|_| {
+                Error::manifest_corrupt(&current_file, "CURRENT is not valid UTF-8")
+            })?;
             let manifest_path = dir.join(name.trim());
             let mut reader = LogReader::with_path(env.open_read(&manifest_path)?, &manifest_path);
             let mut builder = Builder::new(Version::empty());
@@ -235,7 +236,14 @@ impl VersionSet {
                     }
                     Err(e) => return Err(e),
                 };
-                let edit = VersionEdit::decode(&record)?;
+                // An edit that fails to decode is manifest damage, not
+                // generic corruption: retag it with the file it came
+                // from so tooling can tell version-state damage from
+                // table damage.
+                let edit = VersionEdit::decode(&record).map_err(|e| match e {
+                    Error::Corruption(detail) => Error::manifest_corrupt(&manifest_path, detail),
+                    other => other,
+                })?;
                 if let Some(v) = edit.log_number {
                     log_number = v;
                 }

@@ -172,6 +172,56 @@ fn obsolete_deletion_spares_files_held_by_live_versions() {
 }
 
 #[test]
+fn manifest_damage_surfaces_as_typed_kind() {
+    use clsm_util::error::ErrorKind;
+
+    // Binary garbage in CURRENT: the open fails with ManifestCorrupt
+    // naming the CURRENT file, not a bare Corruption string.
+    let dir = tmpdir("bad-current");
+    {
+        let (_set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
+    }
+    std::fs::write(crate::filenames::current_path(&dir), [0xff, 0xfe, 0x00]).unwrap();
+    let err = VersionSet::open(Arc::new(RealEnv), &dir).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::ManifestCorrupt, "{err}");
+    assert!(err.to_string().contains("CURRENT"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // An undecodable edit record inside the manifest (intact framing,
+    // garbage payload) is retagged with the manifest path.
+    let dir = tmpdir("bad-edit-record");
+    {
+        let (_set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();
+    }
+    let current = std::fs::read_to_string(crate::filenames::current_path(&dir)).unwrap();
+    let manifest_path = dir.join(current.trim());
+    // Hand-frame a Full record (crc over type+payload, masked) and append
+    // it; the fresh manifest is far smaller than a block, so the framing
+    // is position-independent here.
+    let payload = [0xee_u8; 9];
+    let ty = crate::wal::RecordType::Full as u8;
+    let mut crc_val = clsm_util::crc::extend(0, &[ty]);
+    crc_val = clsm_util::crc::extend(crc_val, &payload);
+    let mut framed = Vec::new();
+    framed.extend_from_slice(&clsm_util::crc::mask(crc_val).to_le_bytes());
+    framed.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+    framed.push(ty);
+    framed.extend_from_slice(&payload);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&manifest_path)
+            .unwrap();
+        f.write_all(&framed).unwrap();
+    }
+    let err = VersionSet::open(Arc::new(RealEnv), &dir).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::ManifestCorrupt, "{err}");
+    assert!(err.to_string().contains("MANIFEST"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn bad_edit_is_rejected() {
     let dir = tmpdir("bad-edit");
     let (mut set, _) = VersionSet::open(Arc::new(RealEnv), &dir).unwrap();

@@ -1,0 +1,121 @@
+//! `clsm-server`: serves a cLSM store over the pipelined binary
+//! protocol until a client sends the shutdown opcode.
+//!
+//! ```text
+//! clsm-server --data DIR [--addr HOST:PORT] [--workers N]
+//!             [--max-connections N] [--max-frame-bytes N]
+//!             [--sync] [--small]
+//! ```
+//!
+//! Prints `clsm-server listening on <addr>` once ready (scripts wait
+//! for this line) and exits 0 after a clean shutdown.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use clsm::{Db, Options};
+use clsm_kv::KvStore;
+use clsm_net::{server, NetOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: clsm-server --data DIR [--addr HOST:PORT] [--workers N]\n\
+         \x20                [--max-connections N] [--max-frame-bytes N] [--sync] [--small]\n\
+         \n\
+         Serves a cLSM store at DIR over the clsm-net binary protocol.\n\
+         Port 0 picks a free port; the bound address is printed on startup.\n\
+         Shut down cleanly with: clsm-doctor --connect ADDR --shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let v = args.next().unwrap_or_else(|| {
+        eprintln!("clsm-server: {flag} needs a value");
+        usage();
+    });
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("clsm-server: bad value for {flag}: {v}");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let mut data: Option<std::path::PathBuf> = None;
+    let mut builder = NetOptions::builder().addr("127.0.0.1:7878");
+    let mut sync = false;
+    let mut small = false;
+
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--data" => {
+                data = Some(std::path::PathBuf::from(parse_flag::<String>(
+                    &mut args, "--data",
+                )))
+            }
+            "--addr" => builder = builder.addr(parse_flag::<String>(&mut args, "--addr")),
+            "--workers" => builder = builder.workers(parse_flag(&mut args, "--workers")),
+            "--max-connections" => {
+                builder = builder.max_connections(parse_flag(&mut args, "--max-connections"))
+            }
+            "--max-frame-bytes" => {
+                builder = builder.max_frame_bytes(parse_flag(&mut args, "--max-frame-bytes"))
+            }
+            "--sync" => sync = true,
+            "--small" => small = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("clsm-server: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let Some(data) = data else {
+        eprintln!("clsm-server: --data DIR is required");
+        usage();
+    };
+    let opts = match builder.build() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("clsm-server: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut db_opts = if small {
+        Options::small_for_tests()
+    } else {
+        Options::default()
+    };
+    db_opts.sync_writes = sync;
+    if let Err(e) = std::fs::create_dir_all(&data) {
+        eprintln!("clsm-server: cannot create {}: {e}", data.display());
+        return ExitCode::FAILURE;
+    }
+    let store: Arc<dyn KvStore> = match Db::open(&data, db_opts) {
+        Ok(db) => Arc::new(db),
+        Err(e) => {
+            eprintln!("clsm-server: cannot open store at {}: {e}", data.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let handle = match server::serve(store, &opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("clsm-server: cannot serve on {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("clsm-server listening on {}", handle.addr());
+    // Scripts parse the line above; make sure it is not stuck in a pipe
+    // buffer while we block in wait().
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    handle.wait();
+    println!("clsm-server shut down cleanly");
+    ExitCode::SUCCESS
+}

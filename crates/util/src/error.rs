@@ -32,12 +32,43 @@ pub enum Error {
         /// end at or before this offset were recovered intact.
         offset: u64,
     },
+    /// The manifest (or the `CURRENT` pointer naming it) failed
+    /// structural validation during open.
+    ///
+    /// Distinct from [`Error::Corruption`] so that tooling can tell
+    /// version-state damage (recoverable by manifest surgery or a
+    /// backup `CURRENT`) from table/block damage (data loss).
+    ManifestCorrupt {
+        /// The damaged manifest or `CURRENT` file.
+        file: PathBuf,
+        /// What failed to validate.
+        detail: String,
+    },
     /// The caller passed an argument the store cannot honor.
     InvalidArgument(String),
     /// An internal invariant was violated; indicates a bug.
     Internal(String),
     /// The database is shutting down and cannot accept the operation.
     ShuttingDown,
+    /// A network peer violated the wire protocol (bad frame length,
+    /// unknown opcode, malformed payload). The connection that
+    /// produced it is closed; other connections are unaffected.
+    Protocol(String),
+    /// An error reported by a remote server over the wire.
+    ///
+    /// Carries the remote error's [`ErrorKind`] (transported as its
+    /// stable [`ErrorKind::code`]), its rendered message, and whether
+    /// the remote side judged it retryable — [`Error::is_retryable`]
+    /// needs the original `io::ErrorKind`, which does not cross the
+    /// wire, so the verdict is computed server-side and shipped.
+    Remote {
+        /// The remote error's classification.
+        kind: ErrorKind,
+        /// The remote error's rendered message.
+        message: String,
+        /// The remote side's `is_retryable()` verdict.
+        retryable: bool,
+    },
 }
 
 /// Coarse classification of an [`Error`], for callers that dispatch on
@@ -50,12 +81,66 @@ pub enum ErrorKind {
     Corruption,
     /// Benign torn log tail ([`Error::WalTruncated`]).
     WalTruncated,
+    /// Manifest or `CURRENT` damage ([`Error::ManifestCorrupt`]).
+    ManifestCorrupt,
     /// Caller error ([`Error::InvalidArgument`]).
     InvalidArgument,
     /// Internal invariant violation ([`Error::Internal`]).
     Internal,
     /// Shutdown in progress ([`Error::ShuttingDown`]).
     ShuttingDown,
+    /// Wire-protocol violation ([`Error::Protocol`]).
+    Protocol,
+}
+
+impl ErrorKind {
+    /// Every kind, for exhaustive round-trip tests.
+    pub const ALL: &'static [ErrorKind] = &[
+        ErrorKind::Io,
+        ErrorKind::Corruption,
+        ErrorKind::WalTruncated,
+        ErrorKind::ManifestCorrupt,
+        ErrorKind::InvalidArgument,
+        ErrorKind::Internal,
+        ErrorKind::ShuttingDown,
+        ErrorKind::Protocol,
+    ];
+
+    /// The stable wire code for this kind.
+    ///
+    /// These codes are part of the network protocol: a server maps an
+    /// [`Error`] to `error.kind().code()` before shipping it, and the
+    /// client reconstructs the kind with [`ErrorKind::from_code`].
+    /// Codes are append-only — never renumber or reuse one.
+    pub fn code(self) -> u16 {
+        match self {
+            ErrorKind::Io => 1,
+            ErrorKind::Corruption => 2,
+            ErrorKind::WalTruncated => 3,
+            ErrorKind::InvalidArgument => 4,
+            ErrorKind::Internal => 5,
+            ErrorKind::ShuttingDown => 6,
+            ErrorKind::ManifestCorrupt => 7,
+            ErrorKind::Protocol => 8,
+        }
+    }
+
+    /// The kind a stable wire code names, if any ([`ErrorKind::code`]'s
+    /// inverse). Unknown codes — a newer peer's kinds — return `None`;
+    /// callers degrade them to [`ErrorKind::Internal`] or reject.
+    pub fn from_code(code: u16) -> Option<ErrorKind> {
+        match code {
+            1 => Some(ErrorKind::Io),
+            2 => Some(ErrorKind::Corruption),
+            3 => Some(ErrorKind::WalTruncated),
+            4 => Some(ErrorKind::InvalidArgument),
+            5 => Some(ErrorKind::Internal),
+            6 => Some(ErrorKind::ShuttingDown),
+            7 => Some(ErrorKind::ManifestCorrupt),
+            8 => Some(ErrorKind::Protocol),
+            _ => None,
+        }
+    }
 }
 
 impl Error {
@@ -82,15 +167,43 @@ impl Error {
         }
     }
 
+    /// Builds a manifest-damage error for `file`.
+    pub fn manifest_corrupt(file: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        Error::ManifestCorrupt {
+            file: file.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds a wire-protocol-violation error.
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        Error::Protocol(msg.into())
+    }
+
+    /// Reconstructs a remote error from its wire form: the stable kind
+    /// code ([`ErrorKind::code`]), the rendered message, and the remote
+    /// side's retryability verdict. Unknown codes degrade to
+    /// [`ErrorKind::Internal`] rather than failing the decode.
+    pub fn from_wire(code: u16, message: impl Into<String>, retryable: bool) -> Self {
+        Error::Remote {
+            kind: ErrorKind::from_code(code).unwrap_or(ErrorKind::Internal),
+            message: message.into(),
+            retryable,
+        }
+    }
+
     /// Returns the coarse classification of this error.
     pub fn kind(&self) -> ErrorKind {
         match self {
             Error::Io(_) => ErrorKind::Io,
             Error::Corruption(_) => ErrorKind::Corruption,
             Error::WalTruncated { .. } => ErrorKind::WalTruncated,
+            Error::ManifestCorrupt { .. } => ErrorKind::ManifestCorrupt,
             Error::InvalidArgument(_) => ErrorKind::InvalidArgument,
             Error::Internal(_) => ErrorKind::Internal,
             Error::ShuttingDown => ErrorKind::ShuttingDown,
+            Error::Protocol(_) => ErrorKind::Protocol,
+            Error::Remote { kind, .. } => *kind,
         }
     }
 
@@ -108,6 +221,7 @@ impl Error {
                     | io::ErrorKind::TimedOut
                     | io::ErrorKind::ResourceBusy
             ),
+            Error::Remote { retryable, .. } => *retryable,
             _ => false,
         }
     }
@@ -134,9 +248,16 @@ impl fmt::Display for Error {
             Error::WalTruncated { file, offset } => {
                 write!(f, "WAL truncated: {} at offset {offset}", file.display())
             }
+            Error::ManifestCorrupt { file, detail } => {
+                write!(f, "manifest corrupt: {}: {detail}", file.display())
+            }
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::ShuttingDown => write!(f, "database is shutting down"),
+            Error::Protocol(m) => write!(f, "protocol error: {m}"),
+            Error::Remote { kind, message, .. } => {
+                write!(f, "remote error ({kind:?}): {message}")
+            }
         }
     }
 }
@@ -198,5 +319,78 @@ mod tests {
         assert!(missing.is_not_found());
         assert!(!Error::corruption("x").is_retryable());
         assert!(!Error::wal_truncated("a.log", 0).is_retryable());
+    }
+
+    #[test]
+    fn retryability_covers_every_kind() {
+        // One representative error per kind: exactly the transient I/O
+        // class (and a remote error that says so) is retryable.
+        let by_kind: Vec<(Error, bool)> = vec![
+            (
+                Error::from(io::Error::new(io::ErrorKind::TimedOut, "slow")),
+                true,
+            ),
+            (Error::from(io::Error::other("disk on fire")), false),
+            (Error::corruption("bad block"), false),
+            (Error::wal_truncated("a.log", 10), false),
+            (Error::manifest_corrupt("MANIFEST-000001", "bad tag"), false),
+            (Error::invalid_argument("empty key"), false),
+            (Error::internal("bug"), false),
+            (Error::ShuttingDown, false),
+            (Error::protocol("bad opcode"), false),
+            (
+                Error::from_wire(ErrorKind::Io.code(), "remote eintr", true),
+                true,
+            ),
+            (
+                Error::from_wire(ErrorKind::Io.code(), "remote enospc", false),
+                false,
+            ),
+        ];
+        for (e, want) in by_kind {
+            assert_eq!(e.is_retryable(), want, "{e}");
+        }
+    }
+
+    #[test]
+    fn wire_codes_round_trip_every_kind() {
+        for &kind in ErrorKind::ALL {
+            assert_eq!(ErrorKind::from_code(kind.code()), Some(kind), "{kind:?}");
+        }
+        // Codes are distinct (the round-trip above implies it, but make
+        // the append-only contract explicit).
+        let mut codes: Vec<u16> = ErrorKind::ALL.iter().map(|k| k.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), ErrorKind::ALL.len());
+        // Unknown codes never panic and never alias a real kind.
+        assert_eq!(ErrorKind::from_code(0), None);
+        assert_eq!(ErrorKind::from_code(u16::MAX), None);
+    }
+
+    #[test]
+    fn remote_errors_carry_kind_message_and_verdict() {
+        let original = Error::corruption("block checksum mismatch");
+        let wired = Error::from_wire(
+            original.kind().code(),
+            original.to_string(),
+            original.is_retryable(),
+        );
+        assert_eq!(wired.kind(), ErrorKind::Corruption);
+        assert!(!wired.is_retryable());
+        assert!(wired.to_string().contains("block checksum mismatch"));
+        // A code from a newer peer degrades to Internal, not a panic.
+        let future = Error::from_wire(999, "unknown failure", false);
+        assert_eq!(future.kind(), ErrorKind::Internal);
+    }
+
+    #[test]
+    fn manifest_corrupt_is_typed() {
+        let e = Error::manifest_corrupt("db/CURRENT", "not valid UTF-8");
+        assert_eq!(e.kind(), ErrorKind::ManifestCorrupt);
+        assert_eq!(
+            e.to_string(),
+            "manifest corrupt: db/CURRENT: not valid UTF-8"
+        );
     }
 }
