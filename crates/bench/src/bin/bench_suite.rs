@@ -2,8 +2,8 @@
 //! artifact, with a built-in regression gate.
 //!
 //! ```text
-//! bench-suite [--smoke] [--net] [--label NAME] [--out DIR] [--data DIR]
-//!             [--seconds F] [--seed N] [--stability]
+//! bench-suite [--smoke] [--net] [--scaling] [--label NAME] [--out DIR]
+//!             [--data DIR] [--seconds F] [--seed N] [--stability]
 //!             [--stability-ablation]
 //!             [--compare OLD.json] [--threshold F]
 //! bench-suite --compare-only OLD.json NEW.json [--threshold F]
@@ -21,6 +21,12 @@
 //! client, so the reported throughput and latency percentiles are
 //! client-observed over TCP.
 //!
+//! `--scaling` ensures the write-scaling cells (write-only, group
+//! commit on, one shard, 1→8 threads) are measured, prints the
+//! throughput curve, and folds the scaling gate — each step through
+//! 4 threads must keep ≥0.9x of the previous point — into the exit
+//! code. The 8-thread ratio is reported but not gated.
+//!
 //! `--stability` appends the long-run stability cell to the artifact:
 //! per-window throughput and p999 time series against an undersized,
 //! I/O-rate-limited store, plus the variance/spike summary the
@@ -37,7 +43,7 @@
 use std::path::PathBuf;
 
 use bench::stability::{run_stability, StabilityConfig};
-use bench::suite::{compare, run_suite, SuiteConfig, SuiteReport};
+use bench::suite::{compare, run_suite, scaling_summary, SuiteConfig, SuiteReport};
 use clsm_util::error::Result;
 
 fn main() {
@@ -66,6 +72,7 @@ fn run(argv: &[String]) -> Result<bool> {
     let mut stability = false;
     let mut stability_ablation = false;
     let mut net = false;
+    let mut scaling = false;
 
     let mut iter = argv.iter();
     while let Some(a) = iter.next() {
@@ -73,6 +80,7 @@ fn run(argv: &[String]) -> Result<bool> {
             "--smoke" => smoke = true,
             "--full" => smoke = false,
             "--net" => net = true,
+            "--scaling" => scaling = true,
             "--stability" => stability = true,
             "--stability-ablation" => {
                 stability = true;
@@ -144,6 +152,7 @@ fn run(argv: &[String]) -> Result<bool> {
 
     let mut cfg = SuiteConfig::new(smoke, &label);
     cfg.net = net;
+    cfg.scaling = scaling;
     if let Some(s) = seconds {
         cfg.seconds = s;
     }
@@ -207,15 +216,27 @@ fn run(argv: &[String]) -> Result<bool> {
         );
     }
 
-    match compare_to {
-        Some(old_path) => {
-            let old = SuiteReport::from_json(&std::fs::read_to_string(&old_path)?)?;
-            let outcome = compare(&old, &report, threshold);
-            print!("{}", outcome.text);
-            Ok(outcome.passed())
+    let mut passed = true;
+    if scaling {
+        match scaling_summary(&report) {
+            Some(summary) => {
+                print!("{}", summary.text());
+                passed &= summary.passed;
+            }
+            None => {
+                eprintln!("bench-suite: --scaling set but no scaling cells measured");
+                passed = false;
+            }
         }
-        None => Ok(true),
     }
+
+    if let Some(old_path) = compare_to {
+        let old = SuiteReport::from_json(&std::fs::read_to_string(&old_path)?)?;
+        let outcome = compare(&old, &report, threshold);
+        print!("{}", outcome.text);
+        passed &= outcome.passed();
+    }
+    Ok(passed)
 }
 
 fn usage(msg: &str) -> ! {
@@ -223,8 +244,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: bench-suite [--smoke|--full] [--net] [--label NAME] [--out DIR] [--data DIR] \
-         [--seconds F] [--seed N] [--stability] [--stability-ablation] \
+        "usage: bench-suite [--smoke|--full] [--net] [--scaling] [--label NAME] [--out DIR] \
+         [--data DIR] [--seconds F] [--seed N] [--stability] [--stability-ablation] \
          [--compare OLD.json] [--threshold F]"
     );
     eprintln!("       bench-suite --compare-only OLD.json NEW.json [--threshold F]");

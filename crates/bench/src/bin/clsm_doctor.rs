@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use clsm::{Db, Options, ShardedDb};
 use clsm_util::error::Result;
@@ -235,14 +235,21 @@ fn watch_db(
     print_all(&format!("{}\n", clsm::watch_dashboard_header()))?;
     let interval = Duration::from_millis(interval_ms);
     let mut prev = store.stats();
+    // Rates must divide by the time the window actually covered, not
+    // the nominal sleep: sampling and printing add overhead every
+    // tick, and under load the sleep itself oversleeps. Dividing by
+    // the nominal interval inflated every rate by that slack.
+    let mut prev_at = Instant::now();
     let mut ticks = 0u64;
     loop {
         std::thread::sleep(interval);
         let cur = store.stats();
+        let sampled_at = Instant::now();
         print_all(&format!(
             "{}\n",
-            clsm::watch_dashboard_line(&prev, &cur, interval)
+            clsm::watch_dashboard_line(&prev, &cur, sampled_at - prev_at)
         ))?;
+        prev_at = sampled_at;
         prev = cur;
         ticks += 1;
         if watch_count.is_some_and(|n| ticks >= n) {

@@ -112,6 +112,10 @@ pub struct SuiteConfig {
     pub key_space: u64,
     /// Also measure the networked (loopback TCP) cells.
     pub net: bool,
+    /// Ensure the write-scaling cells ([`scaling_cells`]) are in the
+    /// matrix (the full matrix already contains them; smoke only has
+    /// the 1- and 2-thread points).
+    pub scaling: bool,
 }
 
 impl SuiteConfig {
@@ -124,7 +128,92 @@ impl SuiteConfig {
             seed: 0xc15a,
             key_space: if smoke { 20_000 } else { 60_000 },
             net: false,
+            scaling: false,
         }
+    }
+}
+
+/// The write-scaling cells: write-only, group commit on, one shard,
+/// 1→8 threads. `--scaling` appends whichever of these the matrix is
+/// missing and the summary gate reads the resulting curve.
+pub fn scaling_cells() -> Vec<CellSpec> {
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| CellSpec {
+            workload: "write-100",
+            threads,
+            shards: 1,
+            group_commit: true,
+        })
+        .collect()
+}
+
+/// Scaling-gate tolerance: each step up in threads (through 4) may
+/// lose at most this fraction of the previous point's throughput.
+/// Extra writer threads cannot speed anything up on a small CI box,
+/// but they must not collide on the write path either — the
+/// serialization bugs this gate exists for (a hot Active-set lock, a
+/// shared arena mutex, one WAL queue) cost well over 10%.
+pub const SCALING_TOLERANCE: f64 = 0.9;
+
+/// The write-scaling curve pulled out of a report, plus the verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingSummary {
+    /// `(threads, kops_per_sec)` sorted by thread count.
+    pub points: Vec<(usize, f64)>,
+    /// Whether every step through 4 threads kept at least
+    /// [`SCALING_TOLERANCE`] of the previous point's throughput.
+    pub passed: bool,
+}
+
+/// Reads the [`scaling_cells`] measurements out of `report`. Returns
+/// `None` when fewer than two scaling cells are present (nothing to
+/// gate — e.g. a smoke run without `--scaling`).
+pub fn scaling_summary(report: &SuiteReport) -> Option<ScalingSummary> {
+    let mut points: Vec<(usize, f64)> = scaling_cells()
+        .iter()
+        .filter_map(|spec| {
+            let id = spec.id();
+            report
+                .cells
+                .iter()
+                .find(|c| c.id == id)
+                .map(|c| (spec.threads, c.kops_per_sec))
+        })
+        .collect();
+    points.sort_by_key(|&(t, _)| t);
+    if points.len() < 2 {
+        return None;
+    }
+    let passed = points
+        .windows(2)
+        .filter(|w| w[1].0 <= 4)
+        .all(|w| w[1].1 >= SCALING_TOLERANCE * w[0].1);
+    Some(ScalingSummary { points, passed })
+}
+
+impl ScalingSummary {
+    /// Human-readable block: one line per point with its ratio to the
+    /// single-thread baseline, then the verdict. The 8-thread ratio is
+    /// reported but never gated — a genuine 8-way speedup needs more
+    /// cores than CI guarantees.
+    pub fn text(&self) -> String {
+        let mut out = String::from("write scaling (write-100.gc-on.s1):\n");
+        let base = self.points.first().map_or(0.0, |&(_, k)| k);
+        for &(threads, kops) in &self.points {
+            let _ = writeln!(
+                out,
+                "  t{threads}: {kops:>8.1} kops/s  ({:.2}x t{})",
+                if base > 0.0 { kops / base } else { 0.0 },
+                self.points[0].0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "scaling gate (each step through t4 >= {SCALING_TOLERANCE}x previous): {}",
+            if self.passed { "PASS" } else { "FAIL" }
+        );
+        out
     }
 }
 
@@ -470,7 +559,14 @@ pub fn run_net_cell(
 
 /// Runs the whole matrix, with progress on stderr.
 pub fn run_suite(cfg: &SuiteConfig, data_dir: &Path) -> Result<SuiteReport> {
-    let matrix = canonical_matrix(cfg.smoke);
+    let mut matrix = canonical_matrix(cfg.smoke);
+    if cfg.scaling {
+        for spec in scaling_cells() {
+            if !matrix.contains(&spec) {
+                matrix.push(spec);
+            }
+        }
+    }
     let mut cells = Vec::with_capacity(matrix.len());
     for (i, spec) in matrix.iter().enumerate() {
         eprintln!(
@@ -517,7 +613,9 @@ pub fn run_suite(cfg: &SuiteConfig, data_dir: &Path) -> Result<SuiteReport> {
 }
 
 /// Store options for suite cells: the quick-mode bench sizes, so a
-/// smoke cell stays memtable-resident instead of flush-bound.
+/// smoke cell stays memtable-resident instead of flush-bound, with the
+/// striped WAL on so the suite measures the scaling configuration the
+/// write-path work targets.
 fn suite_store_options() -> Options {
     let mut opts = Options {
         memtable_bytes: 16 * 1024 * 1024,
@@ -526,6 +624,7 @@ fn suite_store_options() -> Options {
     opts.store.table_file_size = 2 * 1024 * 1024;
     opts.store.base_level_bytes = 16 * 1024 * 1024;
     opts.store.block_cache_bytes = 64 * 1024 * 1024;
+    opts.store.wal_stripes = 4;
     opts
 }
 
@@ -1375,6 +1474,92 @@ mod tests {
                 stall_events: 0,
                 sustained_slowdowns: 2,
             }],
+        }
+    }
+
+    fn scaling_cell(threads: usize, kops: f64) -> CellResult {
+        CellResult {
+            id: format!("write-100.t{threads}.gc-on.s1"),
+            workload: "write-100".to_string(),
+            threads,
+            shards: 1,
+            group_commit: true,
+            ops: (kops * 1000.0 * 0.2) as u64,
+            elapsed_s: 0.2,
+            kops_per_sec: kops,
+            p50_us: 2.0,
+            p99_us: 10.0,
+            p999_us: 40.0,
+            stages: Vec::new(),
+            commit: CommitModes::default(),
+        }
+    }
+
+    fn scaling_report(curve: &[(usize, f64)]) -> SuiteReport {
+        let mut report = sample_report();
+        report.cells = curve.iter().map(|&(t, k)| scaling_cell(t, k)).collect();
+        report
+    }
+
+    #[test]
+    fn scaling_summary_reads_the_curve_and_passes_flat_or_rising() {
+        let report = scaling_report(&[(1, 100.0), (2, 104.0), (4, 103.0), (8, 110.0)]);
+        let summary = scaling_summary(&report).unwrap();
+        assert_eq!(
+            summary.points,
+            vec![(1, 100.0), (2, 104.0), (4, 103.0), (8, 110.0)]
+        );
+        assert!(summary.passed);
+        assert!(summary.text().contains("PASS"));
+        assert!(summary.text().contains("t8"));
+    }
+
+    #[test]
+    fn scaling_gate_flags_a_collapse_through_four_threads() {
+        // t4 at 60% of t2: the serialization signature the gate exists
+        // for.
+        let report = scaling_report(&[(1, 100.0), (2, 104.0), (4, 62.0), (8, 110.0)]);
+        let summary = scaling_summary(&report).unwrap();
+        assert!(!summary.passed);
+        assert!(summary.text().contains("FAIL"));
+    }
+
+    #[test]
+    fn scaling_gate_tolerates_noise_and_ignores_the_t8_point() {
+        // 8% dips stay inside the 0.9x tolerance; a t8 drop is
+        // reported but not gated (CI may not have 8 cores).
+        let report = scaling_report(&[(1, 100.0), (2, 92.5), (4, 86.0), (8, 20.0)]);
+        let summary = scaling_summary(&report).unwrap();
+        assert!(summary.passed);
+    }
+
+    #[test]
+    fn scaling_summary_needs_at_least_two_points() {
+        let report = scaling_report(&[(1, 100.0)]);
+        assert!(scaling_summary(&report).is_none());
+        // The sample report's only cell happens to be a scaling cell;
+        // one point is still not a curve.
+        assert!(scaling_summary(&sample_report()).is_none());
+    }
+
+    #[test]
+    fn scaling_cells_extend_the_smoke_matrix_without_duplicates() {
+        let mut matrix = canonical_matrix(true);
+        let before = matrix.len();
+        for spec in scaling_cells() {
+            if !matrix.contains(&spec) {
+                matrix.push(spec);
+            }
+        }
+        // Smoke already holds the t1/t2 points; only t4/t8 are new.
+        assert_eq!(matrix.len(), before + 2);
+        let mut ids: Vec<String> = matrix.iter().map(CellSpec::id).collect();
+        let total = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), total);
+        for t in [1, 2, 4, 8] {
+            assert!(ids.contains(&format!("write-100.t{t}.gc-on.s1")));
         }
     }
 

@@ -326,3 +326,73 @@ pub fn watch_dashboard_line(
         delta("db.compactions")
     )
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(puts: u64, gets: u64, groups: u64, grouped: u64) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("db.puts".into(), puts);
+        s.counters.insert("db.gets".into(), gets);
+        s.counters.insert("db.commit.groups".into(), groups);
+        s.counters
+            .insert("db.commit.group_requests".into(), grouped);
+        s
+    }
+
+    fn columns(line: &str) -> Vec<f64> {
+        line.split_whitespace()
+            .map(|c| c.parse::<f64>().expect("numeric column"))
+            .collect()
+    }
+
+    #[test]
+    fn watch_line_rates_divide_by_the_interval_actually_covered() {
+        let prev = snap(1_000, 500, 10, 40);
+        let cur = snap(3_000, 1_500, 30, 120);
+        // The same deltas over a 2 s window must show half the rate of
+        // a 1 s window: a caller passing the nominal tick instead of
+        // the measured elapsed time inflates every rate column.
+        let one_sec = columns(&watch_dashboard_line(&prev, &cur, Duration::from_secs(1)));
+        let two_sec = columns(&watch_dashboard_line(&prev, &cur, Duration::from_secs(2)));
+        assert_eq!(one_sec[0], 2000.0, "puts/s over 1s");
+        assert_eq!(two_sec[0], 1000.0, "puts/s over 2s");
+        assert_eq!(one_sec[1], 1000.0, "gets/s over 1s");
+        assert_eq!(two_sec[1], 500.0, "gets/s over 2s");
+        assert_eq!(one_sec[2], 20.0, "groups/s over 1s");
+        assert_eq!(two_sec[2], 10.0, "groups/s over 2s");
+        // Mean group size is a ratio of deltas — interval-independent.
+        assert_eq!(one_sec[3], 4.0);
+        assert_eq!(two_sec[3], 4.0);
+    }
+
+    #[test]
+    fn watch_line_deltas_ignore_absolute_counter_levels() {
+        // Same window shifted by a large base: identical line.
+        let a = watch_dashboard_line(
+            &snap(0, 0, 0, 0),
+            &snap(100, 200, 4, 8),
+            Duration::from_secs(1),
+        );
+        let b = watch_dashboard_line(
+            &snap(1 << 40, 1 << 41, 1 << 20, 1 << 21),
+            &snap(
+                (1 << 40) + 100,
+                (1 << 41) + 200,
+                (1 << 20) + 4,
+                (1 << 21) + 8,
+            ),
+            Duration::from_secs(1),
+        );
+        assert_eq!(a, b);
+        // A counter that went backwards (reopened store) clamps to 0
+        // instead of underflowing.
+        let line = watch_dashboard_line(
+            &snap(500, 0, 0, 0),
+            &snap(100, 0, 0, 0),
+            Duration::from_secs(1),
+        );
+        assert_eq!(columns(&line)[0], 0.0);
+    }
+}

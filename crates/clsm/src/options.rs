@@ -159,6 +159,11 @@ impl Options {
                 "block_size must be at least 64 bytes",
             ));
         }
+        if self.store.wal_stripes == 0 || self.store.wal_stripes > 16 {
+            return Err(Error::invalid_argument(
+                "store.wal_stripes must be within 1..=16",
+            ));
+        }
         if self.watchdog.enabled && self.watchdog.interval.is_zero() {
             return Err(Error::invalid_argument(
                 "watchdog.interval must be nonzero when the watchdog is enabled",
@@ -351,6 +356,15 @@ impl OptionsBuilder {
         self
     }
 
+    /// Number of independent WAL stripes (files + logger threads) per
+    /// store; each writing thread appends to its own stripe and a sync
+    /// covers all of them. `1` (the default) is the classic single
+    /// logging queue. Valid range `1..=16`.
+    pub fn wal_stripes(mut self, stripes: usize) -> Self {
+        self.opts.store.wal_stripes = stripes;
+        self
+    }
+
     /// Compaction scheduling policy of the disk substrate (leveled,
     /// tiered, or hybrid-partial; see
     /// [`lsm_storage::compaction::CompactionPolicyKind`]).
@@ -428,6 +442,9 @@ mod tests {
         assert!(Options::builder().memtable_bytes(16).build().is_err());
         assert!(Options::builder().active_slots(0).build().is_err());
         assert!(Options::builder().compaction_threads(0).build().is_err());
+        assert!(Options::builder().wal_stripes(0).build().is_err());
+        assert!(Options::builder().wal_stripes(17).build().is_err());
+        assert!(Options::builder().wal_stripes(4).build().is_ok());
         assert!(Options::builder()
             .admission(AdmissionOptions {
                 low_watermark: 0.9,

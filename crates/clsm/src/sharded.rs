@@ -507,23 +507,27 @@ impl ShardedDb {
         drop(guards);
         result?;
 
-        let mut durable_ns = 0u64;
-        let mut synced = false;
+        // Two-phase durability: start every touched shard's fsync
+        // before waiting on any, so the cross-shard sync costs one
+        // (slowest) fsync instead of their sum. Each shard's WAL is a
+        // separate logger thread (and possibly several stripes), so the
+        // disk work genuinely overlaps.
+        let sync_start = if wp.is_some() { now_ns() } else { 0 };
+        let mut tickets = Vec::new();
         for &s in per_shard.keys() {
             let inner = self.shards[s].inner();
             if opts.sync || (inner.opts.sync_writes && !opts.disable_wal) {
-                let sync_start = if wp.is_some() { now_ns() } else { 0 };
-                inner.store.sync_wal()?;
-                if wp.is_some() {
-                    durable_ns += now_ns().saturating_sub(sync_start);
-                }
-                synced = true;
+                tickets.push(inner.store.sync_wal_begin()?);
             }
             inner.maybe_schedule_flush();
         }
+        let synced = !tickets.is_empty();
+        for ticket in tickets {
+            ticket.wait()?;
+        }
         if synced {
             if let Some(wp) = wp {
-                wp.rec_durable(durable_ns);
+                wp.rec_durable(now_ns().saturating_sub(sync_start));
             }
         }
         // One bump on the first touched shard, matching `Db`'s

@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use clsm_util::channel::Receiver;
 use clsm_util::env::{Env, RealEnv};
 use clsm_util::error::{Error, Result};
 use clsm_util::metrics::{ConcurrentHistogram, Counter, MetricsRegistry};
@@ -79,6 +80,14 @@ pub struct StoreOptions {
     /// default) means unlimited. Clone one `Arc` into several stores
     /// (e.g. shards) to make them share a single device budget.
     pub io_rate_limiter: Option<Arc<IoRateLimiter>>,
+    /// Number of independent WAL stripes (files + logger threads).
+    /// Each append goes to the stripe picked by the writing thread's
+    /// index, so concurrent writers on different stripes never share a
+    /// logging queue or an fsync. Durability is unchanged — a sync
+    /// waits on every stripe — and recovery needs no changes because
+    /// replay already merges all live WALs by timestamp (§4's
+    /// out-of-order logging rule). Clamped to `1..=16`; default 1.
+    pub wal_stripes: usize,
 }
 
 impl StoreOptions {
@@ -106,6 +115,7 @@ impl Default for StoreOptions {
             env: Arc::new(RealEnv),
             compaction_policy: CompactionPolicyKind::default(),
             io_rate_limiter: None,
+            wal_stripes: 1,
         }
     }
 }
@@ -154,8 +164,13 @@ pub struct Store {
     versions: Mutex<VersionSet>,
     /// Lock-free snapshot of the current version (the `Pd` pointer).
     current: RcuCell<Arc<Version>>,
-    wal: LogQueue,
-    /// Number of the WAL currently receiving appends.
+    /// The WAL stripes: one file + logger thread each. A writing
+    /// thread appends to `wals[thread_index() % wals.len()]`; syncs
+    /// cover every stripe. Length is `StoreOptions::wal_stripes`.
+    wals: Box<[LogQueue]>,
+    /// Lowest file number among the WALs currently receiving appends —
+    /// the retire/replay boundary. Every record in the live memtable
+    /// sits in a WAL numbered at or above this.
     wal_number: AtomicU64,
     /// Output files of in-flight flushes/compactions: written to disk
     /// but not yet committed to a version. Obsolete-file GC must spare
@@ -194,6 +209,36 @@ struct StoreMetrics {
     bytes_flushed: Arc<Counter>,
     /// Bytes written by compactions.
     bytes_compacted: Arc<Counter>,
+}
+
+/// An in-flight WAL sync started by [`Store::sync_wal_begin`]: every
+/// stripe's fsync is already running; [`wait`](WalSyncTicket::wait)
+/// collects the acknowledgements.
+#[must_use = "the sync only completes once the ticket is waited on"]
+#[derive(Debug)]
+pub struct WalSyncTicket {
+    acks: Vec<Receiver<Result<u64>>>,
+}
+
+impl WalSyncTicket {
+    /// Blocks until every stripe's fsync finished. Returns the latest
+    /// durability instant (`trace::now_ns` on the logger threads) —
+    /// the moment the whole sync's data was actually safe. The first
+    /// stripe error wins, but every ack is still drained.
+    pub fn wait(self) -> Result<u64> {
+        let mut durable_ns = 0;
+        let mut first_err = None;
+        for ack in self.acks {
+            match ack.recv().map_err(|_| Error::ShuttingDown).and_then(|r| r) {
+                Ok(ns) => durable_ns = durable_ns.max(ns),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            None => Ok(durable_ns),
+            Some(e) => Err(e),
+        }
+    }
 }
 
 /// Write-amplification accounting: bytes written by flushes vs. bytes
@@ -333,12 +378,21 @@ impl Store {
             opts.max_open_tables,
         ));
 
-        // Fresh WAL for the new incarnation. The recovered records stay
-        // covered by the old WALs (numbers ≥ log_number), which are
-        // retired only after the next flush.
-        let wal_number = versions.new_file_number();
-        let wal_file = env.open_write(&filenames::wal_path(dir, wal_number))?;
-        let wal = LogQueue::start(LogWriter::new(wal_file));
+        // Fresh WAL stripes for the new incarnation. The recovered
+        // records stay covered by the old WALs (numbers ≥ log_number),
+        // which are retired only after the next flush. File numbers are
+        // monotone, so the first (lowest) new number bounds them all.
+        let stripes = opts.wal_stripes.clamp(1, 16);
+        let mut wals = Vec::with_capacity(stripes);
+        let mut wal_number = 0;
+        for i in 0..stripes {
+            let n = versions.new_file_number();
+            if i == 0 {
+                wal_number = n;
+            }
+            let wal_file = env.open_write(&filenames::wal_path(dir, n))?;
+            wals.push(LogQueue::start(LogWriter::new(wal_file)));
+        }
 
         let current = RcuCell::new(versions.current());
         let opts_policy = opts.compaction_policy;
@@ -348,7 +402,7 @@ impl Store {
             cache,
             versions: Mutex::new(versions),
             current,
-            wal,
+            wals: wals.into_boxed_slice(),
             wal_number: AtomicU64::new(wal_number),
             pending_outputs: Mutex::new(HashSet::new()),
             bytes_flushed: AtomicU64::new(0),
@@ -396,6 +450,13 @@ impl Store {
     }
 
     /// Appends a batch of writes to the WAL.
+    ///
+    /// With several WAL stripes the batch goes — whole — to the stripe
+    /// owned by the calling thread, so concurrent writers on different
+    /// stripes never contend on a logging queue. A batch never splits
+    /// across stripes: one append is one record in one file, which is
+    /// what keeps torn-batch detection (whole records vanish, never
+    /// fractions) intact under striping.
     pub fn log(&self, batch: &[WriteRecord], mode: SyncMode) -> Result<()> {
         let mut payload =
             Vec::with_capacity(batch.iter().map(|r| r.key.len() + r.value.len() + 16).sum());
@@ -403,7 +464,8 @@ impl Store {
             r.encode_to(&mut payload);
         }
         let _span = T_WAL_APPEND.span_with(payload.len() as u64);
-        self.wal.append(payload, mode)
+        let stripe = clsm_util::tid::thread_index() % self.wals.len();
+        self.wals[stripe].append(payload, mode)
     }
 
     /// Registers the store's metrics (WAL sync latency, flush and
@@ -434,11 +496,27 @@ impl Store {
     pub fn sync_wal_timed(&self) -> Result<u64> {
         let _span = T_WAL_SYNC.span();
         let start = self.metrics.get().map(|_| Instant::now());
-        let result = self.wal.sync_timed();
+        let result = self.sync_wal_begin().and_then(WalSyncTicket::wait);
         if let (Some(m), Some(start)) = (self.metrics.get(), start) {
             m.wal_sync_ns.record_duration(start.elapsed());
         }
         result
+    }
+
+    /// First half of a split WAL sync: asks every stripe's logger
+    /// thread to flush+fsync and returns a ticket without waiting.
+    ///
+    /// All stripes start their fsyncs immediately and run them in
+    /// parallel; [`WalSyncTicket::wait`] then collects the
+    /// acknowledgements. Callers syncing several independent WALs
+    /// (e.g. a cross-shard batch) begin them all before waiting on any,
+    /// so total latency is the slowest fsync, not the sum.
+    pub fn sync_wal_begin(&self) -> Result<WalSyncTicket> {
+        let mut acks = Vec::with_capacity(self.wals.len());
+        for wal in &self.wals {
+            acks.push(wal.sync_begin()?);
+        }
+        Ok(WalSyncTicket { acks })
     }
 
     /// Lock-free snapshot of the current disk component.
@@ -469,33 +547,60 @@ impl Store {
     /// Starts a new WAL file; subsequent appends go to it. Returns the
     /// new WAL's number. Called by `beforeMerge` when the memtable is
     /// swapped, so each memtable maps to a WAL prefix.
+    /// Rotates **every** stripe and returns the lowest of the new file
+    /// numbers. File numbers are monotone, so every pre-rotation WAL is
+    /// numbered strictly below the return value: it is the exact
+    /// retire/replay boundary for the memtable being flushed. The
+    /// caller (`beforeMerge`) holds the exclusive lock, so no append
+    /// can land between two stripes' rotations.
     pub fn rotate_wal(&self) -> Result<u64> {
-        let number = self.versions.lock().new_file_number();
-        // Charge the new log's pre-allocation against the shared I/O
+        // Allocate all numbers first, under one versions-lock pass.
+        let numbers: Vec<u64> = {
+            let mut versions = self.versions.lock();
+            self.wals
+                .iter()
+                .map(|_| versions.new_file_number())
+                .collect()
+        };
+        // Charge the new logs' pre-allocation against the shared I/O
         // budget at high priority: the rotation sits on the flush
         // path, so it must outrank compaction traffic, never wait
         // behind it.
         if let Some(limiter) = &self.opts.io_rate_limiter {
-            limiter.acquire(WAL_PREALLOC_CHARGE, IoPriority::High);
+            limiter.acquire(
+                WAL_PREALLOC_CHARGE * self.wals.len() as u64,
+                IoPriority::High,
+            );
         }
-        let file = self
-            .opts
-            .env
-            .open_write(&filenames::wal_path(&self.dir, number))?;
-        self.wal.rotate(LogWriter::new(file))?;
-        self.wal_number.store(number, Ordering::SeqCst);
-        Ok(number)
+        for (wal, &number) in self.wals.iter().zip(&numbers) {
+            let file = self
+                .opts
+                .env
+                .open_write(&filenames::wal_path(&self.dir, number))?;
+            wal.rotate(LogWriter::new(file))?;
+        }
+        let boundary = numbers[0];
+        self.wal_number.store(boundary, Ordering::SeqCst);
+        Ok(boundary)
     }
 
-    /// The WAL number currently receiving appends.
+    /// The lowest WAL number currently receiving appends (with one
+    /// stripe, *the* current WAL number).
     pub fn current_wal_number(&self) -> u64 {
         self.wal_number.load(Ordering::SeqCst)
     }
 
-    /// Backlog of the logging queue (records enqueued, not yet handed
-    /// to the logger thread). Racy diagnostic sample.
+    /// Backlog of the logging queues (records enqueued, not yet handed
+    /// to a logger thread), summed over stripes. Racy diagnostic
+    /// sample.
     pub fn wal_queue_depth(&self) -> usize {
-        self.wal.depth()
+        self.wals.iter().map(LogQueue::depth).sum()
+    }
+
+    /// Number of WAL stripes this store runs
+    /// ([`StoreOptions::wal_stripes`], after clamping).
+    pub fn wal_stripes(&self) -> usize {
+        self.wals.len()
     }
 
     /// Flushes a sorted memtable stream into level-0 tables.
@@ -622,9 +727,9 @@ impl Store {
             .collect()
     }
 
-    /// First WAL I/O error, if the logger thread hit one.
+    /// First WAL I/O error, if any stripe's logger thread hit one.
     pub fn wal_poisoned(&self) -> Option<clsm_util::error::Error> {
-        self.wal.poisoned()
+        self.wals.iter().find_map(LogQueue::poisoned)
     }
 
     /// Manually compacts every file overlapping `[start, end]` (user

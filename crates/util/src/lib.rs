@@ -54,6 +54,7 @@ pub mod oracle;
 pub mod ratelimit;
 pub mod rcu;
 pub mod shared_lock;
+pub mod tid;
 pub mod trace;
 
 pub use error::{Error, Result};

@@ -36,28 +36,87 @@ static T_SNAP_WAIT: TraceId = TraceId::new("oracle.getSnap.active_wait");
 /// the number of concurrently writing threads.
 const DEFAULT_ACTIVE_SLOTS: usize = 256;
 
+/// Slots per stripe: one 64-byte cache line of `u64` slots.
+const STRIPE_SLOTS: usize = 8;
+
+/// One cache line of `Active`-set slots. The alignment is the point:
+/// two threads claiming slots in different stripes never bounce the
+/// same line between cores.
+#[repr(align(64))]
+#[derive(Debug)]
+struct Stripe {
+    slots: [AtomicU64; STRIPE_SLOTS],
+}
+
+impl Stripe {
+    fn new() -> Stripe {
+        Stripe {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
 /// Lock-free set of in-flight put timestamps (the paper's `Active`).
 ///
-/// A fixed array of slots; `add` claims an empty slot by CAS and returns
-/// a ticket for O(1) removal. `find_min` scans all slots. Timestamps are
-/// unique and nonzero, so zero marks an empty slot.
+/// The slots are grouped into cache-line-aligned stripes. A writer
+/// claims an empty slot by CAS, starting in its *home stripe* (picked
+/// by [`crate::tid::thread_index`]), and overflows into neighboring
+/// stripes only when its home stripe is full — so under normal load
+/// (slot capacity exceeding writer count) concurrent `add`/`remove`
+/// touch disjoint cache lines instead of contending on one CAS line.
+/// `find_min` scans all stripes. Timestamps are unique and nonzero, so
+/// zero marks an empty slot.
+///
+/// [`ActiveSet::new_unstriped`] keeps the pre-striping probe policy
+/// (flat timestamp-hash start, no thread affinity) behind the same
+/// API: the two are semantically identical — the probe start only
+/// affects cache behavior — and the stress tests run against both to
+/// prove it.
 #[derive(Debug)]
 pub struct ActiveSet {
-    slots: Box<[AtomicU64]>,
+    stripes: Box<[Stripe]>,
+    /// `true` → thread-striped probe starts; `false` → the legacy
+    /// flat hash-probe shim (kill-test / ablation baseline).
+    striped: bool,
 }
 
 /// Handle returned by [`ActiveSet::add`]; pass it back to
-/// [`ActiveSet::remove`] when the write becomes visible.
+/// [`ActiveSet::remove`] when the write becomes visible. Carries the
+/// flat slot index, so removal is one store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ActiveTicket(usize);
 
 impl ActiveSet {
-    /// Creates a set with `slots` capacity (rounded up to at least 1).
+    /// Creates a set with at least `slots` capacity (rounded up to
+    /// whole cache-line stripes).
     pub fn new(slots: usize) -> Self {
-        let slots = slots.max(1);
+        Self::with_policy(slots, true)
+    }
+
+    /// The single-set shim: identical slot array and claim/scan
+    /// semantics, but probes start from a flat hash of the timestamp
+    /// (the pre-striping policy) instead of the caller's home stripe.
+    /// Exists so the stripe-invariant stress tests can demonstrate
+    /// semantic equivalence of the two layouts.
+    pub fn new_unstriped(slots: usize) -> Self {
+        Self::with_policy(slots, false)
+    }
+
+    fn with_policy(slots: usize, striped: bool) -> Self {
+        let stripes = slots.max(1).div_ceil(STRIPE_SLOTS);
         ActiveSet {
-            slots: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            stripes: (0..stripes).map(|_| Stripe::new()).collect(),
+            striped,
         }
+    }
+
+    /// Total slot capacity (a multiple of the stripe width).
+    pub fn capacity(&self) -> usize {
+        self.stripes.len() * STRIPE_SLOTS
+    }
+
+    fn slot(&self, flat: usize) -> &AtomicU64 {
+        &self.stripes[flat / STRIPE_SLOTS].slots[flat % STRIPE_SLOTS]
     }
 
     /// Registers `ts` and returns a removal ticket.
@@ -66,18 +125,27 @@ impl ActiveSet {
     /// the slot count exceeds the number of writer threads.
     pub fn add(&self, ts: u64) -> ActiveTicket {
         debug_assert_ne!(ts, 0, "timestamp 0 is reserved for empty slots");
-        let start = (ts as usize).wrapping_mul(0x9e37_79b9) % self.slots.len();
+        let capacity = self.capacity();
+        let start = if self.striped {
+            // Home stripe by thread: repeated adds from one thread stay
+            // on one cache line, and different threads (up to the
+            // stripe count) claim on different lines.
+            (crate::tid::thread_index() % self.stripes.len()) * STRIPE_SLOTS
+        } else {
+            (ts as usize).wrapping_mul(0x9e37_79b9) % capacity
+        };
         let mut i = start;
         loop {
             // SeqCst: `add` must be globally ordered against `getSnap`'s
             // `snapTime` publication (see module docs).
-            if self.slots[i]
+            if self
+                .slot(i)
                 .compare_exchange(0, ts, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok()
             {
                 return ActiveTicket(i);
             }
-            i = (i + 1) % self.slots.len();
+            i = (i + 1) % capacity;
             if i == start {
                 std::thread::yield_now();
             }
@@ -86,16 +154,18 @@ impl ActiveSet {
 
     /// Removes the timestamp registered under `ticket`.
     pub fn remove(&self, ticket: ActiveTicket) {
-        self.slots[ticket.0].store(0, Ordering::SeqCst);
+        self.slot(ticket.0).store(0, Ordering::SeqCst);
     }
 
     /// Returns the minimum active timestamp, or `None` when empty.
     pub fn find_min(&self) -> Option<u64> {
         let mut min = u64::MAX;
-        for slot in self.slots.iter() {
-            let v = slot.load(Ordering::SeqCst);
-            if v != 0 && v < min {
-                min = v;
+        for stripe in self.stripes.iter() {
+            for slot in &stripe.slots {
+                let v = slot.load(Ordering::SeqCst);
+                if v != 0 && v < min {
+                    min = v;
+                }
             }
         }
         (min != u64::MAX).then_some(min)
@@ -109,8 +179,9 @@ impl ActiveSet {
     /// Number of currently registered timestamps (occupied slots) —
     /// a write-pressure gauge, not a synchronization primitive.
     pub fn len(&self) -> usize {
-        self.slots
+        self.stripes
             .iter()
+            .flat_map(|s| s.slots.iter())
             .filter(|s| s.load(Ordering::Relaxed) != 0)
             .count()
     }
@@ -179,6 +250,18 @@ impl TimestampOracle {
             time_counter: AtomicU64::new(0),
             snap_time: AtomicU64::new(0),
             active: ActiveSet::new(active_slots),
+        }
+    }
+
+    /// Creates an oracle over the single-set `Active` shim
+    /// ([`ActiveSet::new_unstriped`]) — the pre-striping probe policy,
+    /// kept so the stripe-invariant stress tests can run against both
+    /// layouts and demonstrate semantic equivalence.
+    pub fn new_unstriped(active_slots: usize) -> Self {
+        TimestampOracle {
+            time_counter: AtomicU64::new(0),
+            snap_time: AtomicU64::new(0),
+            active: ActiveSet::new_unstriped(active_slots),
         }
     }
 
@@ -717,6 +800,90 @@ mod tests {
         // 2 threads × 1000 blocks × 4 + 2 threads × 1000 singles, minus
         // rollback holes — the counter must cover at least that many.
         assert!(oracle.current_time() >= 10_000);
+    }
+
+    /// The stripe invariant, hammered: while a writer holds a stamp
+    /// (it is *live* — granted, not yet published), `min_active` must
+    /// never exceed that stamp. Eight writer threads mix single stamps
+    /// and blocks with constant add/remove churn; two snapshot threads
+    /// hammer `find_min` through `get_snap` at the same time.
+    fn hammer_min_active_invariant(oracle: &TimestampOracle) {
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                scope.spawn(move || {
+                    for i in 0..2000u64 {
+                        if (t + i) % 4 == 0 {
+                            let b = oracle.get_ts_block(3);
+                            let min = oracle.active().find_min().expect("own block is live");
+                            assert!(
+                                min <= b.base,
+                                "min_active {min} exceeds live block base {}",
+                                b.base
+                            );
+                            oracle.publish_block(b);
+                        } else {
+                            let s = oracle.get_ts();
+                            let min = oracle.active().find_min().expect("own stamp is live");
+                            assert!(min <= s.ts, "min_active {min} exceeds live stamp {}", s.ts);
+                            oracle.publish(s);
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let mut last = 0;
+                    for _ in 0..400 {
+                        let snap = oracle.get_snap();
+                        assert!(snap >= last, "snapshots must be monotone per thread");
+                        last = snap;
+                    }
+                });
+            }
+        });
+        assert!(oracle.active().is_empty());
+        assert!(oracle.current_time() >= 8 * 2000);
+    }
+
+    #[test]
+    fn striped_active_set_stress() {
+        hammer_min_active_invariant(&TimestampOracle::new(64));
+    }
+
+    /// Kill-test: the same invariant suite against the single-set shim
+    /// (flat hash probing, no thread affinity). Passing here proves the
+    /// striping changed only cache behavior, never semantics.
+    #[test]
+    fn unstriped_shim_passes_the_same_stress() {
+        hammer_min_active_invariant(&TimestampOracle::new_unstriped(64));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_whole_stripes() {
+        for requested in [1usize, 7, 8, 9, 64, 100] {
+            for set in [
+                ActiveSet::new(requested),
+                ActiveSet::new_unstriped(requested),
+            ] {
+                assert!(set.capacity() >= requested);
+                assert_eq!(set.capacity() % 8, 0, "stripes are 8 slots wide");
+            }
+        }
+    }
+
+    #[test]
+    fn add_overflows_into_neighbor_stripes() {
+        // Two stripes, one thread: its home stripe fills after 8 adds,
+        // so later adds must overflow into the neighbor instead of
+        // spinning.
+        let set = ActiveSet::new(16);
+        let tickets: Vec<ActiveTicket> = (1..=16).map(|ts| set.add(ts)).collect();
+        assert_eq!(set.len(), 16);
+        assert_eq!(set.find_min(), Some(1));
+        for t in tickets {
+            set.remove(t);
+        }
+        assert!(set.is_empty());
     }
 
     #[test]
